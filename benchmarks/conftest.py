@@ -1,0 +1,40 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Scale selection: set ``REPRO_BENCH_SCALE`` to ``quick`` (default),
+``medium``, or ``full``.  Quick finishes in minutes on a laptop; full
+uses the paper's parameters (×512 replication, 48842-row Adult) and
+takes hours in pure Python.
+
+Each macro-benchmark renders its paper-style table to
+``benchmarks/results/<name>.txt`` for comparison with EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench.harness import resolve_scale
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return resolve_scale()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_result(results_dir):
+    def _save(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}")
+
+    return _save

@@ -1,0 +1,55 @@
+"""Benchmarks: ablations of the design choices DESIGN.md calls out.
+
+* pruning rules (C+ rule 8, key pruning) — the paper's Section 4;
+* partition engine (paper-literal pure Python vs vectorized CSR) — the
+  extended version's compact-representation optimization;
+* g3 bound short-circuit — the extended version's error-bound
+  optimization for approximate discovery.
+"""
+
+from repro.bench.workloads import (
+    run_ablation_engine,
+    run_ablation_g3_bounds,
+    run_ablation_pruning,
+    run_ablation_strategy,
+)
+
+
+def test_ablation_pruning(benchmark, scale, save_result):
+    table = benchmark.pedantic(lambda: run_ablation_pruning(scale), rounds=1, iterations=1)
+    save_result("ablation_pruning", table.format())
+    rows = [table.row_dict(i) for i in range(len(table.rows))]
+    full = {r["dataset"]: r for r in rows if r["variant"] == "full"}
+    for row in rows:
+        # identical dependency counts: pruning only saves work
+        assert row["N"] == full[row["dataset"]]["N"]
+        # weaker pruning never visits fewer sets
+        assert row["sets s"] >= full[row["dataset"]]["sets s"]
+
+
+def test_ablation_strategy(benchmark, scale, save_result):
+    table = benchmark.pedantic(lambda: run_ablation_strategy(scale), rounds=1, iterations=1)
+    save_result("ablation_strategy", table.format())
+    pairwise, singletons = (table.row_dict(i) for i in range(2))
+    assert pairwise["N"] == singletons["N"]
+    # the Schlimmer-equivalent strategy computes strictly more products
+    assert singletons["partition products"] >= pairwise["partition products"]
+
+
+def test_ablation_engine(benchmark, scale, save_result):
+    table = benchmark.pedantic(lambda: run_ablation_engine(scale), rounds=1, iterations=1)
+    save_result("ablation_engine", table.format())
+    pure_seconds = table.rows[0][2]
+    csr_seconds = table.rows[1][2]
+    # the vectorized engine must not lose to the reference one
+    assert csr_seconds <= pure_seconds * 1.5 + 0.05
+
+
+def test_ablation_g3_bounds(benchmark, scale, save_result):
+    table = benchmark.pedantic(lambda: run_ablation_g3_bounds(scale), rounds=1, iterations=1)
+    save_result("ablation_g3_bounds", table.format())
+    rows = [table.row_dict(i) for i in range(len(table.rows))]
+    for dataset in {r["dataset"] for r in rows}:
+        on = next(r for r in rows if r["dataset"] == dataset and r["variant"] == "bounds on")
+        off = next(r for r in rows if r["dataset"] == dataset and r["variant"] == "bounds off")
+        assert on["exact g3 computations"] <= off["exact g3 computations"]

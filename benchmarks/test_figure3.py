@@ -1,0 +1,34 @@
+"""Benchmark: Figure 3 — relative N and time as ε grows.
+
+Paper: for ε in a reasonable range (0..0.1) the time either rises
+slightly (Chess), falls slightly (Wisconsin), or drops sharply
+(Hepatitis); by ε = 0.25-0.5 the relative time collapses for the
+medical datasets.  N first grows (new approximate dependencies) and
+then falls (small left-hand sides shadow everything).
+"""
+
+from repro.bench.workloads import run_figure3
+
+EPSILONS = (0.0, 0.01, 0.05, 0.1, 0.25, 0.5)
+
+
+def test_figure3(benchmark, scale, save_result):
+    figures = benchmark.pedantic(
+        lambda: run_figure3(scale, epsilons=EPSILONS), rounds=1, iterations=1
+    )
+    lines = []
+    for dataset, series_map in figures.items():
+        lines.append(f"[{dataset}]")
+        for series in series_map.values():
+            lines.append("  " + series.format())
+    save_result("figure3", "\n".join(lines))
+
+    for dataset, series_map in figures.items():
+        n_ratio = series_map["n_ratio"]
+        time_ratio = series_map["time_ratio"]
+        assert n_ratio.y[0] == 1.0 and time_ratio.y[0] == 1.0
+        assert all(y >= 0 for y in n_ratio.y)
+        # Chess-like datasets with one exact FD see N grow at eps=0.5;
+        # medical-like ones collapse. Either way the sweep must finish
+        # with positive measurements.
+        assert all(y > 0 for y in time_ratio.y)

@@ -1,0 +1,33 @@
+"""Benchmark: Figure 4 — scale-up in the number of rows.
+
+Paper: on wisconsin×n, "FDEP performs almost quadratically in the
+number of rows while our algorithms are very near linear."  The fitted
+log-log slopes quantify this: TANE/TANE-MEM ≈ 1, FDEP ≈ 2.
+"""
+
+from repro.bench.workloads import fit_loglog_slope, run_figure4
+
+
+def test_figure4(benchmark, scale, save_result):
+    table = benchmark.pedantic(lambda: run_figure4(scale), rounds=1, iterations=1)
+    save_result("figure4", table.format())
+
+    rows = [table.row_dict(i) for i in range(len(table.rows))]
+    tane_points = [(r["|r|"], r["TANE/MEM s"]) for r in rows]
+    fdep_points = [
+        (r["|r|"], r["FDEP s"]) for r in rows if isinstance(r["FDEP s"], float)
+    ]
+    tane_slope = fit_loglog_slope(tane_points)
+    assert tane_slope is not None
+    # near-linear: well below quadratic
+    assert tane_slope < 1.6, f"TANE slope {tane_slope}"
+    # FDEP's quadratic term dominates once rows are large enough; at
+    # small sizes fixed overhead flattens the global fit, so check the
+    # *tail* slope (largest two FDEP points) instead.
+    if len(fdep_points) >= 2:
+        tail_slope = fit_loglog_slope(fdep_points[-2:])
+        assert tail_slope is not None
+        if fdep_points[-1][0] >= 2000:
+            assert tail_slope > tane_slope, (
+                f"FDEP tail slope {tail_slope} should exceed TANE's {tane_slope}"
+            )

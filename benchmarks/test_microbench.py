@@ -1,0 +1,96 @@
+"""Micro-benchmarks of the core partition primitives.
+
+These use pytest-benchmark's statistical repetition (they are fast
+enough to repeat), covering the inner loops everything else is built
+from: single-attribute partition construction, the stripped product,
+and the g3 error computation, on both engines.
+"""
+
+import numpy as np
+import pytest
+
+from repro.partition.pure import PurePartition
+from repro.partition.vectorized import CsrPartition, PartitionWorkspace
+
+NUM_ROWS = 20_000
+DOMAIN = 50
+
+
+@pytest.fixture(scope="module")
+def columns():
+    rng = np.random.default_rng(42)
+    return (
+        rng.integers(0, DOMAIN, size=NUM_ROWS, dtype=np.int64),
+        rng.integers(0, DOMAIN, size=NUM_ROWS, dtype=np.int64),
+    )
+
+
+@pytest.fixture(scope="module")
+def csr_pair(columns):
+    first, second = columns
+    return CsrPartition.from_column(first), CsrPartition.from_column(second)
+
+
+@pytest.fixture(scope="module")
+def pure_pair(columns):
+    first, second = columns
+    return PurePartition.from_column(list(first)), PurePartition.from_column(list(second))
+
+
+class TestFromColumn:
+    def test_csr_from_column(self, benchmark, columns):
+        benchmark(CsrPartition.from_column, columns[0])
+
+    def test_pure_from_column(self, benchmark, columns):
+        codes = list(columns[0])
+        benchmark(PurePartition.from_column, codes)
+
+
+class TestProduct:
+    def test_csr_product(self, benchmark, csr_pair):
+        first, second = csr_pair
+        workspace = PartitionWorkspace(NUM_ROWS)
+        result = benchmark(first.product, second, workspace)
+        assert result.num_rows == NUM_ROWS
+
+    def test_pure_product(self, benchmark, pure_pair):
+        first, second = pure_pair
+        result = benchmark(first.product, second)
+        assert result.num_rows == NUM_ROWS
+
+
+class TestG3:
+    def test_csr_g3(self, benchmark, csr_pair):
+        first, second = csr_pair
+        workspace = PartitionWorkspace(NUM_ROWS)
+        joint = first.product(second, workspace)
+        count = benchmark(first.g3_error_count, joint, workspace)
+        assert count >= 0
+
+    def test_pure_g3(self, benchmark, pure_pair):
+        first, second = pure_pair
+        joint = first.product(second)
+        count = benchmark(first.g3_error_count, joint)
+        assert count >= 0
+
+
+class TestEndToEnd:
+    def test_tane_wisconsin_shaped(self, benchmark):
+        from repro.core.tane import discover_fds
+        from repro.datasets.uci import make_wisconsin_like
+
+        relation = make_wisconsin_like(seed=0)
+        result = benchmark.pedantic(
+            lambda: discover_fds(relation), rounds=3, iterations=1
+        )
+        assert len(result.dependencies) > 0
+
+    def test_fdep_small(self, benchmark):
+        from repro.baselines.fdep import discover_fds_fdep
+        from repro.datasets.uci import make_wisconsin_like
+
+        relation = make_wisconsin_like(seed=0)
+        result = benchmark.pedantic(
+            lambda: discover_fds_fdep(relation), rounds=3, iterations=1
+        )
+        assert len(result) > 0

@@ -1,0 +1,34 @@
+"""Benchmark: Table 1 — exact discovery, TANE vs TANE/MEM vs FDEP.
+
+Paper (C, 233 MHz Pentium):
+
+    dataset          |r|     |R|  N     TANE    TANE/MEM  FDEP
+    lymphography     148     19   2730  68.2    24.0      88.0
+    hepatitis        155     20   8250  29.6    14.1      663
+    wisconsin        699     11   46    0.76    0.25      15.0
+    wisconsin x64    44736   11   46    80.5    23.0      17521
+    wisconsin x128   89472   11   46    173     247       *
+    wisconsin x512   357888  11   46    884     *         *
+    adult            48842   15   85    1451    *         *
+    chess            28056   7    1     3.63    2.03      6685
+
+Expected shape at any scale: TANE beats FDEP by orders of magnitude on
+replicated data; TANE/MEM is the fastest while fitting in memory; FDEP
+becomes infeasible first.
+"""
+
+from repro.bench.workloads import run_table1
+
+
+def test_table1(benchmark, scale, save_result):
+    table = benchmark.pedantic(lambda: run_table1(scale), rounds=1, iterations=1)
+    save_result("table1", table.format())
+    # Shape assertion: TANE beats FDEP wherever both ran at real row
+    # counts (the paper's headline result).  Below ~2500 rows the O(r²)
+    # pairwise pass is still cheap, so no claim is made there.
+    for index in range(len(table.rows)):
+        row = table.row_dict(index)
+        tane = row["TANE/MEM s"]
+        fdep = row["FDEP s"]
+        if isinstance(tane, float) and isinstance(fdep, float) and row["|r|"] >= 2500:
+            assert tane < fdep, f"TANE should win on {row['dataset']}"

@@ -1,0 +1,54 @@
+"""The paper's Chess dataset, rebuilt from the rules of chess.
+
+Table 1 of the paper runs TANE on "Chess" (28056 rows, 7 attributes,
+exactly 1 minimal dependency).  That is the UCI ``krkopt`` dataset:
+all legal King+Rook-vs-King positions with Black to move, labelled
+with the optimal number of White moves to mate.  Instead of shipping
+the file, this library *recomputes* it with a retrograde analysis of
+the endgame — and reproduces the published class distribution exactly.
+
+Run:  python examples/chess_endgame.py        (takes ~20s: solves KRK)
+"""
+
+from collections import Counter
+
+from repro import discover_fds
+from repro.datasets.chess import krk_class_distribution, krk_endgame_relation
+
+# The class distribution documented with the UCI krkopt dataset.
+UCI_DISTRIBUTION = {
+    "draw": 2796, "zero": 27, "one": 78, "two": 246, "three": 81,
+    "four": 198, "five": 471, "six": 592, "seven": 683, "eight": 1433,
+    "nine": 1712, "ten": 1985, "eleven": 2854, "twelve": 3597,
+    "thirteen": 4194, "fourteen": 4553, "fifteen": 2166, "sixteen": 390,
+}
+
+
+def main() -> None:
+    print("solving the KRK endgame by retrograde analysis ...")
+    relation = krk_endgame_relation()
+    print(f"positions: {relation.num_rows} rows x {relation.num_attributes} attributes")
+
+    distribution = krk_class_distribution()
+    matches = sum(distribution.get(k, 0) == v for k, v in UCI_DISTRIBUTION.items())
+    print(f"class distribution matches UCI krkopt on {matches}/{len(UCI_DISTRIBUTION)} classes")
+    print(f"{'class':10s} {'ours':>6s} {'UCI':>6s}")
+    for name, expected in UCI_DISTRIBUTION.items():
+        print(f"{name:10s} {distribution.get(name, 0):6d} {expected:6d}")
+
+    print("\nrunning TANE ...")
+    result = discover_fds(relation)
+    print(f"minimal dependencies found: {len(result)} (paper Table 1: N = 1)")
+    for fd in result.dependencies:
+        print(f"  {fd.format(relation.schema)}")
+    print(f"keys: {[', '.join(k) for k in result.key_names()]}")
+    print(f"search: levels={result.statistics.level_sizes}, "
+          f"time={result.statistics.elapsed_seconds:.2f}s")
+
+    # A domain sanity check: mates-in-zero must be positions in check.
+    outcomes = Counter(relation.column_values("outcome"))
+    print(f"\nsanity: {outcomes['zero']} checkmate positions (UCI: 27)")
+
+
+if __name__ == "__main__":
+    main()

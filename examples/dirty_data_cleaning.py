@@ -1,0 +1,81 @@
+"""Find and repair errors with approximate dependencies.
+
+The paper's abstract: "The use of partitions makes the discovery of
+approximate functional dependencies easy and efficient, and the
+erroneous or exceptional rows can be identified easily."
+
+This script plants a clean dependency (``sensor -> location``),
+corrupts a small fraction of the rows, then:
+
+1. shows exact discovery no longer finds the dependency,
+2. recovers it with approximate discovery (``g3`` threshold),
+3. pins down the exact corrupted rows via the removal witness,
+4. repairs them and verifies the dependency is exact again.
+
+Run:  python examples/dirty_data_cleaning.py
+"""
+
+import random
+
+from repro import Relation, discover_approximate_fds, discover_fds
+from repro.analysis import removal_witness, verify_dependency
+from repro.model.fd import FunctionalDependency
+
+LOCATIONS = ["hall-a", "hall-b", "roof", "basement", "yard"]
+
+
+def build_readings(num_rows: int = 2000, error_rate: float = 0.01, seed: int = 7):
+    rng = random.Random(seed)
+    sensors = {f"s{i:03d}": rng.choice(LOCATIONS) for i in range(60)}
+    rows = []
+    corrupted = set()
+    for row_number in range(num_rows):
+        sensor = rng.choice(list(sensors))
+        location = sensors[sensor]
+        if rng.random() < error_rate:
+            location = rng.choice([loc for loc in LOCATIONS if loc != location])
+            corrupted.add(row_number)
+        temperature = round(15 + 10 * rng.random(), 1)
+        rows.append([sensor, location, temperature, row_number])
+    relation = Relation.from_rows(rows, ["sensor", "location", "temperature", "reading_id"])
+    return relation, sensors, corrupted
+
+
+def main() -> None:
+    relation, sensors, corrupted = build_readings()
+    schema = relation.schema
+    target = FunctionalDependency.from_names(schema, ["sensor"], "location")
+
+    exact = discover_fds(relation, max_lhs_size=1)
+    exact_formats = {fd.format(schema) for fd in exact.dependencies}
+    print(f"exact 'sensor -> location' found: {'sensor -> location' in exact_formats}")
+
+    approx = discover_approximate_fds(relation, epsilon=0.02, max_lhs_size=1)
+    hit = next((fd for fd in approx.dependencies
+                if fd.lhs == target.lhs and fd.rhs == target.rhs), None)
+    assert hit is not None, "approximate discovery should recover the planted dependency"
+    print(f"approximate discovery recovered it with g3 = {hit.error:.4f} "
+          f"(true error rate {len(corrupted) / relation.num_rows:.4f})")
+
+    witness = removal_witness(relation, target)
+    print(f"\nexception rows identified: {len(witness)} "
+          f"(actually corrupted: {len(corrupted)})")
+    flagged = set(witness)
+    print(f"precision of the witness: "
+          f"{len(flagged & corrupted)}/{len(flagged)} flagged rows are true corruptions")
+
+    # Repair: restore each flagged row's location from the sensor map.
+    repaired_rows = []
+    for index, row in enumerate(relation.iter_rows()):
+        sensor, location, temperature, reading_id = row
+        if index in flagged:
+            location = sensors[sensor]
+        repaired_rows.append([sensor, location, temperature, reading_id])
+    repaired = Relation.from_rows(repaired_rows, schema.attribute_names)
+
+    check = verify_dependency(repaired, target)
+    print(f"\nafter repair: holds={check.holds} g3={check.g3}")
+
+
+if __name__ == "__main__":
+    main()

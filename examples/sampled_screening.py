@@ -1,0 +1,68 @@
+"""Screening a large table with a row sample, then verifying exactly.
+
+Kivinen & Mannila (from whom the paper takes the g3 measure) show that
+dependency errors can be estimated from samples.  For tables with many
+rows, discovery on a sample plus exact verification of the surviving
+candidates is much cheaper than discovery on everything — and the
+verification step guarantees no false positives.
+
+Run:  python examples/sampled_screening.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import Relation, discover_fds
+from repro.analysis import discover_fds_sampled
+
+
+def build_large_relation(num_rows: int = 60_000, seed: int = 13) -> Relation:
+    rng = np.random.default_rng(seed)
+    device = rng.integers(0, 500, size=num_rows)
+    model_of = rng.integers(0, 12, size=500)        # device -> model (exact)
+    firmware_of = rng.integers(0, 40, size=500)     # device -> firmware, 0.5% dirty
+    model = model_of[device]
+    firmware = firmware_of[device]
+    dirty = rng.random(num_rows) < 0.005
+    firmware = np.where(dirty, rng.integers(0, 40, size=num_rows), firmware)
+    reading = rng.integers(0, 10_000, size=num_rows)
+    return Relation.from_codes(
+        [device.astype(np.int64), model.astype(np.int64),
+         firmware.astype(np.int64), reading.astype(np.int64)],
+        ["device", "model", "firmware", "reading"],
+    )
+
+
+def main() -> None:
+    relation = build_large_relation()
+    print(f"table: {relation.num_rows} rows x {relation.num_attributes} attributes")
+
+    start = time.perf_counter()
+    outcome = discover_fds_sampled(
+        relation, sample_rows=2_000, epsilon=0.01, margin=0.02, max_lhs_size=2
+    )
+    sampled_seconds = time.perf_counter() - start
+    print(f"\nsampled pipeline: {sampled_seconds:.2f}s "
+          f"({len(outcome.candidates)} candidates from {outcome.sample_rows} rows, "
+          f"{len(outcome.verified)} verified on the full table)")
+    for fd in outcome.verified.sorted():
+        print(f"  {fd.format(relation.schema)}")
+
+    start = time.perf_counter()
+    full = discover_fds(relation, max_lhs_size=2)
+    full_seconds = time.perf_counter() - start
+    print(f"\nfull exact discovery for comparison: {full_seconds:.2f}s, "
+          f"{len(full)} dependencies")
+
+    # The planted exact dependency must be verified by the sampled run.
+    schema = relation.schema
+    assert any(
+        fd.lhs == schema.mask_of("device") and fd.rhs == schema.index_of("model")
+        for fd in outcome.verified
+    ), "device -> model should survive screening and verification"
+    print("\nplanted dependency 'device -> model' recovered: True")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The canonical metadata lives in ``pyproject.toml``.  This file exists so
+the package can be installed in environments that lack the ``wheel``
+package (where ``pip install -e .`` cannot build a PEP 660 editable
+wheel): ``python setup.py develop`` only needs setuptools.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,66 @@
+"""repro — TANE: discovery of functional and approximate dependencies.
+
+A production-quality Python reproduction of
+
+    Y. Huhtala, J. Kärkkäinen, P. Porkka, H. Toivonen:
+    "Efficient Discovery of Functional and Approximate Dependencies
+    Using Partitions", ICDE 1998.
+
+Quickstart
+----------
+>>> from repro import Relation, discover_fds
+>>> rel = Relation.from_rows(
+...     [[1, "a", "$"], [1, "a", "$"], [2, "b", "$"]], ["A", "B", "C"]
+... )
+>>> result = discover_fds(rel)
+>>> sorted(fd.format(rel.schema) for fd in result.dependencies)  # doctest: +SKIP
+['A -> B', 'B -> A', ...]
+
+The package layout mirrors the paper:
+
+* :mod:`repro.partition` — stripped partitions, products, g3 (Section 2)
+* :mod:`repro.core` — the TANE levelwise search (Sections 3-5)
+* :mod:`repro.baselines` — FDEP and a brute-force oracle (Section 7)
+* :mod:`repro.theory` — FD reasoning (closure, covers, keys, normal forms)
+* :mod:`repro.analysis` — profiling and exception-row identification
+* :mod:`repro.assoc` — partition-based association rules (Section 8)
+* :mod:`repro.datasets` — UCI-shaped synthetic data and generators
+* :mod:`repro.bench` — the harness regenerating the paper's tables/figures
+"""
+
+from repro.core.results import DiscoveryResult, SearchStatistics
+from repro.core.tane import TaneConfig, discover, discover_approximate_fds, discover_fds
+from repro.core.uccs import UccResult, discover_uccs
+from repro.exceptions import (
+    ConfigurationError,
+    DataError,
+    DependencyError,
+    ReproError,
+    SchemaError,
+)
+from repro.model.fd import FDSet, FunctionalDependency
+from repro.model.relation import Relation
+from repro.model.schema import RelationSchema
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Relation",
+    "RelationSchema",
+    "FunctionalDependency",
+    "FDSet",
+    "TaneConfig",
+    "discover",
+    "discover_fds",
+    "discover_approximate_fds",
+    "UccResult",
+    "discover_uccs",
+    "DiscoveryResult",
+    "SearchStatistics",
+    "ReproError",
+    "SchemaError",
+    "DataError",
+    "DependencyError",
+    "ConfigurationError",
+    "__version__",
+]

@@ -1,0 +1,94 @@
+"""Attribute sets represented as integer bitmasks.
+
+The paper notes (Section 6) that attribute sets are implemented "as bit
+vectors of O(1) words" so that set operations take constant time.  In
+Python, arbitrary-precision integers give the same idiom with no word
+limit: attribute ``i`` of the schema corresponds to bit ``1 << i``.
+
+These helpers are the only place in the code base that manipulates raw
+bit tricks; everything else goes through this module so the convention
+stays in one spot.  All functions are pure.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+__all__ = [
+    "bit",
+    "from_indices",
+    "iter_bits",
+    "iter_subsets_one_smaller",
+    "popcount",
+    "lowest_bit_index",
+    "mask_of_size",
+    "contains",
+    "is_subset",
+    "to_indices",
+]
+
+
+def bit(index: int) -> int:
+    """Return the bitmask containing exactly attribute ``index``."""
+    return 1 << index
+
+
+def from_indices(indices: Iterable[int]) -> int:
+    """Build a bitmask from an iterable of attribute indices."""
+    mask = 0
+    for index in indices:
+        mask |= 1 << index
+    return mask
+
+
+def to_indices(mask: int) -> list[int]:
+    """Return the sorted attribute indices present in ``mask``."""
+    return list(iter_bits(mask))
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the indices of set bits in ``mask``, in increasing order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def iter_subsets_one_smaller(mask: int) -> Iterator[tuple[int, int]]:
+    """Yield ``(attribute_index, mask_without_it)`` for each bit of ``mask``.
+
+    This enumerates exactly the immediate subsets ``X \\ {A}`` of the
+    attribute set ``X`` that the levelwise algorithm consults.
+    """
+    remaining = mask
+    while remaining:
+        low = remaining & -remaining
+        yield low.bit_length() - 1, mask ^ low
+        remaining ^= low
+
+
+def popcount(mask: int) -> int:
+    """Return the number of attributes in the set ``mask``."""
+    return mask.bit_count()
+
+
+def lowest_bit_index(mask: int) -> int:
+    """Return the index of the lowest set bit of a non-empty ``mask``."""
+    if mask == 0:
+        raise ValueError("empty attribute set has no lowest bit")
+    return (mask & -mask).bit_length() - 1
+
+
+def mask_of_size(n: int) -> int:
+    """Return the full attribute set over a schema with ``n`` attributes."""
+    return (1 << n) - 1
+
+
+def contains(mask: int, index: int) -> bool:
+    """Return True if attribute ``index`` is a member of ``mask``."""
+    return bool(mask >> index & 1)
+
+
+def is_subset(sub: int, sup: int) -> bool:
+    """Return True if every attribute of ``sub`` is in ``sup``."""
+    return sub & ~sup == 0

@@ -1,0 +1,46 @@
+"""Instance analysis built on top of discovery.
+
+* :mod:`repro.analysis.violations` — identify the "erroneous or
+  exceptional rows" behind an approximate dependency (abstract of the
+  paper: "the erroneous or exceptional rows can be identified
+  easily").
+* :mod:`repro.analysis.profile` — one-call dataset profiling: exact
+  dependencies, keys, approximate dependencies, and normal-form
+  analysis in a single report.
+"""
+
+from repro.analysis.compare import DependencyDiff, compare_fdsets
+from repro.analysis.export import (
+    fdset_from_json,
+    fdset_to_dot,
+    fdset_to_json,
+    fdset_to_markdown,
+    result_to_json,
+)
+from repro.analysis.profile import ProfileReport, profile
+from repro.analysis.sampling import SampledDiscovery, discover_fds_sampled, screen_with_sample
+from repro.analysis.violations import (
+    exceptional_rows,
+    removal_witness,
+    verify_dependency,
+    violating_pairs,
+)
+
+__all__ = [
+    "DependencyDiff",
+    "compare_fdsets",
+    "violating_pairs",
+    "removal_witness",
+    "exceptional_rows",
+    "verify_dependency",
+    "profile",
+    "ProfileReport",
+    "fdset_to_json",
+    "fdset_from_json",
+    "fdset_to_dot",
+    "fdset_to_markdown",
+    "result_to_json",
+    "SampledDiscovery",
+    "screen_with_sample",
+    "discover_fds_sampled",
+]

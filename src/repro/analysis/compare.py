@@ -1,0 +1,91 @@
+"""Comparing dependency sets across dataset versions.
+
+Schema-drift monitoring: profile yesterday's extract and today's, then
+diff the discovered dependencies.  Dependencies that disappeared signal
+new dirty data (or a real semantic change); newly appeared ones signal
+lost variety or a tightened pipeline; error shifts on surviving
+approximate dependencies quantify quality drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.model.fd import FDSet, FunctionalDependency
+from repro.model.schema import RelationSchema
+
+__all__ = ["DependencyDiff", "compare_fdsets"]
+
+
+@dataclass(frozen=True)
+class ErrorShift:
+    """One dependency present on both sides with a changed error."""
+
+    dependency: FunctionalDependency
+    error_before: float
+    error_after: float
+
+    @property
+    def delta(self) -> float:
+        """Signed change: positive = the dependency got dirtier."""
+        return self.error_after - self.error_before
+
+
+@dataclass
+class DependencyDiff:
+    """The outcome of :func:`compare_fdsets`."""
+
+    added: FDSet = field(default_factory=FDSet)
+    """Dependencies present only in the *after* set."""
+
+    removed: FDSet = field(default_factory=FDSet)
+    """Dependencies present only in the *before* set."""
+
+    error_shifts: list[ErrorShift] = field(default_factory=list)
+    """Dependencies on both sides whose measured error changed."""
+
+    @property
+    def is_identical(self) -> bool:
+        """True when nothing was added, removed, or shifted."""
+        return not self.added and not self.removed and not self.error_shifts
+
+    def format(self, schema: RelationSchema) -> str:
+        """Human-readable multi-line diff rendering."""
+        if self.is_identical:
+            return "dependency sets identical"
+        lines = []
+        for fd in self.removed.sorted():
+            lines.append(f"- {fd.format(schema)}")
+        for fd in self.added.sorted():
+            lines.append(f"+ {fd.format(schema)}")
+        for shift in sorted(self.error_shifts, key=lambda s: -abs(s.delta)):
+            direction = "worsened" if shift.delta > 0 else "improved"
+            lines.append(
+                f"~ {shift.dependency.format(schema)}: g3 "
+                f"{shift.error_before:.4f} -> {shift.error_after:.4f} ({direction})"
+            )
+        return "\n".join(lines)
+
+
+def compare_fdsets(before: FDSet, after: FDSet, tolerance: float = 1e-12) -> DependencyDiff:
+    """Diff two dependency sets keyed on ``(lhs, rhs)``.
+
+    Errors differing by more than ``tolerance`` on shared dependencies
+    are reported as shifts.
+    """
+    before_by_key = {(fd.lhs, fd.rhs): fd for fd in before}
+    after_by_key = {(fd.lhs, fd.rhs): fd for fd in after}
+    diff = DependencyDiff()
+    for key, fd in before_by_key.items():
+        if key not in after_by_key:
+            diff.removed.add(fd)
+        else:
+            other = after_by_key[key]
+            if abs(other.error - fd.error) > tolerance:
+                diff.error_shifts.append(
+                    ErrorShift(dependency=fd, error_before=fd.error, error_after=other.error)
+                )
+    for key, fd in after_by_key.items():
+        if key not in before_by_key:
+            diff.added.add(fd)
+    return diff

@@ -1,0 +1,138 @@
+"""Serialization of discovery results: JSON, Graphviz DOT, Markdown.
+
+Downstream consumers of discovered dependencies (schema catalogs, data
+quality dashboards, documentation generators) need the results out of
+Python objects.  The JSON form round-trips losslessly; the DOT form
+renders the dependency graph (attribute-set nodes, dependency edges);
+the Markdown form drops into documentation.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.exceptions import DataError
+from repro.model.fd import FDSet, FunctionalDependency
+from repro.model.schema import RelationSchema
+
+__all__ = [
+    "fdset_to_json",
+    "fdset_from_json",
+    "fdset_to_dot",
+    "fdset_to_markdown",
+    "result_to_json",
+]
+
+_FORMAT_VERSION = 1
+
+
+def fdset_to_json(fds: FDSet, schema: RelationSchema, indent: int | None = 2) -> str:
+    """Serialize a dependency set (with attribute names) to JSON."""
+    payload = {
+        "format": "repro.fdset",
+        "version": _FORMAT_VERSION,
+        "attributes": list(schema.attribute_names),
+        "dependencies": [
+            {
+                "lhs": list(schema.names_of(fd.lhs)),
+                "rhs": schema[fd.rhs],
+                "error": fd.error,
+            }
+            for fd in fds.sorted()
+        ],
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def fdset_from_json(text: str) -> tuple[FDSet, RelationSchema]:
+    """Parse a dependency set serialized by :func:`fdset_to_json`."""
+    try:
+        payload: dict[str, Any] = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise DataError(f"invalid JSON: {error}") from error
+    if payload.get("format") != "repro.fdset":
+        raise DataError("not a repro.fdset document")
+    if payload.get("version") != _FORMAT_VERSION:
+        raise DataError(f"unsupported fdset version {payload.get('version')!r}")
+    schema = RelationSchema(payload["attributes"])
+    fds = FDSet(
+        FunctionalDependency.from_names(
+            schema, entry["lhs"], entry["rhs"], float(entry.get("error", 0.0))
+        )
+        for entry in payload["dependencies"]
+    )
+    return fds, schema
+
+
+def result_to_json(result, indent: int | None = 2) -> str:
+    """Serialize a :class:`~repro.core.results.DiscoveryResult`.
+
+    Includes dependencies, keys, epsilon, and the search statistics.
+    """
+    stats = result.statistics
+    payload = {
+        "format": "repro.discovery",
+        "version": _FORMAT_VERSION,
+        "epsilon": result.epsilon,
+        "attributes": list(result.schema.attribute_names),
+        "dependencies": json.loads(fdset_to_json(result.dependencies, result.schema, None))[
+            "dependencies"
+        ],
+        "keys": [list(result.schema.names_of(mask)) for mask in result.keys],
+        "statistics": {
+            "level_sizes": stats.level_sizes,
+            "total_sets": stats.total_sets,
+            "validity_tests": stats.validity_tests,
+            "partition_products": stats.partition_products,
+            "keys_found": stats.keys_found,
+            "elapsed_seconds": stats.elapsed_seconds,
+        },
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def fdset_to_dot(fds: FDSet, schema: RelationSchema, graph_name: str = "dependencies") -> str:
+    """Render the dependency graph in Graphviz DOT.
+
+    Single attributes are ellipse nodes; composite left-hand sides are
+    box nodes connected to their member attributes with dashed edges;
+    each dependency is a solid edge from (composite) lhs to rhs.
+    """
+    lines = [f"digraph {json.dumps(graph_name)} {{", "  rankdir=LR;"]
+    attributes_used: set[int] = set()
+    composite_nodes: dict[int, str] = {}
+    edges: list[str] = []
+    for fd in fds.sorted():
+        rhs_name = schema[fd.rhs]
+        attributes_used.add(fd.rhs)
+        if fd.lhs_size == 1:
+            [lhs_index] = fd.lhs_indices()
+            attributes_used.add(lhs_index)
+            edges.append(f"  {json.dumps(schema[lhs_index])} -> {json.dumps(rhs_name)};")
+            continue
+        if fd.lhs not in composite_nodes:
+            label = ",".join(schema.names_of(fd.lhs)) if fd.lhs else "{}"
+            node_id = f"set_{fd.lhs:x}"
+            composite_nodes[fd.lhs] = node_id
+            lines.append(f"  {json.dumps(node_id)} [shape=box, label={json.dumps(label)}];")
+            for member in fd.lhs_indices():
+                attributes_used.add(member)
+                edges.append(
+                    f"  {json.dumps(schema[member])} -> {json.dumps(node_id)} [style=dashed, arrowhead=none];"
+                )
+        edges.append(f"  {json.dumps(composite_nodes[fd.lhs])} -> {json.dumps(rhs_name)};")
+    for index in sorted(attributes_used):
+        lines.append(f"  {json.dumps(schema[index])} [shape=ellipse];")
+    lines.extend(edges)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def fdset_to_markdown(fds: FDSet, schema: RelationSchema) -> str:
+    """Render a dependency set as a Markdown table."""
+    lines = ["| determinant | dependent | g3 error |", "|---|---|---|"]
+    for fd in fds.sorted():
+        lhs = ", ".join(schema.names_of(fd.lhs)) or "∅"
+        lines.append(f"| {lhs} | {schema[fd.rhs]} | {fd.error:.4f} |")
+    return "\n".join(lines)

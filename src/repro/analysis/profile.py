@@ -1,0 +1,151 @@
+"""One-call dataset profiling.
+
+``profile(relation)`` bundles what a data engineer reverse-engineering
+an unknown table wants from this library: column statistics, exact
+minimal dependencies, minimal keys, optionally approximate
+dependencies with their exception counts, and a normal-form analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.results import DiscoveryResult
+from repro.core.tane import TaneConfig, discover
+from repro.exceptions import ConfigurationError
+from repro.model.fd import FDSet
+from repro.model.relation import Relation
+from repro.theory.normalize import NormalFormReport, check_normal_forms
+
+__all__ = ["profile", "ProfileReport", "ColumnStats"]
+
+_NORMAL_FORM_ATTRIBUTE_LIMIT = 20
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Per-column summary statistics."""
+
+    name: str
+    distinct: int
+    is_unique: bool
+    is_constant: bool
+
+
+@dataclass
+class ProfileReport:
+    """Everything :func:`profile` learned about a relation."""
+
+    relation: Relation
+    columns: list[ColumnStats]
+    exact: DiscoveryResult
+    approximate: DiscoveryResult | None = None
+    normal_forms: NormalFormReport | None = None
+    epsilon: float = 0.0
+    _approx_only: FDSet | None = field(default=None, repr=False)
+
+    @property
+    def dependencies(self) -> FDSet:
+        """The exact minimal dependencies."""
+        return self.exact.dependencies
+
+    @property
+    def keys(self) -> list[int]:
+        """The minimal keys found by the exact search."""
+        return self.exact.keys
+
+    @property
+    def approximate_only(self) -> FDSet:
+        """Approximate dependencies that are not exact (g3 > 0)."""
+        if self.approximate is None:
+            return FDSet()
+        if self._approx_only is None:
+            self._approx_only = FDSet(
+                fd for fd in self.approximate.dependencies if fd.error > 0.0
+            )
+        return self._approx_only
+
+    def format(self) -> str:
+        """Human-readable multi-section report."""
+        schema = self.relation.schema
+        lines = [
+            f"relation: {self.relation.num_rows} rows x {self.relation.num_attributes} attributes",
+            "columns:",
+        ]
+        for stats in self.columns:
+            flags = []
+            if stats.is_unique:
+                flags.append("unique")
+            if stats.is_constant:
+                flags.append("constant")
+            suffix = f"  [{', '.join(flags)}]" if flags else ""
+            lines.append(f"  {stats.name}: {stats.distinct} distinct{suffix}")
+        lines.append(f"minimal keys ({len(self.keys)}):")
+        for key in self.exact.key_names():
+            lines.append(f"  {{{', '.join(key)}}}")
+        lines.append(f"exact minimal dependencies ({len(self.dependencies)}):")
+        for fd in self.exact.sorted_dependencies():
+            lines.append(f"  {fd.format(schema)}")
+        if self.approximate is not None:
+            extra = self.approximate_only
+            lines.append(
+                f"approximate dependencies at eps={self.epsilon} "
+                f"({len(self.approximate.dependencies)} total, {len(extra)} strictly approximate):"
+            )
+            for fd in extra.sorted():
+                lines.append(f"  {fd.format(schema)}")
+        if self.normal_forms is not None:
+            lines.append("normal forms:")
+            lines.append("  " + self.normal_forms.format().replace("\n", "\n  "))
+        return "\n".join(lines)
+
+
+def profile(
+    relation: Relation,
+    epsilon: float = 0.0,
+    max_lhs_size: int | None = None,
+    include_normal_forms: bool = True,
+) -> ProfileReport:
+    """Profile a relation: stats, dependencies, keys, normal forms.
+
+    Parameters
+    ----------
+    relation:
+        The table to analyse.
+    epsilon:
+        If positive, an approximate discovery pass at this ``g3``
+        threshold is run in addition to the exact one.
+    max_lhs_size:
+        Optional left-hand-side size limit for both passes.
+    include_normal_forms:
+        Run the (potentially exponential) key/normal-form analysis;
+        automatically skipped for schemas over 20 attributes.
+    """
+    if not 0.0 <= epsilon <= 1.0:
+        raise ConfigurationError(f"epsilon must be in [0, 1], got {epsilon}")
+    columns = [
+        ColumnStats(
+            name=relation.schema[index],
+            distinct=relation.distinct_count(index),
+            is_unique=relation.distinct_count(index) == relation.num_rows,
+            is_constant=relation.distinct_count(index) <= 1,
+        )
+        for index in range(relation.num_attributes)
+    ]
+    exact = discover(relation, TaneConfig(max_lhs_size=max_lhs_size))
+    approximate = None
+    if epsilon > 0.0:
+        approximate = discover(
+            relation, TaneConfig(epsilon=epsilon, max_lhs_size=max_lhs_size)
+        )
+    normal_forms = None
+    if include_normal_forms and relation.num_attributes <= _NORMAL_FORM_ATTRIBUTE_LIMIT:
+        normal_forms = check_normal_forms(exact.dependencies, relation.schema)
+    return ProfileReport(
+        relation=relation,
+        columns=columns,
+        exact=exact,
+        approximate=approximate,
+        normal_forms=normal_forms,
+        epsilon=epsilon,
+    )

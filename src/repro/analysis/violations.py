@@ -1,0 +1,99 @@
+"""Identifying the rows behind an approximate dependency.
+
+For an approximate dependency ``X -> A`` the interesting objects are
+the *exceptions*: the minimum set of rows whose removal makes the
+dependency exact (their count over ``|r|`` is precisely ``g3``), and
+the concrete violating row pairs.  Both are computed from the same
+grouping the partitions encode.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+
+from repro import _bitset
+from repro.model.fd import FunctionalDependency
+from repro.model.relation import Relation
+
+__all__ = [
+    "violating_pairs",
+    "removal_witness",
+    "exceptional_rows",
+    "verify_dependency",
+]
+
+
+def _groups_by_lhs(relation: Relation, lhs_mask: int) -> dict[tuple[int, ...], list[int]]:
+    columns = [relation.column_codes(i) for i in _bitset.iter_bits(lhs_mask)]
+    groups: dict[tuple[int, ...], list[int]] = defaultdict(list)
+    for row in range(relation.num_rows):
+        groups[tuple(int(column[row]) for column in columns)].append(row)
+    return groups
+
+
+def violating_pairs(
+    relation: Relation,
+    dependency: FunctionalDependency,
+    limit: int | None = 100,
+) -> list[tuple[int, int]]:
+    """Row pairs agreeing on the lhs but disagreeing on the rhs.
+
+    Returns at most ``limit`` pairs (``None`` = all; beware, the count
+    can be quadratic in group sizes).
+    """
+    rhs = relation.column_codes(dependency.rhs)
+    pairs: list[tuple[int, int]] = []
+    for rows in _groups_by_lhs(relation, dependency.lhs).values():
+        for position, first in enumerate(rows):
+            for second in rows[position + 1:]:
+                if rhs[first] != rhs[second]:
+                    pairs.append((first, second))
+                    if limit is not None and len(pairs) >= limit:
+                        return pairs
+    return pairs
+
+
+def removal_witness(relation: Relation, dependency: FunctionalDependency) -> list[int]:
+    """A minimum set of rows whose removal makes the dependency hold.
+
+    In each lhs group, all rows except those carrying the most common
+    rhs value are exceptions.  ``len(witness) / |r| == g3`` exactly.
+    Deterministic: among equally common rhs values the one seen first
+    is kept.
+    """
+    rhs = relation.column_codes(dependency.rhs)
+    witness: list[int] = []
+    for rows in _groups_by_lhs(relation, dependency.lhs).values():
+        counts = Counter(int(rhs[row]) for row in rows)
+        keep_value, _ = counts.most_common(1)[0]
+        witness.extend(row for row in rows if rhs[row] != keep_value)
+    return witness
+
+
+def exceptional_rows(relation: Relation, dependency: FunctionalDependency) -> list[int]:
+    """Alias of :func:`removal_witness`: the dependency's exception rows."""
+    return removal_witness(relation, dependency)
+
+
+@dataclass(frozen=True)
+class DependencyCheck:
+    """Outcome of verifying one dependency against a relation."""
+
+    dependency: FunctionalDependency
+    holds: bool
+    g3: float
+    num_exceptions: int
+
+
+def verify_dependency(relation: Relation, dependency: FunctionalDependency) -> DependencyCheck:
+    """Check a dependency and measure its g3 error in one pass."""
+    witness = removal_witness(relation, dependency)
+    num_rows = relation.num_rows
+    g3 = len(witness) / num_rows if num_rows else 0.0
+    return DependencyCheck(
+        dependency=dependency,
+        holds=not witness,
+        g3=g3,
+        num_exceptions=len(witness),
+    )

@@ -1,0 +1,13 @@
+"""Association rules from partitions (Section 8 of the paper).
+
+The concluding remarks observe that "association rules between
+attribute-value pairs can be computed with a small modification of the
+present algorithm: an equivalence class corresponds then to a
+particular value combination of the attribute set.  By comparing
+equivalence classes instead of full partitions, we can find
+association rules."  This subpackage implements that extension.
+"""
+
+from repro.assoc.rules import AssociationRule, mine_association_rules
+
+__all__ = ["AssociationRule", "mine_association_rules"]

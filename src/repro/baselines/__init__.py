@@ -1,0 +1,36 @@
+"""Baseline discovery algorithms the paper compares against.
+
+* :mod:`repro.baselines.bruteforce` — an exhaustive checker used as a
+  correctness oracle in the test suite.
+* :mod:`repro.baselines.fdep` — FDEP (Savnik & Flach 1993): negative
+  cover from pairwise row comparison, then top-down specialization into
+  the minimal valid dependencies.  This is the algorithm the paper
+  benchmarks TANE against in Section 7.
+* :mod:`repro.baselines.transversal` — the other classical
+  negative-cover family ([7, 2, 9] in the paper): minimal valid
+  dependencies as minimal hitting sets of the difference sets.
+"""
+
+from repro.baselines.bruteforce import (
+    dependency_error,
+    dependency_g1,
+    dependency_g2,
+    dependency_g3,
+    dependency_holds,
+    discover_fds_bruteforce,
+)
+from repro.baselines.fdep import discover_fds_fdep, negative_cover
+from repro.baselines.transversal import discover_fds_transversal, minimal_hitting_sets
+
+__all__ = [
+    "dependency_holds",
+    "dependency_g1",
+    "dependency_g2",
+    "dependency_g3",
+    "dependency_error",
+    "discover_fds_bruteforce",
+    "discover_fds_fdep",
+    "negative_cover",
+    "discover_fds_transversal",
+    "minimal_hitting_sets",
+]

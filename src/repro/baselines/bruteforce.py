@@ -1,0 +1,140 @@
+"""Exhaustive dependency discovery, used as a test oracle.
+
+These routines check dependencies straight from the definition (group
+rows by their left-hand-side values) without partitions, products, or
+pruning — slow, but obviously correct, which is exactly what the
+property-based tests need to validate TANE and FDEP against.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from itertools import combinations
+
+from repro import _bitset
+from repro.model.fd import FDSet, FunctionalDependency
+from repro.model.relation import Relation
+
+__all__ = [
+    "dependency_holds",
+    "dependency_g1",
+    "dependency_g2",
+    "dependency_g3",
+    "dependency_error",
+    "discover_fds_bruteforce",
+]
+
+
+def _lhs_groups(relation: Relation, lhs_mask: int) -> dict[tuple[int, ...], list[int]]:
+    """Group row indices by their value tuple on the lhs attributes."""
+    columns = [relation.column_codes(i) for i in _bitset.iter_bits(lhs_mask)]
+    groups: dict[tuple[int, ...], list[int]] = {}
+    for row in range(relation.num_rows):
+        key = tuple(int(column[row]) for column in columns)
+        groups.setdefault(key, []).append(row)
+    return groups
+
+
+def dependency_holds(relation: Relation, lhs_mask: int, rhs_index: int) -> bool:
+    """Check ``X -> A`` directly from the definition (Section 1)."""
+    rhs = relation.column_codes(rhs_index)
+    for rows in _lhs_groups(relation, lhs_mask).values():
+        first = rhs[rows[0]]
+        if any(rhs[row] != first for row in rows[1:]):
+            return False
+    return True
+
+
+def dependency_g3(relation: Relation, lhs_mask: int, rhs_index: int) -> float:
+    """Compute ``g3(X -> A)`` directly from the definition.
+
+    For each group of rows agreeing on ``X``, all rows except those
+    with the most common ``A``-value must be removed.
+    """
+    if relation.num_rows == 0:
+        return 0.0
+    rhs = relation.column_codes(rhs_index)
+    removed = 0
+    for rows in _lhs_groups(relation, lhs_mask).values():
+        counts = Counter(int(rhs[row]) for row in rows)
+        removed += len(rows) - max(counts.values())
+    return removed / relation.num_rows
+
+
+def dependency_g1(relation: Relation, lhs_mask: int, rhs_index: int) -> float:
+    """Compute ``g1(X -> A)`` from the definition: the fraction of
+    ordered row pairs agreeing on ``X`` but not on ``A``."""
+    n = relation.num_rows
+    if n == 0:
+        return 0.0
+    rhs = relation.column_codes(rhs_index)
+    violating = 0
+    for rows in _lhs_groups(relation, lhs_mask).values():
+        counts = Counter(int(rhs[row]) for row in rows)
+        agreeing_pairs = sum(c * c for c in counts.values())
+        violating += len(rows) ** 2 - agreeing_pairs
+    return violating / (n * n)
+
+
+def dependency_g2(relation: Relation, lhs_mask: int, rhs_index: int) -> float:
+    """Compute ``g2(X -> A)`` from the definition: the fraction of rows
+    involved in at least one violating pair."""
+    n = relation.num_rows
+    if n == 0:
+        return 0.0
+    rhs = relation.column_codes(rhs_index)
+    involved = 0
+    for rows in _lhs_groups(relation, lhs_mask).values():
+        values = {int(rhs[row]) for row in rows}
+        if len(values) > 1:
+            involved += len(rows)
+    return involved / n
+
+
+def dependency_error(
+    relation: Relation, lhs_mask: int, rhs_index: int, measure: str = "g3"
+) -> float:
+    """Compute the named error measure from its definition."""
+    if measure == "g3":
+        return dependency_g3(relation, lhs_mask, rhs_index)
+    if measure == "g1":
+        return dependency_g1(relation, lhs_mask, rhs_index)
+    if measure == "g2":
+        return dependency_g2(relation, lhs_mask, rhs_index)
+    raise ValueError(f"unknown measure {measure!r}")
+
+
+def discover_fds_bruteforce(
+    relation: Relation,
+    epsilon: float = 0.0,
+    max_lhs_size: int | None = None,
+    measure: str = "g3",
+) -> FDSet:
+    """Find all minimal non-trivial (approximate) dependencies exhaustively.
+
+    Enumerates candidate left-hand sides per right-hand side in
+    increasing size; monotonicity of ``g3`` under lhs growth makes the
+    subset-of-a-valid-set skip sound for both exact and approximate
+    discovery.
+    """
+    num_attributes = relation.num_attributes
+    limit = num_attributes - 1 if max_lhs_size is None else min(max_lhs_size, num_attributes - 1)
+    result = FDSet()
+    for rhs_index in range(num_attributes):
+        others = [i for i in range(num_attributes) if i != rhs_index]
+        minimal_valid: list[int] = []
+        for size in range(limit + 1):
+            for combo in combinations(others, size):
+                lhs_mask = _bitset.from_indices(combo)
+                if any(_bitset.is_subset(valid, lhs_mask) for valid in minimal_valid):
+                    continue
+                if epsilon == 0.0:
+                    is_valid = dependency_holds(relation, lhs_mask, rhs_index)
+                    error = 0.0
+                else:
+                    error = dependency_error(relation, lhs_mask, rhs_index, measure)
+                    is_valid = error <= epsilon + 1e-12
+                if is_valid:
+                    minimal_valid.append(lhs_mask)
+                    result.add(FunctionalDependency(lhs_mask, rhs_index, error))
+    return result

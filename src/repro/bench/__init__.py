@@ -1,0 +1,39 @@
+"""Benchmark harness regenerating the paper's tables and figures.
+
+Each workload in :mod:`repro.bench.workloads` corresponds to one table
+or figure of Section 7 and returns a :class:`~repro.bench.report.Table`
+whose rows mirror the paper's rows (with the paper's published numbers
+quoted side-by-side where applicable).  The ``benchmarks/`` directory
+wraps these workloads in pytest-benchmark entry points.
+"""
+
+from repro.bench.harness import BenchScale, measure, resolve_scale
+from repro.bench.report import Series, Table
+from repro.bench.workloads import (
+    run_ablation_engine,
+    run_ablation_g3_bounds,
+    run_ablation_pruning,
+    run_ablation_strategy,
+    run_figure3,
+    run_figure4,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+
+__all__ = [
+    "BenchScale",
+    "measure",
+    "resolve_scale",
+    "Table",
+    "Series",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_figure3",
+    "run_figure4",
+    "run_ablation_pruning",
+    "run_ablation_engine",
+    "run_ablation_g3_bounds",
+    "run_ablation_strategy",
+]

@@ -1,0 +1,95 @@
+"""Plain-text rendering of benchmark tables and series.
+
+The paper reports results as tables (Tables 1-3) and log-scale series
+plots (Figures 3-4).  We render both as aligned ASCII so the harness
+output can be diffed against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Table", "Series"]
+
+
+def _cell(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if value >= 100:
+            return f"{value:.0f}"
+        if value >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A named table: column headers plus value rows."""
+
+    title: str
+    columns: list[str]
+    rows: list[list[Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        """Append one row; the cell count must match the columns."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells for {len(self.columns)} columns"
+            )
+        self.rows.append(list(values))
+
+    def add_note(self, note: str) -> None:
+        """Attach a footnote rendered below the table."""
+        self.notes.append(note)
+
+    def column(self, name: str) -> list[Any]:
+        """Extract one column's values by header name."""
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def row_dict(self, index: int) -> dict[str, Any]:
+        """One row as a header -> value mapping."""
+        return dict(zip(self.columns, self.rows[index]))
+
+    def format(self) -> str:
+        """Render the table as aligned ASCII with footnotes."""
+        rendered = [[_cell(value) for value in row] for row in self.rows]
+        widths = [
+            max(len(self.columns[i]), *(len(row[i]) for row in rendered), 1)
+            if rendered
+            else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        header = "  ".join(name.ljust(widths[i]) for i, name in enumerate(self.columns))
+        separator = "  ".join("-" * width for width in widths)
+        lines = [self.title, "=" * len(self.title), header, separator]
+        for row in rendered:
+            lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+@dataclass
+class Series:
+    """A named (x, y) series, the unit of the figure reproductions."""
+
+    name: str
+    x: list[float] = field(default_factory=list)
+    y: list[float] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        """Append one (x, y) point."""
+        self.x.append(x)
+        self.y.append(y)
+
+    def format(self) -> str:
+        """Render the series as ``name: (x, y) ...``."""
+        points = "  ".join(f"({_cell(xv)}, {_cell(yv)})" for xv, yv in zip(self.x, self.y))
+        return f"{self.name}: {points}"

@@ -1,0 +1,181 @@
+"""Command-line interface: ``repro`` (or ``python -m repro``).
+
+Subcommands
+-----------
+``discover``
+    Find minimal (approximate) functional dependencies in a CSV file.
+``keys``
+    Find minimal (approximate) unique column combinations.
+``profile``
+    Full profile of a CSV file: columns, dependencies, keys, normal
+    forms.
+``bench``
+    Regenerate one of the paper's tables/figures.
+``dataset``
+    Materialize one of the built-in benchmark datasets as CSV.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.analysis.profile import profile
+from repro.core.tane import TaneConfig, discover
+from repro.datasets.csvio import read_csv, write_csv
+from repro.datasets.replicate import replicate_with_unique_suffix
+from repro.datasets.uci import DATASET_BUILDERS, uci_dataset
+from repro.exceptions import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the ``repro`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TANE: discovery of functional and approximate dependencies (ICDE 1998)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    discover_parser = subparsers.add_parser(
+        "discover", help="find minimal dependencies in a CSV file"
+    )
+    discover_parser.add_argument("csv", help="input CSV file")
+    discover_parser.add_argument("--epsilon", type=float, default=0.0,
+                                 help="error threshold (0 = exact, default)")
+    discover_parser.add_argument("--measure", choices=["g1", "g2", "g3"], default="g3",
+                                 help="error measure for approximate discovery")
+    discover_parser.add_argument("--max-lhs", type=int, default=None,
+                                 help="left-hand-side size limit |X|")
+    discover_parser.add_argument("--store", choices=["memory", "disk"], default="memory",
+                                 help="partition store: memory (TANE/MEM) or disk (TANE)")
+    discover_parser.add_argument("--no-header", action="store_true",
+                                 help="CSV file has no header row")
+    discover_parser.add_argument("--stats", action="store_true",
+                                 help="print search statistics")
+
+    keys_parser = subparsers.add_parser(
+        "keys", help="find minimal (approximate) unique column combinations"
+    )
+    keys_parser.add_argument("csv", help="input CSV file")
+    keys_parser.add_argument("--epsilon", type=float, default=0.0,
+                             help="rows removable for uniqueness, as a fraction")
+    keys_parser.add_argument("--max-size", type=int, default=None,
+                             help="maximum attributes per combination")
+    keys_parser.add_argument("--no-header", action="store_true")
+
+    profile_parser = subparsers.add_parser("profile", help="profile a CSV file")
+    profile_parser.add_argument("csv", help="input CSV file")
+    profile_parser.add_argument("--epsilon", type=float, default=0.0,
+                                help="also run approximate discovery at this threshold")
+    profile_parser.add_argument("--max-lhs", type=int, default=None)
+    profile_parser.add_argument("--no-header", action="store_true")
+
+    bench_parser = subparsers.add_parser("bench", help="regenerate a paper table/figure")
+    bench_parser.add_argument(
+        "target",
+        choices=["table1", "table2", "table3", "figure3", "figure4",
+                 "ablation-pruning", "ablation-engine", "ablation-g3",
+                 "ablation-strategy"],
+    )
+    bench_parser.add_argument("--scale", choices=["quick", "medium", "full"], default=None,
+                              help="workload scale (default: REPRO_BENCH_SCALE or quick)")
+
+    dataset_parser = subparsers.add_parser("dataset", help="materialize a benchmark dataset")
+    dataset_parser.add_argument("name", choices=sorted(DATASET_BUILDERS) + ["chess"])
+    dataset_parser.add_argument("output", help="output CSV path")
+    dataset_parser.add_argument("--seed", type=int, default=0)
+    dataset_parser.add_argument("--copies", type=int, default=1,
+                                help="replicate xN with unique per-copy values")
+    return parser
+
+
+def _cmd_discover(args: argparse.Namespace) -> int:
+    relation = read_csv(args.csv, header=not args.no_header)
+    config = TaneConfig(
+        epsilon=args.epsilon,
+        max_lhs_size=args.max_lhs,
+        store=args.store,
+        measure=args.measure,
+    )
+    result = discover(relation, config)
+    print(result.format())
+    if args.stats:
+        stats = result.statistics
+        print(f"levels: {stats.level_sizes}")
+        print(f"sets s={stats.total_sets} smax={stats.max_level_size} "
+              f"tests v={stats.validity_tests} products={stats.partition_products} "
+              f"keys k={stats.keys_found}")
+    return 0
+
+
+def _cmd_keys(args: argparse.Namespace) -> int:
+    from repro.core.uccs import discover_uccs
+
+    relation = read_csv(args.csv, header=not args.no_header)
+    result = discover_uccs(relation, epsilon=args.epsilon, max_size=args.max_size)
+    print(result.format())
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    relation = read_csv(args.csv, header=not args.no_header)
+    report = profile(relation, epsilon=args.epsilon, max_lhs_size=args.max_lhs)
+    print(report.format())
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import workloads
+
+    if args.target == "figure3":
+        for label, series_map in workloads.run_figure3(args.scale).items():
+            print(f"[{label}]")
+            for series in series_map.values():
+                print("  " + series.format())
+        return 0
+    runner = {
+        "table1": workloads.run_table1,
+        "table2": workloads.run_table2,
+        "table3": workloads.run_table3,
+        "figure4": workloads.run_figure4,
+        "ablation-pruning": workloads.run_ablation_pruning,
+        "ablation-engine": workloads.run_ablation_engine,
+        "ablation-g3": workloads.run_ablation_g3_bounds,
+        "ablation-strategy": workloads.run_ablation_strategy,
+    }[args.target]
+    print(runner(args.scale).format())
+    return 0
+
+
+def _cmd_dataset(args: argparse.Namespace) -> int:
+    relation = uci_dataset(args.name, seed=args.seed) if args.name != "chess" else uci_dataset("chess")
+    if args.copies > 1:
+        relation = replicate_with_unique_suffix(relation, args.copies)
+    write_csv(relation, args.output)
+    print(f"wrote {relation.num_rows} rows x {relation.num_attributes} attributes to {args.output}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = {
+        "discover": _cmd_discover,
+        "keys": _cmd_keys,
+        "profile": _cmd_profile,
+        "bench": _cmd_bench,
+        "dataset": _cmd_dataset,
+    }[args.command]
+    try:
+        return handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

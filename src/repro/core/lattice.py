@@ -1,0 +1,74 @@
+"""Levelwise lattice traversal: GENERATE-NEXT-LEVEL (Section 5).
+
+Levels are collections of attribute-set bitmasks.  The next level
+contains exactly the sets of size ``ℓ+1`` whose *every* subset of size
+``ℓ`` is present in the (pruned) current level — the classic apriori
+candidate generation, implemented with prefix blocks:
+
+two sets ``X = P ∪ {a}`` and ``Y = P ∪ {b}`` (``a < b``) sharing the
+prefix ``P`` of their ``ℓ-1`` smallest attributes join into the
+candidate ``P ∪ {a, b}``, which is then checked for the remaining
+subsets.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+__all__ = ["prefix_blocks", "generate_next_level"]
+
+
+def prefix_blocks(level_masks: Iterable[int]) -> dict[int, list[int]]:
+    """Group level sets by their prefix (the set minus its largest attribute).
+
+    Returns a mapping ``prefix_mask -> sorted list of largest-attribute
+    bits``.  Each block of ``k`` sets yields ``k*(k-1)/2`` join
+    candidates.
+    """
+    blocks: dict[int, list[int]] = {}
+    for mask in level_masks:
+        if mask == 0:
+            continue
+        top = 1 << (mask.bit_length() - 1)
+        blocks.setdefault(mask ^ top, []).append(top)
+    for bits in blocks.values():
+        bits.sort()
+    return blocks
+
+
+def generate_next_level(level_masks: Sequence[int]) -> list[tuple[int, int, int]]:
+    """Compute the candidates of the next level from a (pruned) level.
+
+    Returns a list of ``(candidate, factor_x, factor_y)`` triples where
+    ``factor_x`` and ``factor_y`` are the two joined subsets — exactly
+    the pair whose partition product yields the candidate's partition
+    (Lemma 3: ``π_X · π_Y = π_{X∪Y}``).
+
+    The candidate list is sorted, so level processing is deterministic.
+    """
+    level_set = frozenset(level_masks)
+    candidates: list[tuple[int, int, int]] = []
+    for prefix, top_bits in prefix_blocks(level_masks).items():
+        for i, low in enumerate(top_bits):
+            for high in top_bits[i + 1:]:
+                candidate = prefix | low | high
+                if _all_subsets_present(candidate, prefix, level_set):
+                    candidates.append((candidate, prefix | low, prefix | high))
+    candidates.sort()
+    return candidates
+
+
+def _all_subsets_present(candidate: int, prefix: int, level_set: frozenset[int]) -> bool:
+    """Check the one-smaller subsets not covered by the join itself.
+
+    The two factors are in the level by construction; only subsets
+    obtained by dropping a *prefix* attribute still need checking.
+    """
+    remaining = prefix
+    while remaining:
+        low = remaining & -remaining
+        if candidate ^ low not in level_set:
+            return False
+        remaining ^= low
+    return True

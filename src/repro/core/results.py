@@ -1,0 +1,122 @@
+"""Discovery results and search statistics.
+
+The statistics mirror the quantities of the paper's analysis
+(Section 6): level sizes ``s_ℓ`` (and their sum ``s`` / max
+``s_max``), the number of keys ``k``, the number of validity tests
+``v``, plus implementation counters (partition products, exact ``g3``
+computations, bound short-circuits, store I/O) used by the benchmark
+harness and the ablation experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.model.fd import FDSet, FunctionalDependency
+from repro.model.schema import RelationSchema
+
+__all__ = ["SearchStatistics", "DiscoveryResult"]
+
+
+@dataclass
+class SearchStatistics:
+    """Counters collected during one levelwise search."""
+
+    level_sizes: list[int] = field(default_factory=list)
+    """``s_ℓ``: number of sets in each level as generated (before pruning)."""
+
+    pruned_level_sizes: list[int] = field(default_factory=list)
+    """Number of sets in each level that survived PRUNE."""
+
+    validity_tests: int = 0
+    """``v``: executions of the validity test (line 5 / 5')."""
+
+    partition_products: int = 0
+    """Partition products computed by GENERATE-NEXT-LEVEL."""
+
+    g3_exact_computations: int = 0
+    """Exact O(|r|) g3 error computations performed."""
+
+    g3_bound_rejections: int = 0
+    """Validity tests resolved by the O(1) lower bound alone."""
+
+    keys_found: int = 0
+    """``k``: sets removed by key pruning."""
+
+    elapsed_seconds: float = 0.0
+    """Wall-clock time of the whole search."""
+
+    store_spills: int = 0
+    """Partitions written to disk (disk store only)."""
+
+    store_loads: int = 0
+    """Partitions read back from disk (disk store only)."""
+
+    peak_resident_bytes: int = 0
+    """Peak bytes of partitions held in memory by the store."""
+
+    @property
+    def total_sets(self) -> int:
+        """``s``: the sum of the level sizes."""
+        return sum(self.level_sizes)
+
+    @property
+    def max_level_size(self) -> int:
+        """``s_max``: the size of the largest level."""
+        return max(self.level_sizes, default=0)
+
+
+@dataclass
+class DiscoveryResult:
+    """The output of a dependency-discovery run.
+
+    Attributes
+    ----------
+    dependencies:
+        All minimal non-trivial (approximate) dependencies found.
+    keys:
+        Attribute-set bitmasks removed by key pruning; for an exact
+        search these are minimal keys of the relation encountered by
+        the traversal.
+    schema:
+        Schema of the analysed relation, for rendering.
+    epsilon:
+        The ``g3`` threshold used (0.0 for exact discovery).
+    statistics:
+        Search counters (see :class:`SearchStatistics`).
+    """
+
+    dependencies: FDSet
+    keys: list[int]
+    schema: RelationSchema
+    epsilon: float
+    statistics: SearchStatistics
+
+    def __len__(self) -> int:
+        return len(self.dependencies)
+
+    def __iter__(self):
+        return iter(self.dependencies)
+
+    def __repr__(self) -> str:
+        kind = "exact" if self.epsilon == 0.0 else f"approximate(eps={self.epsilon})"
+        return (
+            f"<DiscoveryResult {kind}: {len(self.dependencies)} dependencies, "
+            f"{len(self.keys)} keys, {self.statistics.elapsed_seconds:.3f}s>"
+        )
+
+    def sorted_dependencies(self) -> list[FunctionalDependency]:
+        """Dependencies sorted by (lhs size, lhs, rhs) for stable output."""
+        return self.dependencies.sorted()
+
+    def key_names(self) -> list[tuple[str, ...]]:
+        """The discovered keys rendered as attribute-name tuples."""
+        return [self.schema.names_of(mask) for mask in self.keys]
+
+    def format(self) -> str:
+        """Human-readable multi-line rendering of the result."""
+        lines = [repr(self)]
+        for key in self.key_names():
+            lines.append(f"key: {{{', '.join(key)}}}")
+        lines.append(self.dependencies.format(self.schema))
+        return "\n".join(lines)

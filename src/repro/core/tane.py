@@ -1,0 +1,492 @@
+"""The TANE algorithm (Section 5 of the paper).
+
+The driver runs the levelwise loop::
+
+    L1 := singletons; C+(∅) := R
+    while L_ℓ nonempty:
+        COMPUTE-DEPENDENCIES(L_ℓ)
+        PRUNE(L_ℓ)
+        L_{ℓ+1} := GENERATE-NEXT-LEVEL(L_ℓ)
+
+with the paper's two pruning rules (empty ``C+`` and key pruning), the
+rhs+ candidate sets of Section 4, and validity testing by rank
+comparison (Lemma 2) or by the ``g3`` error for the approximate variant
+(lines 5' and 8'/9' of the paper).
+
+Configuration flags expose the paper's variants for the ablation
+benchmarks:
+
+* ``store="disk"`` reproduces the scalable TANE (partitions spilled to
+  disk); ``store="memory"`` is TANE/MEM.
+* ``use_rule8=False`` removes line 8 of COMPUTE-DEPENDENCIES,
+  reverting ``C+`` to the plain rhs candidates ``C`` ("the algorithm
+  would work correctly, but pruning might be less effective").
+* ``use_key_pruning=False`` disables the key pruning rule.
+* ``use_g3_bounds=False`` disables the O(1) error-bound short-circuit
+  of the extended version.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, replace
+
+from repro import _bitset
+from repro.core.lattice import generate_next_level
+from repro.core.results import DiscoveryResult, SearchStatistics
+from repro.exceptions import ConfigurationError
+from repro.model.fd import FDSet, FunctionalDependency
+from repro.model.relation import Relation
+from repro.partition.errors import g1_error, g2_error
+from repro.partition.store import DiskPartitionStore, PartitionStore, make_store
+from repro.partition.vectorized import CsrPartition, PartitionWorkspace
+
+_MEASURES = ("g3", "g1", "g2")
+
+__all__ = [
+    "TaneConfig",
+    "LevelProgress",
+    "discover",
+    "discover_fds",
+    "discover_approximate_fds",
+]
+
+
+@dataclass(frozen=True)
+class LevelProgress:
+    """Snapshot handed to :attr:`TaneConfig.progress` once per level."""
+
+    level: int
+    """Level number (left-hand sides of size ``level - 1`` are tested)."""
+
+    level_size: int
+    """Attribute sets in this level before pruning."""
+
+    dependencies_found: int
+    """Minimal dependencies emitted so far (all levels)."""
+
+    elapsed_seconds: float
+    """Wall-clock time since the search started."""
+
+
+@dataclass(frozen=True)
+class TaneConfig:
+    """Configuration of a TANE run.
+
+    Attributes
+    ----------
+    epsilon:
+        ``g3`` threshold; ``0.0`` discovers exact dependencies.
+    max_lhs_size:
+        Upper limit ``|X|`` on the left-hand-side size (Table 3 of the
+        paper limits it to 4 for some comparisons); ``None`` = no
+        limit.
+    store:
+        ``"memory"`` (TANE/MEM), ``"disk"`` (TANE), or a ready
+        :class:`~repro.partition.store.PartitionStore` instance.
+    store_options:
+        Keyword options forwarded to :func:`make_store` (e.g.
+        ``{"resident_budget_bytes": ...}`` for the disk store).
+    use_rule8:
+        Apply line 8 of COMPUTE-DEPENDENCIES (the rhs+ refinement).
+    use_key_pruning:
+        Apply the key pruning rule of Section 4.
+    use_g3_bounds:
+        Short-circuit approximate validity tests with the O(1) bounds.
+    """
+
+    epsilon: float = 0.0
+    max_lhs_size: int | None = None
+    store: str | PartitionStore = "memory"
+    store_options: tuple[tuple[str, object], ...] = ()
+    use_rule8: bool = True
+    use_key_pruning: bool = True
+    use_g3_bounds: bool = True
+    measure: str = "g3"
+    """Error measure for approximate discovery: ``g3`` (the paper's,
+    rows to remove), or Kivinen & Mannila's ``g1`` (violating pairs)
+    or ``g2`` (rows involved in violations).  All three are monotone
+    non-increasing under lhs growth, so the levelwise minimality logic
+    applies unchanged; only ``g3`` has the O(1) bound short-circuit."""
+
+    partition_strategy: str = "pairwise"
+    """How GENERATE-NEXT-LEVEL obtains partitions: ``pairwise`` (the
+    paper's product of two previous-level partitions) or
+    ``from_singletons`` (re-multiply all single-attribute partitions —
+    "roughly equivalent" to Schlimmer's decision-tree approach per
+    Section 6, slower by a factor O(|R|); provided for the ablation
+    benchmark)."""
+
+    progress: Callable[["LevelProgress"], None] | None = None
+    """Optional callback invoked once per level with a
+    :class:`LevelProgress` snapshot — lets long-running discoveries
+    (the lattice can hold hundreds of thousands of sets) report
+    liveness.  Exceptions raised by the callback abort the search."""
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.epsilon <= 1.0:
+            raise ConfigurationError(f"epsilon must be in [0, 1], got {self.epsilon}")
+        if self.max_lhs_size is not None and self.max_lhs_size < 1:
+            raise ConfigurationError(f"max_lhs_size must be >= 1, got {self.max_lhs_size}")
+        if self.measure not in _MEASURES:
+            raise ConfigurationError(f"unknown measure {self.measure!r}; use one of {_MEASURES}")
+        if self.partition_strategy not in ("pairwise", "from_singletons"):
+            raise ConfigurationError(
+                f"unknown partition_strategy {self.partition_strategy!r}; "
+                "use 'pairwise' or 'from_singletons'"
+            )
+
+
+def discover_fds(
+    relation: Relation,
+    *,
+    store: str | PartitionStore = "memory",
+    max_lhs_size: int | None = None,
+    config: TaneConfig | None = None,
+) -> DiscoveryResult:
+    """Find all minimal non-trivial functional dependencies of ``relation``.
+
+    Convenience wrapper around :func:`discover` with ``epsilon = 0``.
+    """
+    config = config or TaneConfig()
+    config = replace(config, epsilon=0.0, store=store, max_lhs_size=max_lhs_size)
+    return discover(relation, config)
+
+
+def discover_approximate_fds(
+    relation: Relation,
+    epsilon: float,
+    *,
+    store: str | PartitionStore = "memory",
+    max_lhs_size: int | None = None,
+    config: TaneConfig | None = None,
+) -> DiscoveryResult:
+    """Find all minimal approximate dependencies with ``g3 <= epsilon``."""
+    config = config or TaneConfig()
+    config = replace(config, epsilon=epsilon, store=store, max_lhs_size=max_lhs_size)
+    return discover(relation, config)
+
+
+def discover(relation: Relation, config: TaneConfig | None = None) -> DiscoveryResult:
+    """Run TANE on a relation with an explicit configuration."""
+    runner = _TaneRun(relation, config or TaneConfig())
+    return runner.run()
+
+
+class _TaneRun:
+    """One TANE execution; holds the per-run mutable state."""
+
+    def __init__(self, relation: Relation, config: TaneConfig) -> None:
+        self.relation = relation
+        self.config = config
+        self.num_rows = relation.num_rows
+        self.num_attributes = relation.num_attributes
+        self.full_mask = relation.schema.full_mask()
+        # Maximum rows removable for an approximate dependency to count
+        # as valid: g3 <= epsilon  <=>  removed <= floor(epsilon * |r|).
+        self.epsilon_count = int(config.epsilon * self.num_rows + 1e-9)
+        if isinstance(config.store, str):
+            self.store: PartitionStore = make_store(config.store, **dict(config.store_options))
+            self._owns_store = True
+        else:
+            self.store = config.store
+            self._owns_store = False
+        self.workspace = PartitionWorkspace(self.num_rows)
+        self.stats = SearchStatistics()
+        self.dependencies = FDSet()
+        self.keys: list[int] = []
+        # Minimal-dependency lhs masks per rhs, for lazy C+ membership
+        # evaluation in the key-pruning rule (see _lazy_cplus_member).
+        self._lhs_by_rhs: dict[int, list[int]] = {}
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> DiscoveryResult:
+        start = time.perf_counter()
+        try:
+            self._search()
+        finally:
+            self._collect_store_stats()
+            if self._owns_store:
+                self.store.close()
+        self.stats.elapsed_seconds = time.perf_counter() - start
+        return DiscoveryResult(
+            dependencies=self.dependencies,
+            keys=self.keys,
+            schema=self.relation.schema,
+            epsilon=self.config.epsilon,
+            statistics=self.stats,
+        )
+
+    def _search(self) -> None:
+        max_level = (
+            self.num_attributes
+            if self.config.max_lhs_size is None
+            else min(self.num_attributes, self.config.max_lhs_size + 1)
+        )
+        # π_∅ is needed to test the level-1 dependencies ∅ -> A.
+        self.store.put(0, CsrPartition.single_class(self.num_rows))
+        level = [_bitset.bit(i) for i in range(self.num_attributes)]
+        self._singleton_partitions = [
+            CsrPartition.from_column(self.relation.column_codes(i), self.num_rows)
+            for i in range(self.num_attributes)
+        ]
+        for i, partition in enumerate(self._singleton_partitions):
+            self.store.put(_bitset.bit(i), partition)
+        cplus_prev: dict[int, int] = {0: self.full_mask}
+        previous_level_masks: list[int] = [0]
+        level_number = 1
+        search_start = time.perf_counter()
+        while level and level_number <= max_level:
+            self.stats.level_sizes.append(len(level))
+            if self.config.progress is not None:
+                self.config.progress(
+                    LevelProgress(
+                        level=level_number,
+                        level_size=len(level),
+                        dependencies_found=len(self.dependencies),
+                        elapsed_seconds=time.perf_counter() - search_start,
+                    )
+                )
+            cplus = self._compute_dependencies(level, cplus_prev, level_number)
+            surviving = self._prune(level, cplus, level_number)
+            self.stats.pruned_level_sizes.append(len(surviving))
+            if level_number < max_level:
+                next_level = self._generate_next_level(surviving)
+            else:
+                next_level = []
+            for mask in previous_level_masks:
+                self.store.discard(mask)
+            previous_level_masks = level
+            cplus_prev = cplus
+            level = next_level
+            level_number += 1
+
+    # ------------------------------------------------------------------
+    # COMPUTE-DEPENDENCIES
+    # ------------------------------------------------------------------
+
+    def _compute_dependencies(
+        self,
+        level: list[int],
+        cplus_prev: dict[int, int],
+        level_number: int,
+    ) -> dict[int, int]:
+        cplus: dict[int, int] = {}
+        for mask in level:
+            candidates = self.full_mask
+            for _, subset in _bitset.iter_subsets_one_smaller(mask):
+                candidates &= cplus_prev.get(subset, 0)
+                if candidates == 0:
+                    break
+            cplus[mask] = candidates
+        for mask in level:
+            testable = mask & cplus[mask]
+            if testable == 0:
+                continue
+            pi_whole = self.store.get(mask)
+            for rhs_index, lhs_mask in _bitset.iter_subsets_one_smaller(mask):
+                if not _bitset.contains(testable, rhs_index):
+                    continue
+                pi_lhs = self.store.get(lhs_mask)
+                self.stats.validity_tests += 1
+                valid, exactly_valid, error = self._test_validity(pi_lhs, pi_whole)
+                if valid:
+                    self._add_dependency(FunctionalDependency(lhs_mask, rhs_index, error))
+                    cplus[mask] &= ~_bitset.bit(rhs_index)
+                    # Line 8 (exact) / lines 8'-9' (approximate): remove
+                    # all attributes outside X, but only when the
+                    # dependency holds *exactly*.
+                    if self.config.use_rule8 and exactly_valid:
+                        cplus[mask] &= mask
+        return cplus
+
+    def _test_validity(
+        self,
+        pi_lhs: CsrPartition,
+        pi_whole: CsrPartition,
+    ) -> tuple[bool, bool, float]:
+        """Return (valid, exactly_valid, error_fraction) for one test.
+
+        Exact validity is the O(1) rank comparison of Lemma 2.  For the
+        approximate variant under ``g3``, the O(1) lower bound can
+        reject without the O(|r|) exact computation (extended-version
+        optimization); ``g1``/``g2`` are always computed exactly.
+        """
+        exactly_valid = pi_lhs.error_count == pi_whole.error_count
+        if exactly_valid:
+            return True, True, 0.0
+        if self.config.epsilon == 0.0:
+            return False, False, 0.0
+        if self.config.measure == "g3":
+            if self.config.use_g3_bounds:
+                lower, _ = pi_lhs.g3_bound_counts(pi_whole)
+                if lower > self.epsilon_count:
+                    self.stats.g3_bound_rejections += 1
+                    return False, False, lower / self.num_rows
+            self.stats.g3_exact_computations += 1
+            error_count = pi_lhs.g3_error_count(pi_whole, self.workspace)
+            return error_count <= self.epsilon_count, False, error_count / self.num_rows
+        measure = g1_error if self.config.measure == "g1" else g2_error
+        self.stats.g3_exact_computations += 1
+        error = measure(pi_lhs, pi_whole)
+        return error <= self.config.epsilon + 1e-12, False, error
+
+    # ------------------------------------------------------------------
+    # PRUNE
+    # ------------------------------------------------------------------
+
+    def _prune(self, level: list[int], cplus: dict[int, int], level_number: int) -> list[int]:
+        """PRUNE (Section 5): empty-``C+`` pruning and key pruning.
+
+        Key pruning — deleting a key ``X`` after emitting its
+        dependencies — is only applied to *exact* discovery.  Its
+        safety proof needs exact validity: a dependency ``Y → A``
+        normally tested at a pruned superset of the key is exactly
+        valid only if ``Y`` is itself a superkey, and is then emitted
+        by the key rule.  With ``epsilon > 0`` that implication fails
+        (``Y → A`` can be approximately valid and minimal with ``Y``
+        not a superkey), so deleting keys would lose dependencies; in
+        approximate mode keys are recorded but the search continues
+        through them.
+        """
+        exact = self.config.epsilon == 0.0
+        surviving: list[int] = []
+        emit_key_rule_deps = (
+            self.config.max_lhs_size is None or level_number <= self.config.max_lhs_size
+        )
+        for mask in level:
+            if self.config.use_key_pruning and self.store.get(mask).is_superkey():
+                if exact:
+                    # In exact mode any superkey reaching a level is a
+                    # minimal key: its superkey subsets would have been
+                    # deleted, preventing its generation.
+                    self.keys.append(mask)
+                    self.stats.keys_found += 1
+                    if cplus[mask] and emit_key_rule_deps:
+                        self._emit_key_rule_dependencies(mask, cplus)
+                    continue
+                # Approximate mode: record the key if it is minimal
+                # (no immediate subset is a superkey), but keep it.
+                if self._is_minimal_key(mask):
+                    self.keys.append(mask)
+                    self.stats.keys_found += 1
+            if cplus[mask] == 0:
+                continue
+            surviving.append(mask)
+        return surviving
+
+    def _is_minimal_key(self, mask: int) -> bool:
+        """True if ``mask`` is a superkey and no immediate subset is.
+
+        Only needed in approximate mode, where superkeys are not
+        deleted and can therefore reappear inside larger sets.
+        """
+        for _, subset in _bitset.iter_subsets_one_smaller(mask):
+            if self.store.get(subset).is_superkey():
+                return False
+        return True
+
+    def _emit_key_rule_dependencies(self, key_mask: int, cplus: dict[int, int]) -> None:
+        """Lines 5-7 of PRUNE: output ``X -> A`` for a (super)key ``X``.
+
+        ``X -> A`` is emitted for each rhs+ candidate ``A`` outside
+        ``X`` that belongs to the rhs+ set of every same-level set
+        ``X ∪ {A} \\ {B}``.  Such a sibling set may never have been
+        *generated* (one of its subsets was key-pruned at a lower
+        level); its mathematical ``C+`` membership is then evaluated
+        lazily from the minimal dependencies discovered so far, which
+        are complete for all left-hand sides smaller than the current
+        level.
+        """
+        outside = cplus[key_mask] & ~key_mask
+        for rhs_index in _bitset.iter_bits(outside):
+            rhs_bit = _bitset.bit(rhs_index)
+            minimal = True
+            for lhs_attr in _bitset.iter_bits(key_mask):
+                sibling = (key_mask | rhs_bit) ^ _bitset.bit(lhs_attr)
+                stored = cplus.get(sibling)
+                if stored is not None:
+                    member = _bitset.contains(stored, rhs_index)
+                else:
+                    member = self._lazy_cplus_member(sibling, rhs_index)
+                if not member:
+                    minimal = False
+                    break
+            if minimal:
+                self._add_dependency(FunctionalDependency(key_mask, rhs_index, 0.0))
+
+    def _lazy_cplus_member(self, set_mask: int, attribute: int) -> bool:
+        """Evaluate ``attribute ∈ C+(set_mask)`` from the definition.
+
+        ``C+(Y) = {A ∈ R | for all B ∈ Y, Y∖{A,B} → B does not hold}``
+        (Section 4).  The validity of ``Y∖{A,B} → B`` is decided
+        against the minimal dependencies found so far: a dependency
+        holds iff some discovered minimal dependency with the same rhs
+        has its lhs contained in ``Y∖{A,B}``.  All the consulted
+        left-hand sides are smaller than the current level, for which
+        discovery is already complete, so the answer is exact.
+        """
+        a_bit = _bitset.bit(attribute)
+        for b_index in _bitset.iter_bits(set_mask):
+            lhs = set_mask & ~a_bit & ~_bitset.bit(b_index)
+            if self._holds_by_discovered(lhs, b_index):
+                return False
+        return True
+
+    def _holds_by_discovered(self, lhs_mask: int, rhs_index: int) -> bool:
+        """True iff ``lhs_mask -> rhs_index`` follows from a discovered
+        minimal dependency (some minimal lhs is contained in it)."""
+        for minimal_lhs in self._lhs_by_rhs.get(rhs_index, ()):
+            if minimal_lhs & ~lhs_mask == 0:
+                return True
+        return False
+
+    def _add_dependency(self, dependency: FunctionalDependency) -> None:
+        self.dependencies.add(dependency)
+        self._lhs_by_rhs.setdefault(dependency.rhs, []).append(dependency.lhs)
+
+    # ------------------------------------------------------------------
+    # GENERATE-NEXT-LEVEL
+    # ------------------------------------------------------------------
+
+    def _generate_next_level(self, surviving: list[int]) -> list[int]:
+        next_level: list[int] = []
+        for candidate, factor_x, factor_y in generate_next_level(surviving):
+            if self.config.partition_strategy == "pairwise":
+                product = self.store.get(factor_x).product(
+                    self.store.get(factor_y), self.workspace
+                )
+                self.stats.partition_products += 1
+            else:
+                product = self._product_from_singletons(candidate)
+            self.store.put(candidate, product)
+            next_level.append(candidate)
+        return next_level
+
+    def _product_from_singletons(self, candidate: int) -> CsrPartition:
+        """Recompute ``π_candidate`` from the single-attribute partitions.
+
+        This is the paper's model of Schlimmer's decision-tree
+        approach (Section 6): "roughly equivalent to computing each
+        partition from partitions with respect to singletons ...
+        slower by a factor O(|R|) than using partitions the way we
+        do."  Used only by the ablation benchmark.
+        """
+        indices = _bitset.to_indices(candidate)
+        product = self._singleton_partitions[indices[0]]
+        for index in indices[1:]:
+            product = product.product(self._singleton_partitions[index], self.workspace)
+            self.stats.partition_products += 1
+        return product
+
+    # ------------------------------------------------------------------
+
+    def _collect_store_stats(self) -> None:
+        store = self.store
+        if isinstance(store, DiskPartitionStore):
+            self.stats.store_spills = store.spill_count
+            self.stats.store_loads = store.load_count
+        peak = getattr(store, "peak_resident_bytes", 0)
+        self.stats.peak_resident_bytes = int(peak)

@@ -1,0 +1,53 @@
+"""Datasets: CSV I/O, synthetic generators, and the paper's workloads.
+
+The UCI datasets the paper benchmarks on (Section 7) are not available
+offline; :mod:`repro.datasets.uci` synthesizes relations matched to
+their published schemas and :mod:`repro.datasets.chess` reconstructs
+the KRK chess-endgame dataset exactly via retrograde analysis.  See
+DESIGN.md for the substitution rationale.
+"""
+
+from repro.datasets.corrupt import (
+    corrupt_cells,
+    duplicate_rows,
+    shuffle_within_column,
+)
+from repro.datasets.csvio import read_csv, write_csv
+from repro.datasets.replicate import replicate_with_unique_suffix
+from repro.datasets.synthetic import (
+    constant_relation,
+    correlated_relation,
+    planted_fd_relation,
+    random_relation,
+    zipf_relation,
+)
+from repro.datasets.uci import (
+    DATASET_BUILDERS,
+    make_adult_like,
+    make_hepatitis_like,
+    make_lymphography_like,
+    make_wisconsin_like,
+    uci_dataset,
+)
+from repro.datasets.chess import krk_endgame_relation
+
+__all__ = [
+    "corrupt_cells",
+    "duplicate_rows",
+    "shuffle_within_column",
+    "read_csv",
+    "write_csv",
+    "replicate_with_unique_suffix",
+    "random_relation",
+    "zipf_relation",
+    "correlated_relation",
+    "planted_fd_relation",
+    "constant_relation",
+    "DATASET_BUILDERS",
+    "uci_dataset",
+    "make_lymphography_like",
+    "make_hepatitis_like",
+    "make_wisconsin_like",
+    "make_adult_like",
+    "krk_endgame_relation",
+]

@@ -1,0 +1,123 @@
+"""Controlled corruption of relations.
+
+Approximate dependencies exist because real data is dirty; testing and
+demonstrating approximate discovery needs *controllably* dirty data.
+These utilities take a clean relation and inject a chosen defect,
+returning the corrupted relation together with the exact set of
+affected rows, so the recall/precision of downstream detection (e.g.
+:func:`repro.analysis.violations.removal_witness`) can be measured.
+
+All functions are deterministic given a seed, never mutate the input,
+and preserve the decoded values of untouched cells.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.model.relation import Relation
+
+__all__ = ["corrupt_cells", "duplicate_rows", "shuffle_within_column"]
+
+#: Decoded value used when a corrupted cell needs a value from outside
+#: the column's existing domain (only for single-valued columns).
+CORRUPTION_SENTINEL = "<corrupted>"
+
+
+def _validate_fraction(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+
+
+def _rebuild(relation: Relation, index: int, codes: np.ndarray, decode: list) -> Relation:
+    """A relation with one column's codes (and decode table) replaced."""
+    columns = [
+        codes if position == index else relation.column_codes(position)
+        for position in range(relation.num_attributes)
+    ]
+    decodes = [
+        decode if position == index else relation._decode[position]
+        for position in range(relation.num_attributes)
+    ]
+    return Relation(relation.schema, columns, decodes)
+
+
+def corrupt_cells(
+    relation: Relation,
+    attribute: int | str,
+    fraction: float,
+    seed: int = 0,
+) -> tuple[Relation, list[int]]:
+    """Replace a fraction of one column's cells with *different* values.
+
+    Replacements are drawn from the column's existing value domain and
+    are guaranteed to differ from the original cell (so every affected
+    row genuinely breaks dependencies into this column).  A
+    single-valued column gets the ``CORRUPTION_SENTINEL`` value
+    instead.  Returns ``(corrupted relation, sorted affected rows)``.
+    """
+    _validate_fraction("fraction", fraction)
+    index = relation.schema.index_of(attribute) if isinstance(attribute, str) else attribute
+    num_rows = relation.num_rows
+    count = int(round(fraction * num_rows))
+    if count == 0 or num_rows == 0:
+        return relation, []
+    rng = np.random.default_rng(seed)
+    affected = rng.choice(num_rows, size=min(count, num_rows), replace=False)
+    affected.sort()
+    codes = relation.column_codes(index).copy()
+    decode = list(relation._decode[index])
+    domain = len(decode)
+    if domain <= 1:
+        decode.append(CORRUPTION_SENTINEL)
+        replacements = np.full(affected.size, domain, dtype=codes.dtype)
+    else:
+        replacements = rng.integers(0, domain, size=affected.size)
+        collisions = replacements == codes[affected]
+        replacements = np.where(collisions, (replacements + 1) % domain, replacements)
+    codes[affected] = replacements
+    corrupted = _rebuild(relation, index, codes, decode)
+    return corrupted, [int(row) for row in affected]
+
+
+def duplicate_rows(
+    relation: Relation,
+    fraction: float,
+    seed: int = 0,
+) -> tuple[Relation, list[int]]:
+    """Append duplicates of a random fraction of the rows.
+
+    Duplicates never change which dependencies hold (agreeing rows stay
+    agreeing), but they destroy keys — useful for testing key discovery
+    on messy extracts.  Returns ``(relation, indices of the source rows
+    that were duplicated)``.
+    """
+    _validate_fraction("fraction", fraction)
+    num_rows = relation.num_rows
+    count = int(round(fraction * num_rows))
+    if count == 0 or num_rows == 0:
+        return relation, []
+    rng = np.random.default_rng(seed)
+    sources = rng.choice(num_rows, size=min(count, num_rows), replace=False)
+    sources.sort()
+    selector = np.concatenate([np.arange(num_rows), sources])
+    return relation.take(selector), [int(row) for row in sources]
+
+
+def shuffle_within_column(
+    relation: Relation,
+    attribute: int | str,
+    seed: int = 0,
+) -> Relation:
+    """Randomly permute one column's values across rows.
+
+    Preserves the column's value distribution while destroying its
+    relationships to every other column — the null model against which
+    discovered dependencies can be compared.
+    """
+    index = relation.schema.index_of(attribute) if isinstance(attribute, str) else attribute
+    rng = np.random.default_rng(seed)
+    codes = relation.column_codes(index).copy()
+    rng.shuffle(codes)
+    return _rebuild(relation, index, codes, list(relation._decode[index]))

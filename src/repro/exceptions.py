@@ -1,0 +1,44 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All errors raised intentionally by the library derive from
+:class:`ReproError`, so callers can catch a single type at API
+boundaries while still distinguishing the precise failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SchemaError(ReproError):
+    """A schema is malformed or inconsistent with the data it describes.
+
+    Raised for duplicate attribute names, attribute lookups that fail,
+    or rows whose arity does not match the schema.
+    """
+
+
+class DataError(ReproError):
+    """Input data could not be interpreted as a relation.
+
+    Raised for ragged row collections, unparsable CSV input, or empty
+    inputs where a non-empty relation is required.
+    """
+
+
+class DependencyError(ReproError):
+    """A functional dependency expression is malformed.
+
+    Raised e.g. for a dependency whose right-hand side is not a single
+    attribute of the schema, or whose attributes are unknown.
+    """
+
+
+class ConfigurationError(ReproError):
+    """Invalid configuration passed to an algorithm or a store.
+
+    Raised for out-of-range error thresholds, unknown store names,
+    non-positive size limits, and similar parameter errors.
+    """

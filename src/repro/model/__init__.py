@@ -1,0 +1,7 @@
+"""Relational data model: schemas, relations, and functional dependencies."""
+
+from repro.model.fd import FunctionalDependency, FDSet
+from repro.model.relation import Relation
+from repro.model.schema import RelationSchema
+
+__all__ = ["FunctionalDependency", "FDSet", "Relation", "RelationSchema"]

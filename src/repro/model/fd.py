@@ -1,0 +1,152 @@
+"""Functional dependency values and collections.
+
+A :class:`FunctionalDependency` is the value type produced by every
+discovery algorithm in this library: a left-hand side attribute set
+``X`` (bitmask), a right-hand side attribute ``A`` (index), and — for
+approximate discovery — the measured ``g3`` error.
+
+:class:`FDSet` is an ordered collection with set semantics on the
+``(lhs, rhs)`` pair, used both for discovery results and as the input
+to the :mod:`repro.theory` reasoning utilities.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+
+from repro import _bitset
+from repro.exceptions import DependencyError
+from repro.model.schema import RelationSchema
+
+__all__ = ["FunctionalDependency", "FDSet"]
+
+
+@dataclass(frozen=True, order=True)
+class FunctionalDependency:
+    """A non-trivial functional dependency ``X -> A``.
+
+    Attributes
+    ----------
+    lhs:
+        Left-hand side attribute set as a bitmask over the schema.
+    rhs:
+        Right-hand side attribute index.
+    error:
+        The ``g3`` error measured for this dependency; ``0.0`` for an
+        exactly-holding dependency.
+    """
+
+    lhs: int
+    rhs: int
+    error: float = field(default=0.0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.lhs < 0:
+            raise DependencyError(f"negative lhs bitmask: {self.lhs}")
+        if self.rhs < 0:
+            raise DependencyError(f"negative rhs attribute index: {self.rhs}")
+        if _bitset.contains(self.lhs, self.rhs):
+            raise DependencyError(
+                f"trivial dependency: rhs attribute {self.rhs} is in the lhs mask {self.lhs:#x}"
+            )
+        if not 0.0 <= self.error <= 1.0:
+            raise DependencyError(f"g3 error must be in [0, 1], got {self.error}")
+
+    @property
+    def rhs_mask(self) -> int:
+        """The right-hand side as a one-bit mask."""
+        return 1 << self.rhs
+
+    @property
+    def lhs_size(self) -> int:
+        """Number of attributes on the left-hand side."""
+        return _bitset.popcount(self.lhs)
+
+    def lhs_indices(self) -> list[int]:
+        """The left-hand side attribute indices, sorted."""
+        return _bitset.to_indices(self.lhs)
+
+    def format(self, schema: RelationSchema) -> str:
+        """Render the dependency with attribute names, e.g. ``A,B -> C``."""
+        lhs = ",".join(schema.names_of(self.lhs)) if self.lhs else "{}"
+        rhs = schema[self.rhs]
+        if self.error:
+            return f"{lhs} -> {rhs}  (g3={self.error:.4f})"
+        return f"{lhs} -> {rhs}"
+
+    @classmethod
+    def from_names(
+        cls,
+        schema: RelationSchema,
+        lhs_names: Iterable[str] | str,
+        rhs_name: str,
+        error: float = 0.0,
+    ) -> "FunctionalDependency":
+        """Build a dependency from attribute names against a schema."""
+        return cls(schema.mask_of(lhs_names), schema.index_of(rhs_name), error)
+
+
+class FDSet:
+    """An insertion-ordered set of functional dependencies.
+
+    Membership is keyed on ``(lhs, rhs)``; adding a dependency that is
+    already present (possibly with a different error) is a no-op.
+    """
+
+    __slots__ = ("_by_key",)
+
+    def __init__(self, dependencies: Iterable[FunctionalDependency] = ()) -> None:
+        self._by_key: dict[tuple[int, int], FunctionalDependency] = {}
+        for dependency in dependencies:
+            self.add(dependency)
+
+    def add(self, dependency: FunctionalDependency) -> None:
+        """Insert a dependency (no-op if ``(lhs, rhs)`` already present)."""
+        self._by_key.setdefault((dependency.lhs, dependency.rhs), dependency)
+
+    def __len__(self) -> int:
+        return len(self._by_key)
+
+    def __iter__(self) -> Iterator[FunctionalDependency]:
+        return iter(self._by_key.values())
+
+    def __contains__(self, dependency: object) -> bool:
+        if not isinstance(dependency, FunctionalDependency):
+            return False
+        return (dependency.lhs, dependency.rhs) in self._by_key
+
+    def __eq__(self, other: object) -> bool:
+        """Equality ignores insertion order and measured errors."""
+        if not isinstance(other, FDSet):
+            return NotImplemented
+        return set(self._by_key) == set(other._by_key)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._by_key))
+
+    def __repr__(self) -> str:
+        return f"<FDSet of {len(self)} dependencies>"
+
+    def with_rhs(self, rhs: int) -> list[FunctionalDependency]:
+        """All dependencies whose right-hand side is attribute ``rhs``."""
+        return [fd for fd in self if fd.rhs == rhs]
+
+    def lhs_masks_by_rhs(self) -> dict[int, list[int]]:
+        """Group the left-hand side masks by right-hand side attribute."""
+        grouped: dict[int, list[int]] = {}
+        for fd in self:
+            grouped.setdefault(fd.rhs, []).append(fd.lhs)
+        return grouped
+
+    def sorted(self) -> list[FunctionalDependency]:
+        """Return the dependencies sorted by (lhs size, lhs, rhs)."""
+        return sorted(self, key=lambda fd: (fd.lhs_size, fd.lhs, fd.rhs))
+
+    def format(self, schema: RelationSchema) -> str:
+        """Multi-line human-readable rendering against a schema."""
+        return "\n".join(fd.format(schema) for fd in self.sorted())
+
+    def difference(self, other: "FDSet") -> "FDSet":
+        """Dependencies present here but not in ``other`` (by (lhs, rhs))."""
+        return FDSet(fd for fd in self if fd not in other)

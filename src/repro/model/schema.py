@@ -1,0 +1,116 @@
+"""Relation schemas: ordered collections of named attributes.
+
+A schema fixes the order of attributes, which in turn fixes the meaning
+of attribute-set bitmasks used throughout the library (attribute ``i``
+of the schema is bit ``1 << i``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro import _bitset
+from repro.exceptions import SchemaError
+
+__all__ = ["RelationSchema"]
+
+
+class RelationSchema:
+    """An ordered, immutable list of attribute names.
+
+    Parameters
+    ----------
+    attribute_names:
+        The attribute names in schema order.  Names must be unique and
+        non-empty strings.
+
+    Examples
+    --------
+    >>> schema = RelationSchema(["A", "B", "C"])
+    >>> schema.index_of("B")
+    1
+    >>> schema.mask_of(["A", "C"])
+    5
+    """
+
+    __slots__ = ("_names", "_index")
+
+    def __init__(self, attribute_names: Iterable[str]) -> None:
+        names = tuple(attribute_names)
+        if not names:
+            raise SchemaError("a schema must have at least one attribute")
+        for name in names:
+            if not isinstance(name, str) or not name:
+                raise SchemaError(f"invalid attribute name: {name!r}")
+        index = {name: position for position, name in enumerate(names)}
+        if len(index) != len(names):
+            duplicates = sorted({n for n in names if names.count(n) > 1})
+            raise SchemaError(f"duplicate attribute names: {duplicates}")
+        self._names = names
+        self._index = index
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        """The attribute names, in schema order."""
+        return self._names
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._names)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def __getitem__(self, position: int) -> str:
+        return self._names[position]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RelationSchema):
+            return NotImplemented
+        return self._names == other._names
+
+    def __hash__(self) -> int:
+        return hash(self._names)
+
+    def __repr__(self) -> str:
+        return f"RelationSchema({list(self._names)!r})"
+
+    def index_of(self, name: str) -> int:
+        """Return the position of attribute ``name``.
+
+        Raises :class:`~repro.exceptions.SchemaError` if the attribute
+        is unknown.
+        """
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(f"unknown attribute {name!r}; schema has {list(self._names)}") from None
+
+    def mask_of(self, names: Iterable[str] | str) -> int:
+        """Return the bitmask for a collection of attribute names.
+
+        A single string is treated as one attribute name, not as an
+        iterable of characters.
+        """
+        if isinstance(names, str):
+            names = [names]
+        return _bitset.from_indices(self.index_of(name) for name in names)
+
+    def names_of(self, mask: int) -> tuple[str, ...]:
+        """Return the attribute names in ``mask``, in schema order."""
+        if mask >> len(self._names):
+            raise SchemaError(f"mask {mask:#x} has bits outside the schema of {len(self._names)} attributes")
+        return tuple(self._names[i] for i in _bitset.iter_bits(mask))
+
+    def full_mask(self) -> int:
+        """Return the bitmask containing every attribute of the schema."""
+        return _bitset.mask_of_size(len(self._names))
+
+    def project(self, names: Iterable[str]) -> "RelationSchema":
+        """Return a new schema containing only ``names`` (in given order)."""
+        names = list(names)
+        for name in names:
+            self.index_of(name)  # validate
+        return RelationSchema(names)

@@ -1,0 +1,37 @@
+"""Stripped partitions: the paper's core data structure (Section 2).
+
+Two interchangeable engines are provided:
+
+* :class:`repro.partition.pure.PurePartition` — a direct transcription
+  of the probe-table algorithms from the paper, kept readable and used
+  as the reference implementation in tests.
+* :class:`repro.partition.vectorized.CsrPartition` — a numpy
+  CSR-layout engine (the "compact representation" optimization of the
+  extended version) used by the TANE driver.
+"""
+
+from repro.partition.base import PartitionBase
+from repro.partition.errors import g1_error, g2_error, g3_error, g3_bounds_counts
+from repro.partition.pure import PurePartition
+from repro.partition.store import (
+    DiskPartitionStore,
+    MemoryPartitionStore,
+    PartitionStore,
+    make_store,
+)
+from repro.partition.vectorized import CsrPartition, PartitionWorkspace
+
+__all__ = [
+    "PartitionBase",
+    "PurePartition",
+    "CsrPartition",
+    "PartitionWorkspace",
+    "PartitionStore",
+    "MemoryPartitionStore",
+    "DiskPartitionStore",
+    "make_store",
+    "g1_error",
+    "g2_error",
+    "g3_error",
+    "g3_bounds_counts",
+]

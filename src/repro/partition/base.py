@@ -1,0 +1,111 @@
+"""Common behaviour shared by the partition engines.
+
+A *stripped partition* (extended version of the paper, Section 5
+"Optimizations") stores only the equivalence classes of size two or
+more; singleton classes carry no information for dependency checking.
+
+For a partition ``π`` over ``n`` rows, with stripped classes of total
+size ``S`` (``= ||π̂||``) and count ``K`` (``= |π̂|``):
+
+* the full rank is ``|π| = n - S + K``  (each stripped row that is not
+  stored is its own class);
+* the *error count* ``e(π) = S - K`` is the number of rows that must be
+  removed to make ``π`` a partition of singletons — i.e. to make the
+  attribute set a superkey;
+* Lemma 2 (``X → A`` valid iff ``|π_X| = |π_{X∪{A}}|``) becomes
+  ``e(π_X) = e(π_{X∪{A}})``, an O(1) test on stored statistics.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterator
+
+
+class PartitionBase(ABC):
+    """Abstract stripped partition over a fixed set of rows."""
+
+    __slots__ = ()
+
+    # -- primitives every engine must provide ---------------------------
+
+    @property
+    @abstractmethod
+    def num_rows(self) -> int:
+        """Total number of rows ``n = |r|`` of the underlying relation."""
+
+    @property
+    @abstractmethod
+    def stripped_size(self) -> int:
+        """``||π̂||``: total rows contained in non-singleton classes."""
+
+    @property
+    @abstractmethod
+    def num_classes(self) -> int:
+        """``|π̂|``: number of non-singleton classes."""
+
+    @abstractmethod
+    def classes(self) -> Iterator[tuple[int, ...]]:
+        """Yield each stripped class as a sorted tuple of row indices."""
+
+    @abstractmethod
+    def product(self, other: "PartitionBase") -> "PartitionBase":
+        """Return the stripped partition product ``π · π'`` (Lemma 3)."""
+
+    @abstractmethod
+    def g3_error_count(self, refined: "PartitionBase") -> int:
+        """Rows to remove so that the FD tested via ``refined`` holds.
+
+        ``self`` plays the role of ``π_X`` and ``refined`` of
+        ``π_{X∪{A}}``; the result is ``g3(X → A) * |r|`` (an integer).
+        """
+
+    # -- derived quantities ---------------------------------------------
+
+    @property
+    def error_count(self) -> int:
+        """``e(π) = ||π̂|| - |π̂|``: rows to remove to reach a superkey."""
+        return self.stripped_size - self.num_classes
+
+    @property
+    def rank(self) -> int:
+        """``|π|``: number of classes of the *unstripped* partition."""
+        return self.num_rows - self.stripped_size + self.num_classes
+
+    def is_superkey(self) -> bool:
+        """True iff no two rows agree on the attribute set (empty π̂)."""
+        return self.num_classes == 0
+
+    def refines_same_rank(self, refined: "PartitionBase") -> bool:
+        """Lemma 2 validity test: ``|π_X| == |π_{X∪{A}}|``.
+
+        ``self`` is ``π_X``; ``refined`` must be ``π_{X∪{A}}`` for some
+        attribute ``A``.
+        """
+        return self.error_count == refined.error_count
+
+    def g3_bound_counts(self, refined: "PartitionBase") -> tuple[int, int]:
+        """O(1) lower and upper bounds on :meth:`g3_error_count`.
+
+        * lower: every class of ``π_X`` split into ``m`` classes of
+          ``π_{X∪{A}}`` needs at least ``m - 1`` removals, summing to
+          ``|π_{X∪{A}}| - |π_X| = e(π_X) - e(π_{X∪{A}})``.
+        * upper: at most ``|c| - 1`` rows are removed per class,
+          summing to ``e(π_X)``.
+
+        This is the "quickly bound the g3 error" optimization the paper
+        cites from the extended version.
+        """
+        lower = self.error_count - refined.error_count
+        upper = self.error_count
+        return lower, upper
+
+    def class_sets(self) -> set[frozenset[int]]:
+        """The stripped classes as a set of frozensets (for comparisons)."""
+        return {frozenset(c) for c in self.classes()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<{type(self).__name__} rows={self.num_rows} "
+            f"classes={self.num_classes} stripped={self.stripped_size}>"
+        )

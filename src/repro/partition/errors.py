@@ -1,0 +1,87 @@
+"""Dependency error measures g1, g2, g3 (Kivinen & Mannila 1995).
+
+The paper adopts ``g3`` — the minimum fraction of rows to delete for
+the dependency to hold — as its approximateness measure; ``g1`` (the
+fraction of violating row *pairs*) and ``g2`` (the fraction of rows
+involved in some violation) are provided for completeness, all computed
+from the partitions ``π_X`` and ``π_{X∪{A}}``.
+
+All functions accept any :class:`~repro.partition.base.PartitionBase`
+engine.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import DataError
+from repro.partition.base import PartitionBase
+
+__all__ = ["g1_error", "g2_error", "g3_error", "g3_bounds_counts"]
+
+
+def _check_pair(pi_x: PartitionBase, pi_xa: PartitionBase) -> int:
+    if pi_x.num_rows != pi_xa.num_rows:
+        raise DataError("partitions are over different relations")
+    return pi_x.num_rows
+
+
+def _largest_child_sizes(pi_x: PartitionBase, pi_xa: PartitionBase) -> list[tuple[int, int]]:
+    """For each stripped class of ``π_X``, its size and largest sub-class
+    size in ``π_{X∪{A}}`` (singleton sub-classes count as size 1)."""
+    representative_size: dict[int, int] = {}
+    for child in pi_xa.classes():
+        representative_size[child[0]] = len(child)
+    result = []
+    for parent in pi_x.classes():
+        largest = 1
+        for row in parent:
+            size = representative_size.get(row)
+            if size is not None and size > largest:
+                largest = size
+        result.append((len(parent), largest))
+    return result
+
+
+def g1_error(pi_x: PartitionBase, pi_xa: PartitionBase) -> float:
+    """Fraction of ordered row pairs violating ``X → A``.
+
+    ``g1 = |{(t, u) : t[X] = u[X] and t[A] != u[A]}| / |r|^2``.
+
+    Pairs agreeing on ``X`` number ``Σ |c|^2`` over the full partition
+    ``π_X``; of those, the pairs also agreeing on ``A`` number
+    ``Σ |c'|^2`` over ``π_{X∪{A}}``.
+    """
+    n = _check_pair(pi_x, pi_xa)
+    if n == 0:
+        return 0.0
+    sq_x = sum(len(c) ** 2 for c in pi_x.classes()) + (n - pi_x.stripped_size)
+    sq_xa = sum(len(c) ** 2 for c in pi_xa.classes()) + (n - pi_xa.stripped_size)
+    return (sq_x - sq_xa) / (n * n)
+
+
+def g2_error(pi_x: PartitionBase, pi_xa: PartitionBase) -> float:
+    """Fraction of rows involved in some violation of ``X → A``.
+
+    A class of ``π_X`` that splits in ``π_{X∪{A}}`` makes *every* one
+    of its rows part of a violating pair.
+    """
+    n = _check_pair(pi_x, pi_xa)
+    if n == 0:
+        return 0.0
+    involved = sum(
+        size for size, largest in _largest_child_sizes(pi_x, pi_xa) if largest < size
+    )
+    return involved / n
+
+
+def g3_error(pi_x: PartitionBase, pi_xa: PartitionBase) -> float:
+    """Minimum fraction of rows to remove for ``X → A`` to hold."""
+    n = _check_pair(pi_x, pi_xa)
+    if n == 0:
+        return 0.0
+    return pi_x.g3_error_count(pi_xa) / n
+
+
+def g3_bounds_counts(pi_x: PartitionBase, pi_xa: PartitionBase) -> tuple[int, int]:
+    """O(1) (lower, upper) bounds on the g3 *row count* (not fraction)."""
+    _check_pair(pi_x, pi_xa)
+    return pi_x.g3_bound_counts(pi_xa)

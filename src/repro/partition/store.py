@@ -1,0 +1,241 @@
+"""Partition stores: the TANE vs TANE/MEM distinction (Sections 6–7).
+
+The paper's scalable variant ("TANE") keeps most partitions on disk and
+reads them back when a level needs them; "TANE/MEM" keeps everything in
+main memory.  :class:`MemoryPartitionStore` and
+:class:`DiskPartitionStore` implement the two policies behind one
+interface, keyed by the attribute-set bitmask whose partition is
+stored.
+
+The disk store is a write-back LRU cache: partitions are spilled to
+flat binary files in a private temporary directory once the resident
+budget is exceeded, and transparently reloaded on access.  Counters for
+spills and reloads are exposed so benchmarks can report I/O behaviour
+the way the paper reports disk accesses.
+"""
+
+from __future__ import annotations
+
+import shutil
+import struct
+import tempfile
+from collections import OrderedDict
+from pathlib import Path
+from typing import Protocol
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.partition.vectorized import CsrPartition
+
+# Spill file layout: little-endian header (indices count, offsets
+# count) followed by the two raw int64 arrays.  A flat binary format:
+# spills happen once per partition eviction and TANE evicts hundreds of
+# thousands of small partitions, so container formats (npz = a zip
+# archive per file) are far too slow.
+_SPILL_HEADER = struct.Struct("<qq")
+
+__all__ = ["PartitionStore", "MemoryPartitionStore", "DiskPartitionStore", "make_store"]
+
+
+class PartitionStore(Protocol):
+    """Minimal interface the TANE driver needs from a partition store."""
+
+    def put(self, mask: int, partition: CsrPartition) -> None:
+        """Store the partition of attribute set ``mask``."""
+
+    def get(self, mask: int) -> CsrPartition:
+        """Return the partition of ``mask`` (KeyError if absent)."""
+
+    def discard(self, mask: int) -> None:
+        """Drop the partition of ``mask`` if present."""
+
+    def close(self) -> None:
+        """Release all resources (files, memory)."""
+
+
+class MemoryPartitionStore:
+    """Keep every partition in main memory (the paper's TANE/MEM)."""
+
+    def __init__(self) -> None:
+        self._partitions: dict[int, CsrPartition] = {}
+        self.peak_resident_bytes = 0
+        self._resident_bytes = 0
+
+    def put(self, mask: int, partition: CsrPartition) -> None:
+        """Store (or replace) the partition of attribute set ``mask``."""
+        previous = self._partitions.get(mask)
+        if previous is not None:
+            self._resident_bytes -= previous.nbytes()
+        self._partitions[mask] = partition
+        self._resident_bytes += partition.nbytes()
+        self.peak_resident_bytes = max(self.peak_resident_bytes, self._resident_bytes)
+
+    def get(self, mask: int) -> CsrPartition:
+        """Return the partition of ``mask``; KeyError if absent."""
+        return self._partitions[mask]
+
+    def discard(self, mask: int) -> None:
+        """Drop the partition of ``mask`` if present (idempotent)."""
+        partition = self._partitions.pop(mask, None)
+        if partition is not None:
+            self._resident_bytes -= partition.nbytes()
+
+    def close(self) -> None:
+        """Release all held partitions."""
+        self._partitions.clear()
+        self._resident_bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._partitions)
+
+
+class DiskPartitionStore:
+    """Spill partitions to disk beyond a resident-memory budget.
+
+    Parameters
+    ----------
+    resident_budget_bytes:
+        Soft cap on the total in-memory partition bytes.  Least
+        recently used partitions are written to disk when the cap is
+        exceeded.  The paper's analysis assumes roughly the current and
+        previous level stay accessible; a budget of a few partition
+        sizes reproduces that behaviour.
+    directory:
+        Spill directory; a private temporary directory is created (and
+        removed on :meth:`close`) when omitted.
+    min_spill_bytes:
+        Partitions smaller than this stay resident regardless of the
+        budget.  The paper's disk variant performs "O(s) accesses of
+        size O(|r|)" — it exists for the large-|r| regime; spilling a
+        few-hundred-byte partition costs a file operation and saves
+        almost nothing, so tiny partitions are pinned (making the
+        budget advisory for workloads made only of tiny partitions).
+    """
+
+    def __init__(
+        self,
+        resident_budget_bytes: int = 64 * 1024 * 1024,
+        directory: str | Path | None = None,
+        min_spill_bytes: int = 4096,
+    ) -> None:
+        if resident_budget_bytes <= 0:
+            raise ConfigurationError("resident_budget_bytes must be positive")
+        if min_spill_bytes < 0:
+            raise ConfigurationError("min_spill_bytes must be non-negative")
+        self._budget = resident_budget_bytes
+        self._min_spill_bytes = min_spill_bytes
+        self._owns_directory = directory is None
+        self._directory = Path(directory) if directory is not None else Path(tempfile.mkdtemp(prefix="repro-partitions-"))
+        self._directory.mkdir(parents=True, exist_ok=True)
+        # Small (pinned) and large (spillable) partitions live in
+        # separate LRU maps so the spill loop never scans past pinned
+        # entries — keeping put() amortized O(1) even when the pinned
+        # set alone exceeds the budget.
+        self._small: OrderedDict[int, CsrPartition] = OrderedDict()
+        self._large: OrderedDict[int, CsrPartition] = OrderedDict()
+        self._resident_bytes = 0
+        self._on_disk: dict[int, tuple[Path, int]] = {}  # mask -> (file, num_rows)
+        self.spill_count = 0
+        self.load_count = 0
+        self.peak_resident_bytes = 0
+        self.peak_disk_bytes = 0
+        self._disk_bytes = 0
+
+    # -- internal -------------------------------------------------------
+
+    def _path_for(self, mask: int) -> Path:
+        return self._directory / f"partition-{mask:x}.bin"
+
+    def _spill_lru(self) -> None:
+        while self._resident_bytes > self._budget and self._large:
+            mask, partition = self._large.popitem(last=False)
+            self._resident_bytes -= partition.nbytes()
+            path = self._path_for(mask)
+            indices = np.ascontiguousarray(partition.indices, dtype=np.int64)
+            offsets = np.ascontiguousarray(partition.offsets, dtype=np.int64)
+            with path.open("wb") as handle:
+                handle.write(_SPILL_HEADER.pack(indices.size, offsets.size))
+                handle.write(indices.tobytes())
+                handle.write(offsets.tobytes())
+            size = _SPILL_HEADER.size + indices.nbytes + offsets.nbytes
+            self._on_disk[mask] = (path, partition.num_rows)
+            self._disk_bytes += size
+            self.peak_disk_bytes = max(self.peak_disk_bytes, self._disk_bytes)
+            self.spill_count += 1
+
+    # -- PartitionStore interface ----------------------------------------
+
+    def put(self, mask: int, partition: CsrPartition) -> None:
+        """Store the partition resident; spill LRU entries over budget."""
+        self.discard(mask)
+        if partition.nbytes() >= self._min_spill_bytes:
+            self._large[mask] = partition
+        else:
+            self._small[mask] = partition
+        self._resident_bytes += partition.nbytes()
+        self.peak_resident_bytes = max(self.peak_resident_bytes, self._resident_bytes)
+        self._spill_lru()
+
+    def get(self, mask: int) -> CsrPartition:
+        """Return the partition, reloading from disk when spilled."""
+        partition = self._small.get(mask)
+        if partition is not None:
+            self._small.move_to_end(mask)
+            return partition
+        partition = self._large.get(mask)
+        if partition is not None:
+            self._large.move_to_end(mask)
+            return partition
+        path, num_rows = self._on_disk.pop(mask)  # KeyError if truly absent
+        with path.open("rb") as handle:
+            raw_header = handle.read(_SPILL_HEADER.size)
+            indices_count, offsets_count = _SPILL_HEADER.unpack(raw_header)
+            indices = np.frombuffer(handle.read(indices_count * 8), dtype=np.int64)
+            offsets = np.frombuffer(handle.read(offsets_count * 8), dtype=np.int64)
+        partition = CsrPartition(indices, offsets, num_rows)
+        self._disk_bytes -= _SPILL_HEADER.size + indices.nbytes + offsets.nbytes
+        path.unlink(missing_ok=True)
+        self.load_count += 1
+        self.put(mask, partition)
+        return partition
+
+    def discard(self, mask: int) -> None:
+        """Drop the partition wherever it lives (idempotent)."""
+        partition = self._small.pop(mask, None)
+        if partition is None:
+            partition = self._large.pop(mask, None)
+        if partition is not None:
+            self._resident_bytes -= partition.nbytes()
+            return
+        entry = self._on_disk.pop(mask, None)
+        if entry is not None:
+            path, _ = entry
+            try:
+                self._disk_bytes -= path.stat().st_size
+            except OSError:
+                pass
+            path.unlink(missing_ok=True)
+
+    def close(self) -> None:
+        """Drop everything; remove the spill directory if we own it."""
+        self._small.clear()
+        self._large.clear()
+        self._resident_bytes = 0
+        self._on_disk.clear()
+        if self._owns_directory:
+            shutil.rmtree(self._directory, ignore_errors=True)
+
+    def __len__(self) -> int:
+        return len(self._small) + len(self._large) + len(self._on_disk)
+
+
+def make_store(kind: str = "memory", **options: object) -> MemoryPartitionStore | DiskPartitionStore:
+    """Create a partition store by name: ``"memory"`` or ``"disk"``."""
+    if kind == "memory":
+        if options:
+            raise ConfigurationError(f"memory store takes no options, got {sorted(options)}")
+        return MemoryPartitionStore()
+    if kind == "disk":
+        return DiskPartitionStore(**options)  # type: ignore[arg-type]
+    raise ConfigurationError(f"unknown partition store kind {kind!r}; use 'memory' or 'disk'")

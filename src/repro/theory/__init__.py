@@ -1,0 +1,44 @@
+"""Reasoning over functional dependencies.
+
+The paper motivates dependency discovery with database-management
+applications (Section 1): schema analysis, reverse engineering, and
+query optimization all consume the discovered dependency set.  This
+subpackage provides the classical tooling for that consumption:
+closures and implication (Armstrong's axioms), canonical covers,
+candidate keys, normal-form analysis, and Armstrong-relation
+generation.
+"""
+
+from repro.theory.armstrong import armstrong_relation, maximal_invalid_sets
+from repro.theory.closure import attribute_closure, implies, is_implied_by
+from repro.theory.cover import canonical_cover, equivalent, remove_redundant
+from repro.theory.keys import candidate_keys, is_superkey_for, prime_attributes
+from repro.theory.normalize import (
+    NormalFormReport,
+    bcnf_decompose,
+    bcnf_violations,
+    check_normal_forms,
+    third_nf_violations,
+)
+from repro.theory.projection import is_dependency_preserving, project_fds
+
+__all__ = [
+    "attribute_closure",
+    "implies",
+    "is_implied_by",
+    "canonical_cover",
+    "equivalent",
+    "remove_redundant",
+    "candidate_keys",
+    "prime_attributes",
+    "is_superkey_for",
+    "NormalFormReport",
+    "bcnf_violations",
+    "third_nf_violations",
+    "bcnf_decompose",
+    "check_normal_forms",
+    "armstrong_relation",
+    "maximal_invalid_sets",
+    "project_fds",
+    "is_dependency_preserving",
+]

@@ -1,0 +1,47 @@
+"""Attribute closures and implication under Armstrong's axioms.
+
+All functions operate on attribute-set bitmasks and
+:class:`~repro.model.FDSet` collections; no relation instance is
+involved — this is purely syntactic reasoning over a dependency set.
+"""
+
+from __future__ import annotations
+
+from repro import _bitset
+from repro.model.fd import FDSet, FunctionalDependency
+
+__all__ = ["attribute_closure", "implies", "is_implied_by"]
+
+
+def attribute_closure(attributes: int, fds: FDSet) -> int:
+    """The closure ``X+``: all attributes determined by ``attributes``.
+
+    Fixpoint of applying ``lhs -> rhs`` rules whose lhs is contained in
+    the current set.  Runs in ``O(passes * |fds|)`` with at most
+    ``|R|`` passes; plenty for discovered dependency sets.
+    """
+    closure = attributes
+    rules = [(fd.lhs, fd.rhs_mask) for fd in fds]
+    changed = True
+    while changed:
+        changed = False
+        remaining = []
+        for lhs, rhs_mask in rules:
+            if _bitset.is_subset(lhs, closure):
+                if rhs_mask & ~closure:
+                    closure |= rhs_mask
+                    changed = True
+            else:
+                remaining.append((lhs, rhs_mask))
+        rules = remaining
+    return closure
+
+
+def implies(fds: FDSet, dependency: FunctionalDependency) -> bool:
+    """Does ``fds`` logically imply ``dependency`` (Armstrong closure)?"""
+    return _bitset.contains(attribute_closure(dependency.lhs, fds), dependency.rhs)
+
+
+def is_implied_by(dependency: FunctionalDependency, fds: FDSet) -> bool:
+    """Flipped-argument convenience form of :func:`implies`."""
+    return implies(fds, dependency)

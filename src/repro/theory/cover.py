@@ -1,0 +1,66 @@
+"""Covers of dependency sets: equivalence, redundancy, canonical form.
+
+A *canonical cover* is an equivalent dependency set with no redundant
+dependency and no extraneous left-hand-side attribute.  Discovery
+algorithms in this library already emit minimal dependencies, but a
+user merging dependency sets (or comparing against a hand-written
+schema) needs these operations.
+"""
+
+from __future__ import annotations
+
+from repro import _bitset
+from repro.model.fd import FDSet, FunctionalDependency
+from repro.theory.closure import attribute_closure, implies
+
+__all__ = ["equivalent", "remove_redundant", "canonical_cover"]
+
+
+def equivalent(first: FDSet, second: FDSet) -> bool:
+    """Do two dependency sets imply each other?"""
+    return all(implies(second, fd) for fd in first) and all(
+        implies(first, fd) for fd in second
+    )
+
+
+def remove_redundant(fds: FDSet) -> FDSet:
+    """Drop dependencies implied by the remaining ones.
+
+    Processes in sorted order for determinism; the result depends on
+    order (covers are not unique), but is always equivalent to the
+    input.
+    """
+    kept = list(fds.sorted())
+    index = 0
+    while index < len(kept):
+        candidate = kept[index]
+        rest = FDSet(fd for fd in kept if fd is not candidate)
+        if implies(rest, candidate):
+            kept.pop(index)
+        else:
+            index += 1
+    return FDSet(kept)
+
+
+def _reduce_lhs(dependency: FunctionalDependency, fds: FDSet) -> FunctionalDependency:
+    """Remove extraneous lhs attributes (attributes whose removal keeps
+    the dependency implied by the *whole* set)."""
+    lhs = dependency.lhs
+    for attribute in _bitset.to_indices(dependency.lhs):
+        candidate = lhs & ~_bitset.bit(attribute)
+        if _bitset.contains(attribute_closure(candidate, fds), dependency.rhs):
+            lhs = candidate
+    if lhs == dependency.lhs:
+        return dependency
+    return FunctionalDependency(lhs, dependency.rhs, dependency.error)
+
+
+def canonical_cover(fds: FDSet) -> FDSet:
+    """A canonical (minimal) cover of ``fds``.
+
+    Left-hand sides are reduced first, then redundant dependencies are
+    removed.  The result is equivalent to the input, has no extraneous
+    lhs attributes, and no redundant member.
+    """
+    reduced = FDSet(_reduce_lhs(fd, fds) for fd in fds.sorted())
+    return remove_redundant(reduced)

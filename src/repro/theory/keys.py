@@ -1,0 +1,71 @@
+"""Candidate keys from a dependency set.
+
+TANE reports the minimal keys it *encounters*; this module computes
+candidate keys purely from a dependency set and the schema, which is
+both an independent check of TANE's key output and the standard
+schema-design operation.
+"""
+
+from __future__ import annotations
+
+from repro import _bitset
+from repro.exceptions import ConfigurationError
+from repro.model.fd import FDSet
+from repro.model.schema import RelationSchema
+from repro.theory.closure import attribute_closure
+
+__all__ = ["candidate_keys", "prime_attributes", "is_superkey_for"]
+
+_MAX_EXHAUSTIVE_ATTRIBUTES = 24
+
+
+def is_superkey_for(attributes: int, fds: FDSet, schema: RelationSchema) -> bool:
+    """Is ``attributes`` a superkey under ``fds`` (closure = all of R)?"""
+    return attribute_closure(attributes, fds) == schema.full_mask()
+
+
+def candidate_keys(fds: FDSet, schema: RelationSchema) -> list[int]:
+    """All candidate (minimal) keys of the schema under ``fds``.
+
+    Uses the classical branch-and-reduce: every key must contain the
+    attributes never appearing on any right-hand side; the remaining
+    attributes are searched breadth-first, skipping supersets of
+    already-found keys.  Worst case exponential (the number of keys
+    itself can be exponential); guarded to schemas of at most
+    24 attributes.
+    """
+    num_attributes = len(schema)
+    if num_attributes > _MAX_EXHAUSTIVE_ATTRIBUTES:
+        raise ConfigurationError(
+            f"candidate key search is exponential; schema has {num_attributes} "
+            f"attributes (limit {_MAX_EXHAUSTIVE_ATTRIBUTES})"
+        )
+    full = schema.full_mask()
+    determined = 0
+    for fd in fds:
+        determined |= fd.rhs_mask
+    core = full & ~determined  # attributes in every key
+    optional = _bitset.to_indices(full & ~core)
+    keys: list[int] = []
+    if attribute_closure(core, fds) == full:
+        return [core]
+    # Breadth-first over subsets of the optional attributes, smallest
+    # first, pruning supersets of found keys.
+    from itertools import combinations
+
+    for size in range(1, len(optional) + 1):
+        for combo in combinations(optional, size):
+            mask = core | _bitset.from_indices(combo)
+            if any(_bitset.is_subset(key, mask) for key in keys):
+                continue
+            if attribute_closure(mask, fds) == full:
+                keys.append(mask)
+    return sorted(keys)
+
+
+def prime_attributes(fds: FDSet, schema: RelationSchema) -> int:
+    """Attributes occurring in at least one candidate key (as a mask)."""
+    prime = 0
+    for key in candidate_keys(fds, schema):
+        prime |= key
+    return prime

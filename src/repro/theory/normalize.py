@@ -1,0 +1,130 @@
+"""Normal-form analysis driven by discovered dependencies.
+
+One of the paper's motivating applications is database reverse
+engineering: run discovery on an instance, then reason about the
+schema.  This module checks BCNF and 3NF against a dependency set and
+proposes a BCNF decomposition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import _bitset
+from repro.model.fd import FDSet, FunctionalDependency
+from repro.model.schema import RelationSchema
+from repro.theory.closure import attribute_closure
+from repro.theory.keys import candidate_keys, prime_attributes
+
+__all__ = [
+    "bcnf_violations",
+    "third_nf_violations",
+    "bcnf_decompose",
+    "check_normal_forms",
+    "NormalFormReport",
+]
+
+
+def bcnf_violations(fds: FDSet, schema: RelationSchema) -> list[FunctionalDependency]:
+    """Dependencies violating BCNF: non-trivial with a non-superkey lhs."""
+    full = schema.full_mask()
+    return [
+        fd
+        for fd in fds.sorted()
+        if attribute_closure(fd.lhs, fds) != full
+    ]
+
+
+def third_nf_violations(fds: FDSet, schema: RelationSchema) -> list[FunctionalDependency]:
+    """Dependencies violating 3NF.
+
+    A dependency ``X -> A`` is allowed by 3NF if ``X`` is a superkey or
+    ``A`` is a prime attribute (member of some candidate key).
+    """
+    full = schema.full_mask()
+    prime = prime_attributes(fds, schema)
+    return [
+        fd
+        for fd in fds.sorted()
+        if attribute_closure(fd.lhs, fds) != full and not _bitset.contains(prime, fd.rhs)
+    ]
+
+
+def bcnf_decompose(fds: FDSet, schema: RelationSchema) -> list[int]:
+    """A lossless BCNF decomposition (as attribute-set masks).
+
+    Classical algorithm: while some fragment has a violating
+    dependency ``X -> A`` (projected onto the fragment), split it into
+    ``X ∪ {A}`` and ``fragment ∖ {A}``.  Dependency preservation is not
+    guaranteed (it cannot be, in general).
+    """
+    fragments = [schema.full_mask()]
+    result: list[int] = []
+    while fragments:
+        fragment = fragments.pop()
+        violation = _find_fragment_violation(fragment, fds)
+        if violation is None:
+            result.append(fragment)
+            continue
+        lhs, rhs_mask = violation
+        # Split on the full closure within the fragment for fewer rounds.
+        closure_in_fragment = attribute_closure(lhs, fds) & fragment
+        fragments.append(lhs | closure_in_fragment)
+        fragments.append(fragment & ~(closure_in_fragment & ~lhs))
+    return sorted(set(result), reverse=True)
+
+
+def _find_fragment_violation(fragment: int, fds: FDSet) -> tuple[int, int] | None:
+    """A BCNF violation of ``fds`` projected onto ``fragment``, if any.
+
+    Returns ``(lhs, rhs_mask)`` with lhs ⊆ fragment whose closure
+    covers some fragment attribute outside itself but not the whole
+    fragment.
+    """
+    for fd in fds.sorted():
+        if not _bitset.is_subset(fd.lhs, fragment):
+            continue
+        closure = attribute_closure(fd.lhs, fds)
+        inside = closure & fragment
+        if inside & ~fd.lhs and inside != fragment:
+            return fd.lhs, inside & ~fd.lhs
+    return None
+
+
+@dataclass(frozen=True)
+class NormalFormReport:
+    """Summary of a schema's normal-form status under a dependency set."""
+
+    schema: RelationSchema
+    keys: tuple[int, ...]
+    bcnf_violations: tuple[FunctionalDependency, ...]
+    third_nf_violations: tuple[FunctionalDependency, ...]
+
+    @property
+    def is_bcnf(self) -> bool:
+        return not self.bcnf_violations
+
+    @property
+    def is_3nf(self) -> bool:
+        return not self.third_nf_violations
+
+    def format(self) -> str:
+        """Render keys and violation counts as readable lines."""
+        lines = [
+            f"keys: {[', '.join(self.schema.names_of(k)) for k in self.keys]}",
+            f"BCNF: {'yes' if self.is_bcnf else f'no ({len(self.bcnf_violations)} violations)'}",
+            f"3NF:  {'yes' if self.is_3nf else f'no ({len(self.third_nf_violations)} violations)'}",
+        ]
+        for fd in self.bcnf_violations[:10]:
+            lines.append(f"  violates BCNF: {fd.format(self.schema)}")
+        return "\n".join(lines)
+
+
+def check_normal_forms(fds: FDSet, schema: RelationSchema) -> NormalFormReport:
+    """Compute keys and BCNF/3NF violations in one report."""
+    return NormalFormReport(
+        schema=schema,
+        keys=tuple(candidate_keys(fds, schema)),
+        bcnf_violations=tuple(bcnf_violations(fds, schema)),
+        third_nf_violations=tuple(third_nf_violations(fds, schema)),
+    )

@@ -1,0 +1,71 @@
+"""Projection of dependency sets onto attribute subsets.
+
+The projection of ``F`` onto ``Z`` is every implied dependency that
+mentions only attributes of ``Z``:
+
+    F[Z] = { X → A  |  X ∪ {A} ⊆ Z and F ⊨ X → A }
+
+Projection is what decomposition quality is judged by: a decomposition
+is *dependency preserving* when the union of the fragments' projections
+still implies all of ``F``.  (BCNF decompositions are not always
+dependency preserving; this module lets callers check.)
+
+Projection is inherently exponential in ``|Z|`` (the projection itself
+can be exponentially larger than any cover of ``F``), so fragments are
+guarded to 16 attributes.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro import _bitset
+from repro.exceptions import ConfigurationError
+from repro.model.fd import FDSet, FunctionalDependency
+from repro.model.schema import RelationSchema
+from repro.theory.closure import attribute_closure, implies
+from repro.theory.cover import canonical_cover
+
+__all__ = ["project_fds", "is_dependency_preserving"]
+
+_MAX_FRAGMENT_ATTRIBUTES = 16
+
+
+def project_fds(fds: FDSet, fragment: int) -> FDSet:
+    """The projection ``F[fragment]`` as a canonical cover.
+
+    ``fragment`` is an attribute-set bitmask.  For every subset ``X``
+    of the fragment, ``closure(X) ∩ fragment ∖ X`` yields the implied
+    right-hand sides; the collected dependencies are then minimized.
+    """
+    indices = _bitset.to_indices(fragment)
+    if len(indices) > _MAX_FRAGMENT_ATTRIBUTES:
+        raise ConfigurationError(
+            f"projection is exponential; fragment has {len(indices)} "
+            f"attributes (limit {_MAX_FRAGMENT_ATTRIBUTES})"
+        )
+    projected = FDSet()
+    for size in range(len(indices) + 1):
+        for combo in combinations(indices, size):
+            lhs = _bitset.from_indices(combo)
+            closure = attribute_closure(lhs, fds)
+            for rhs in _bitset.iter_bits(closure & fragment & ~lhs):
+                projected.add(FunctionalDependency(lhs, rhs))
+    return canonical_cover(projected)
+
+
+def is_dependency_preserving(
+    fragments: list[int],
+    fds: FDSet,
+    schema: RelationSchema,
+) -> bool:
+    """Does the union of the fragments' projections imply all of ``fds``?
+
+    ``fragments`` are attribute-set bitmasks (e.g. the output of
+    :func:`repro.theory.normalize.bcnf_decompose`).
+    """
+    union = FDSet()
+    for fragment in fragments:
+        for dependency in project_fds(fds, fragment):
+            union.add(dependency)
+    return all(implies(union, dependency) for dependency in fds)

@@ -1,0 +1,72 @@
+"""Tests for dependency-set diffing."""
+
+import pytest
+
+from repro.analysis.compare import compare_fdsets
+from repro.model.fd import FDSet, FunctionalDependency
+from repro.model.schema import RelationSchema
+
+SCHEMA = RelationSchema(["A", "B", "C"])
+
+
+def fd(lhs_names, rhs_name, error=0.0):
+    return FunctionalDependency.from_names(SCHEMA, lhs_names, rhs_name, error)
+
+
+class TestCompare:
+    def test_identical(self):
+        fds = FDSet([fd(["A"], "B")])
+        diff = compare_fdsets(fds, fds)
+        assert diff.is_identical
+        assert diff.format(SCHEMA) == "dependency sets identical"
+
+    def test_added_and_removed(self):
+        before = FDSet([fd(["A"], "B"), fd(["B"], "C")])
+        after = FDSet([fd(["A"], "B"), fd(["A"], "C")])
+        diff = compare_fdsets(before, after)
+        assert list(diff.removed) == [fd(["B"], "C")]
+        assert list(diff.added) == [fd(["A"], "C")]
+        text = diff.format(SCHEMA)
+        assert "- B -> C" in text
+        assert "+ A -> C" in text
+
+    def test_error_shift(self):
+        before = FDSet([fd(["A"], "B", 0.01)])
+        after = FDSet([fd(["A"], "B", 0.08)])
+        diff = compare_fdsets(before, after)
+        assert not diff.added and not diff.removed
+        [shift] = diff.error_shifts
+        assert shift.delta == pytest.approx(0.07)
+        assert "worsened" in diff.format(SCHEMA)
+
+    def test_error_improvement(self):
+        before = FDSet([fd(["A"], "B", 0.2)])
+        after = FDSet([fd(["A"], "B", 0.05)])
+        diff = compare_fdsets(before, after)
+        assert diff.error_shifts[0].delta < 0
+        assert "improved" in diff.format(SCHEMA)
+
+    def test_tolerance(self):
+        before = FDSet([fd(["A"], "B", 0.1)])
+        after = FDSet([fd(["A"], "B", 0.1 + 1e-15)])
+        assert compare_fdsets(before, after).is_identical
+
+    def test_empty_sets(self):
+        assert compare_fdsets(FDSet(), FDSet()).is_identical
+
+
+class TestEndToEnd:
+    def test_drift_detected_after_corruption(self):
+        """Discover, corrupt, re-discover, diff: the planted dependency
+        must appear as removed (exact) and the diff must say so."""
+        from repro.core.tane import discover_fds
+        from repro.datasets.corrupt import corrupt_cells
+        from repro.datasets.synthetic import planted_fd_relation
+
+        relation, _ = planted_fd_relation(300, 1, 1, domain_size=5, seed=3)
+        before = discover_fds(relation, max_lhs_size=1).dependencies
+        corrupted, _ = corrupt_cells(relation, 1, fraction=0.1, seed=3)
+        after = discover_fds(corrupted, max_lhs_size=1).dependencies
+        diff = compare_fdsets(before, after)
+        target = FunctionalDependency(0b01, 1)
+        assert target in diff.removed

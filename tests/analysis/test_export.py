@@ -1,0 +1,95 @@
+"""Tests for JSON/DOT/Markdown export."""
+
+import json
+
+import pytest
+
+from repro.analysis.export import (
+    fdset_from_json,
+    fdset_to_dot,
+    fdset_to_json,
+    fdset_to_markdown,
+    result_to_json,
+)
+from repro.core.tane import discover_fds
+from repro.exceptions import DataError
+from repro.model.fd import FDSet, FunctionalDependency
+from repro.model.schema import RelationSchema
+
+SCHEMA = RelationSchema(["A", "B", "C"])
+
+
+@pytest.fixture
+def fds():
+    return FDSet([
+        FunctionalDependency.from_names(SCHEMA, ["A"], "B", 0.0),
+        FunctionalDependency.from_names(SCHEMA, ["A", "B"], "C", 0.125),
+        FunctionalDependency.from_names(SCHEMA, [], "A", 0.5),
+    ])
+
+
+class TestJson:
+    def test_round_trip(self, fds):
+        text = fdset_to_json(fds, SCHEMA)
+        parsed, schema = fdset_from_json(text)
+        assert schema == SCHEMA
+        assert parsed == fds
+        # errors preserved
+        by_key = {(fd.lhs, fd.rhs): fd.error for fd in parsed}
+        assert by_key[(SCHEMA.mask_of(["A", "B"]), 2)] == 0.125
+
+    def test_valid_json_document(self, fds):
+        payload = json.loads(fdset_to_json(fds, SCHEMA))
+        assert payload["format"] == "repro.fdset"
+        assert payload["attributes"] == ["A", "B", "C"]
+        assert len(payload["dependencies"]) == 3
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(DataError):
+            fdset_from_json("not json {")
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(DataError):
+            fdset_from_json(json.dumps({"format": "something-else"}))
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(DataError):
+            fdset_from_json(json.dumps({"format": "repro.fdset", "version": 99}))
+
+    def test_result_to_json(self, figure1_relation):
+        result = discover_fds(figure1_relation)
+        payload = json.loads(result_to_json(result))
+        assert payload["format"] == "repro.discovery"
+        assert payload["epsilon"] == 0.0
+        assert len(payload["dependencies"]) == 6
+        assert ["A", "D"] in payload["keys"]
+        assert payload["statistics"]["validity_tests"] > 0
+
+
+class TestDot:
+    def test_structure(self, fds):
+        dot = fdset_to_dot(fds, SCHEMA)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert '"A" -> "B";' in dot
+        assert "shape=box" in dot  # composite lhs node
+
+    def test_composite_edges(self, fds):
+        dot = fdset_to_dot(fds, SCHEMA)
+        # composite node connects to rhs C
+        assert '-> "C";' in dot
+        assert "style=dashed" in dot
+
+    def test_empty_set(self):
+        dot = fdset_to_dot(FDSet(), SCHEMA)
+        assert "digraph" in dot
+
+
+class TestMarkdown:
+    def test_table(self, fds):
+        text = fdset_to_markdown(fds, SCHEMA)
+        lines = text.splitlines()
+        assert lines[0].startswith("| determinant")
+        assert any("A, B" in line and "C" in line for line in lines)
+        assert any("∅" in line for line in lines)
+        assert len(lines) == 2 + len(fds)

@@ -1,0 +1,51 @@
+"""Property tests: JSON export round-trips arbitrary dependency sets."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.export import fdset_from_json, fdset_to_dot, fdset_to_json
+from repro.model.fd import FDSet, FunctionalDependency
+from repro.model.schema import RelationSchema
+
+SCHEMA = RelationSchema(["alpha", "beta", "gamma", "delta"])
+
+
+fd_sets = st.lists(
+    st.tuples(
+        st.integers(0, 3),
+        st.integers(0, 15),
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    ),
+    max_size=10,
+).map(
+    lambda triples: FDSet(
+        FunctionalDependency(lhs & ~(1 << rhs), rhs, round(error, 6))
+        for rhs, lhs, error in triples
+    )
+)
+
+
+class TestJsonRoundTrip:
+    @given(fd_sets)
+    def test_round_trip_preserves_set_and_errors(self, fds):
+        parsed, schema = fdset_from_json(fdset_to_json(fds, SCHEMA))
+        assert schema == SCHEMA
+        assert parsed == fds
+        original = {(fd.lhs, fd.rhs): fd.error for fd in fds}
+        for fd in parsed:
+            assert fd.error == original[(fd.lhs, fd.rhs)]
+
+    @given(fd_sets)
+    def test_compact_and_indented_agree(self, fds):
+        compact, _ = fdset_from_json(fdset_to_json(fds, SCHEMA, indent=None))
+        indented, _ = fdset_from_json(fdset_to_json(fds, SCHEMA, indent=4))
+        assert compact == indented
+
+
+class TestDotWellFormed:
+    @given(fd_sets)
+    def test_balanced_braces_and_all_rhs_present(self, fds):
+        dot = fdset_to_dot(fds, SCHEMA)
+        assert dot.count("{") == dot.count("}")
+        for fd in fds:
+            assert f'"{SCHEMA[fd.rhs]}"' in dot

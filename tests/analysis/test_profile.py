@@ -1,0 +1,73 @@
+"""Tests for the one-call profiling front-end."""
+
+import pytest
+
+from repro.analysis.profile import profile
+from repro.exceptions import ConfigurationError
+from repro.model.relation import Relation
+
+
+@pytest.fixture
+def orders():
+    rows = [
+        ["o1", "c1", "10115", "Berlin"],
+        ["o2", "c1", "10115", "Berlin"],
+        ["o3", "c2", "20095", "Hamburg"],
+        ["o4", "c3", "10115", "Berlin"],
+        ["o5", "c3", "10115", "Hamburg"],  # one dirty city
+    ]
+    return Relation.from_rows(rows, ["order_id", "customer", "zip", "city"])
+
+
+class TestProfile:
+    def test_columns(self, orders):
+        report = profile(orders)
+        by_name = {c.name: c for c in report.columns}
+        assert by_name["order_id"].is_unique
+        assert not by_name["zip"].is_unique
+        assert by_name["zip"].distinct == 2
+        assert not by_name["city"].is_constant
+
+    def test_exact_results(self, orders):
+        report = profile(orders)
+        assert orders.schema.mask_of("order_id") in report.keys
+        formats = {fd.format(orders.schema) for fd in report.dependencies}
+        assert "customer -> zip" in formats
+
+    def test_approximate_pass(self, orders):
+        report = profile(orders, epsilon=0.2)
+        assert report.approximate is not None
+        extra = report.approximate_only
+        assert all(fd.error > 0 for fd in extra)
+        lhs_rhs = {(fd.lhs, fd.rhs) for fd in extra}
+        assert (orders.schema.mask_of("zip"), orders.schema.index_of("city")) in lhs_rhs
+
+    def test_no_approximate_by_default(self, orders):
+        report = profile(orders)
+        assert report.approximate is None
+        assert len(report.approximate_only) == 0
+
+    def test_normal_forms_included(self, orders):
+        report = profile(orders)
+        assert report.normal_forms is not None
+        assert not report.normal_forms.is_bcnf  # zip -> city violates
+
+    def test_normal_forms_skipped_when_wide(self):
+        rel = Relation.from_rows([list(range(25)), list(range(25, 50))])
+        report = profile(rel, include_normal_forms=True)
+        assert report.normal_forms is None
+
+    def test_format_renders(self, orders):
+        text = profile(orders, epsilon=0.2).format()
+        assert "5 rows x 4 attributes" in text
+        assert "minimal keys" in text
+        assert "approximate dependencies" in text
+        assert "normal forms" in text
+
+    def test_bad_epsilon(self, orders):
+        with pytest.raises(ConfigurationError):
+            profile(orders, epsilon=2.0)
+
+    def test_max_lhs_size_respected(self, orders):
+        report = profile(orders, max_lhs_size=1)
+        assert all(fd.lhs_size <= 1 for fd in report.dependencies)

@@ -1,0 +1,99 @@
+"""Tests for sample-based screening and verification."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sampling import discover_fds_sampled, screen_with_sample
+from repro.baselines.bruteforce import dependency_g3
+from repro.core.tane import discover_fds
+from repro.exceptions import ConfigurationError
+from repro.model.relation import Relation
+
+
+def make_big_relation(num_rows=3000, seed=3, error_rate=0.01):
+    """sensor -> location with a small corrupted fraction."""
+    rng = np.random.default_rng(seed)
+    sensors = rng.integers(0, 40, size=num_rows)
+    location_of = rng.integers(0, 6, size=40)
+    locations = location_of[sensors]
+    flip = rng.random(num_rows) < error_rate
+    locations = np.where(flip, rng.integers(0, 6, size=num_rows), locations)
+    noise = rng.integers(0, 1000, size=num_rows)
+    return Relation.from_codes(
+        [sensors.astype(np.int64), locations.astype(np.int64), noise.astype(np.int64)],
+        ["sensor", "location", "noise"],
+    )
+
+
+class TestScreen:
+    def test_sample_size_respected(self):
+        relation = make_big_relation()
+        _, sample = screen_with_sample(relation, 500, epsilon=0.05, margin=0.05)
+        assert sample.num_rows == 500
+
+    def test_oversized_sample_uses_all_rows(self):
+        relation = make_big_relation(num_rows=100)
+        _, sample = screen_with_sample(relation, 10_000, epsilon=0.0, margin=0.0)
+        assert sample is relation
+
+    def test_bad_parameters(self):
+        relation = make_big_relation(num_rows=50)
+        with pytest.raises(ConfigurationError):
+            screen_with_sample(relation, 0, 0.1, 0.1)
+        with pytest.raises(ConfigurationError):
+            screen_with_sample(relation, 10, 0.1, -0.1)
+        with pytest.raises(ConfigurationError):
+            screen_with_sample(relation, 10, 0.9, 0.5)
+
+    def test_deterministic(self):
+        relation = make_big_relation()
+        first, _ = screen_with_sample(relation, 300, 0.05, 0.02, seed=7)
+        second, _ = screen_with_sample(relation, 300, 0.05, 0.02, seed=7)
+        assert first == second
+
+
+class TestSampledDiscovery:
+    def test_verified_candidates_truly_valid(self):
+        relation = make_big_relation()
+        outcome = discover_fds_sampled(
+            relation, sample_rows=400, epsilon=0.05, margin=0.05, max_lhs_size=1
+        )
+        for fd in outcome.verified:
+            true_error = dependency_g3(relation, fd.lhs, fd.rhs)
+            assert true_error <= 0.05 + 1e-9
+            assert fd.error == pytest.approx(true_error)
+
+    def test_planted_dependency_recovered(self):
+        relation = make_big_relation(error_rate=0.01)
+        outcome = discover_fds_sampled(
+            relation, sample_rows=600, epsilon=0.05, margin=0.05, max_lhs_size=1
+        )
+        schema = relation.schema
+        assert any(
+            fd.lhs == schema.mask_of("sensor") and fd.rhs == schema.index_of("location")
+            for fd in outcome.verified
+        )
+
+    def test_false_positives_removed(self):
+        """A dependency valid on a tiny sample but invalid on the full
+        data must not be verified."""
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 3, size=400).astype(np.int64)
+        b = rng.integers(0, 3, size=400).astype(np.int64)
+        relation = Relation.from_codes([a, b], ["A", "B"])
+        outcome = discover_fds_sampled(relation, sample_rows=3, epsilon=0.0, margin=0.0)
+        for fd in outcome.verified:
+            assert dependency_g3(relation, fd.lhs, fd.rhs) == 0.0
+
+    def test_exact_mode_full_sample_matches_direct(self):
+        relation = make_big_relation(num_rows=200)
+        outcome = discover_fds_sampled(
+            relation, sample_rows=200, epsilon=0.0, margin=0.0
+        )
+        direct = discover_fds(relation).dependencies
+        assert outcome.verified == direct
+
+    def test_repr(self):
+        relation = make_big_relation(num_rows=100)
+        outcome = discover_fds_sampled(relation, sample_rows=50, epsilon=0.1)
+        assert "verified" in repr(outcome)

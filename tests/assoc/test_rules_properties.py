@@ -1,0 +1,82 @@
+"""Property tests: the partition-based rule miner vs direct counting."""
+
+import math
+from itertools import combinations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.assoc.rules import mine_association_rules
+from tests.conftest import relations
+
+RELATIONS = relations(min_rows=0, max_rows=25, max_columns=3, max_domain=3)
+SLOW = settings(max_examples=50, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+def bruteforce_rules(relation, min_support, min_confidence, max_lhs_size):
+    """Enumerate all rules by direct counting (the oracle)."""
+    num_rows = relation.num_rows
+    if num_rows == 0:
+        return set()
+    rows = relation.to_rows()
+    names = list(relation.schema)
+    min_count = max(2, math.ceil(min_support * num_rows - 1e-9))  # same as the miner
+    found = set()
+    attribute_indices = range(relation.num_attributes)
+    limit = max_lhs_size if max_lhs_size is not None else relation.num_attributes
+    for lhs_size in range(0, limit + 1):
+        for lhs_attrs in combinations(attribute_indices, lhs_size):
+            # all value combinations present in the data
+            groups: dict[tuple, list] = {}
+            for row in rows:
+                key = tuple(row[a] for a in lhs_attrs)
+                groups.setdefault(key, []).append(row)
+            for key, members in groups.items():
+                if len(members) < min_count:
+                    continue
+                for rhs_attr in attribute_indices:
+                    if rhs_attr in lhs_attrs:
+                        continue
+                    counts: dict[object, int] = {}
+                    for row in members:
+                        counts[row[rhs_attr]] = counts.get(row[rhs_attr], 0) + 1
+                    for value, count in counts.items():
+                        if count < min_count:
+                            continue
+                        confidence = count / len(members)
+                        if confidence < min_confidence - 1e-12:
+                            continue
+                        lhs_items = tuple(
+                            (names[a], v) for a, v in zip(lhs_attrs, key)
+                        )
+                        found.add((lhs_items, (names[rhs_attr], value),
+                                   round(count / num_rows, 9), round(confidence, 9)))
+    return found
+
+
+class TestMinerMatchesOracle:
+    @given(
+        RELATIONS,
+        st.sampled_from([0.1, 0.25]),
+        st.sampled_from([0.5, 0.8]),
+    )
+    @SLOW
+    def test_same_rules(self, relation, min_support, min_confidence):
+        mined = {
+            (rule.lhs, rule.rhs, round(rule.support, 9), round(rule.confidence, 9))
+            for rule in mine_association_rules(
+                relation, min_support=min_support, min_confidence=min_confidence
+            )
+        }
+        expected = bruteforce_rules(relation, min_support, min_confidence, None)
+        assert mined == expected
+
+    @given(RELATIONS)
+    @SLOW
+    def test_lhs_limit_is_a_subset(self, relation):
+        unlimited = mine_association_rules(relation, 0.15, 0.6)
+        limited = mine_association_rules(relation, 0.15, 0.6, max_lhs_size=1)
+        unlimited_keys = {(r.lhs, r.rhs) for r in unlimited}
+        for rule in limited:
+            assert (rule.lhs, rule.rhs) in unlimited_keys
+            assert len(rule.lhs) <= 1

@@ -1,0 +1,80 @@
+"""Tests for the brute-force oracle itself (checked against definitions)."""
+
+import pytest
+
+from repro.baselines.bruteforce import (
+    dependency_g3,
+    dependency_holds,
+    discover_fds_bruteforce,
+)
+from repro.model.fd import FunctionalDependency
+from repro.model.relation import Relation
+
+
+class TestDependencyHolds:
+    def test_figure1_examples(self, figure1_relation):
+        schema = figure1_relation.schema
+        assert dependency_holds(figure1_relation, schema.mask_of(["B", "C"]), schema.index_of("A"))
+        assert not dependency_holds(figure1_relation, schema.mask_of(["A"]), schema.index_of("B"))
+
+    def test_empty_lhs_constant_column(self):
+        rel = Relation.from_rows([[1, "x"], [2, "x"]], ["A", "B"])
+        assert dependency_holds(rel, 0, 1)
+        assert not dependency_holds(rel, 0, 0)
+
+    def test_empty_relation(self):
+        rel = Relation.from_rows([], ["A", "B"])
+        assert dependency_holds(rel, 0, 1)
+
+
+class TestG3:
+    def test_exact_dependency_is_zero(self, figure1_relation):
+        schema = figure1_relation.schema
+        assert dependency_g3(figure1_relation, schema.mask_of(["B", "C"]), schema.index_of("A")) == 0.0
+
+    def test_known_value(self):
+        # group 0: rhs [1,1,2] -> 1 removal; group 1: rhs [3] -> 0.
+        rel = Relation.from_rows([[0, 1], [0, 1], [0, 2], [1, 3]], ["A", "B"])
+        assert dependency_g3(rel, 1, 1) == pytest.approx(0.25)
+
+    def test_empty_relation(self):
+        rel = Relation.from_rows([], ["A", "B"])
+        assert dependency_g3(rel, 1, 0) == 0.0
+
+    def test_g3_zero_iff_holds(self):
+        rel = Relation.from_rows([[i % 3, i % 2, (i * i) % 4] for i in range(12)])
+        for lhs in range(4):
+            for rhs in range(3):
+                if lhs & (1 << rhs):
+                    continue
+                holds = dependency_holds(rel, lhs, rhs)
+                assert (dependency_g3(rel, lhs, rhs) == 0.0) == holds
+
+
+class TestDiscovery:
+    def test_figure1(self, figure1_relation):
+        result = discover_fds_bruteforce(figure1_relation)
+        assert len(result) == 6
+
+    def test_minimality(self, figure1_relation):
+        result = discover_fds_bruteforce(figure1_relation)
+        for fd in result:
+            for drop in fd.lhs_indices():
+                smaller = fd.lhs & ~(1 << drop)
+                assert not dependency_holds(figure1_relation, smaller, fd.rhs)
+
+    def test_lhs_limit(self, figure1_relation):
+        assert len(discover_fds_bruteforce(figure1_relation, max_lhs_size=1)) == 0
+
+    def test_approximate_includes_exact(self, figure1_relation):
+        exact = discover_fds_bruteforce(figure1_relation)
+        approx = discover_fds_bruteforce(figure1_relation, 0.1)
+        # every exact minimal dep is implied by some approx minimal dep
+        by_rhs = approx.lhs_masks_by_rhs()
+        for fd in exact:
+            assert any(lhs & ~fd.lhs == 0 for lhs in by_rhs.get(fd.rhs, []))
+
+    def test_constant_column(self):
+        rel = Relation.from_rows([["x", 1], ["x", 2]], ["c", "id"])
+        result = discover_fds_bruteforce(rel)
+        assert FunctionalDependency(0, 0) in result

@@ -1,0 +1,91 @@
+"""Tests for the minimal-hitting-set dependency inference baseline."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import _bitset
+from repro.baselines.bruteforce import discover_fds_bruteforce
+from repro.baselines.transversal import discover_fds_transversal, minimal_hitting_sets
+from tests.conftest import relations
+
+SLOW = settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+def bruteforce_hitting_sets(sets, universe):
+    """All minimal transversals by exhaustive enumeration."""
+    from itertools import combinations
+
+    attributes = _bitset.to_indices(universe)
+    found = []
+    for size in range(len(attributes) + 1):
+        for combo in combinations(attributes, size):
+            mask = _bitset.from_indices(combo)
+            if any(_bitset.is_subset(kept, mask) for kept in found):
+                continue
+            if all(mask & member for member in sets):
+                found.append(mask)
+    return sorted(found)
+
+
+class TestMinimalHittingSets:
+    def test_empty_family(self):
+        assert minimal_hitting_sets([], 0b111) == [0]
+
+    def test_empty_member_unhittable(self):
+        assert minimal_hitting_sets([0b101, 0], 0b111) == []
+
+    def test_single_set(self):
+        assert sorted(minimal_hitting_sets([0b101], 0b111)) == [0b001, 0b100]
+
+    def test_two_disjoint_sets(self):
+        result = sorted(minimal_hitting_sets([0b001, 0b110], 0b111))
+        assert result == [0b011, 0b101]
+
+    def test_overlapping_sets(self):
+        # {a,b}, {b,c}: minimal transversals {b}, {a,c}
+        result = sorted(minimal_hitting_sets([0b011, 0b110], 0b111))
+        assert result == [0b010, 0b101]
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=63), max_size=6),
+        st.just(0b111111),
+    )
+    @SLOW
+    def test_matches_bruteforce(self, sets, universe):
+        result = sorted(minimal_hitting_sets(sets, universe))
+        assert result == bruteforce_hitting_sets(sets, universe)
+
+    @given(st.lists(st.integers(min_value=1, max_value=255), max_size=8))
+    @SLOW
+    def test_outputs_are_hitting_and_minimal(self, sets):
+        universe = 0b11111111
+        for mask in minimal_hitting_sets(sets, universe):
+            assert all(mask & member for member in sets)
+            for attribute in _bitset.iter_bits(mask):
+                reduced = mask & ~_bitset.bit(attribute)
+                assert not all(reduced & member for member in sets)
+
+
+class TestDiscovery:
+    def test_figure1(self, figure1_relation):
+        result = discover_fds_transversal(figure1_relation)
+        found = {fd.format(figure1_relation.schema) for fd in result}
+        assert found == {
+            "A,C -> B", "A,D -> B", "A,D -> C",
+            "B,C -> A", "B,D -> A", "B,D -> C",
+        }
+
+    def test_lhs_limit(self, figure1_relation):
+        assert len(discover_fds_transversal(figure1_relation, max_lhs_size=1)) == 0
+
+    @given(relations(max_rows=18, max_columns=4, max_domain=3))
+    @SLOW
+    def test_matches_oracle(self, relation):
+        assert discover_fds_transversal(relation) == discover_fds_bruteforce(relation)
+
+    @given(relations(max_rows=15, max_columns=4, max_domain=3))
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_agrees_with_fdep(self, relation):
+        from repro.baselines.fdep import discover_fds_fdep
+
+        assert discover_fds_transversal(relation) == discover_fds_fdep(relation)

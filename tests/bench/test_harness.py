@@ -1,0 +1,53 @@
+"""Tests for the bench harness: scales and measurement."""
+
+import pytest
+
+from repro.bench.harness import BenchScale, measure, resolve_scale
+from repro.exceptions import ConfigurationError
+
+
+class TestResolveScale:
+    def test_default_quick(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert resolve_scale().name == "quick"
+
+    def test_env_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "medium")
+        assert resolve_scale().name == "medium"
+
+    def test_explicit_name_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "medium")
+        assert resolve_scale("full").name == "full"
+
+    def test_passthrough_instance(self):
+        scale = BenchScale(
+            name="custom", wbc_multiples=(1,), fdep_row_cap=10,
+            tane_row_cap=10, adult_rows=10,
+        )
+        assert resolve_scale(scale) is scale
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_scale("galactic")
+
+    def test_full_scale_matches_paper_parameters(self):
+        scale = resolve_scale("full")
+        assert 512 in scale.wbc_multiples
+        assert scale.adult_rows == 48842
+        assert scale.approx_epsilons == (0.0, 0.01, 0.05, 0.25, 0.5)
+
+    def test_all_scales_have_monotone_knobs(self):
+        quick, medium, full = (resolve_scale(n) for n in ("quick", "medium", "full"))
+        assert quick.fdep_row_cap <= medium.fdep_row_cap <= full.fdep_row_cap
+        assert max(quick.wbc_multiples) <= max(full.wbc_multiples)
+
+
+class TestMeasure:
+    def test_returns_result_and_time(self):
+        measurement = measure(lambda: sum(range(1000)))
+        assert measurement.result == 499500
+        assert measurement.seconds >= 0.0
+
+    def test_exceptions_propagate(self):
+        with pytest.raises(RuntimeError):
+            measure(lambda: (_ for _ in ()).throw(RuntimeError("boom")))

@@ -1,0 +1,86 @@
+"""Consistency guards on the transcribed paper numbers.
+
+The ``PAPER_*`` constants in the workloads are the source of the
+"paper" columns in every regenerated table; these tests pin internal
+consistency (they cannot, of course, re-verify the 1998 measurements).
+"""
+
+from repro.bench.harness import resolve_scale
+from repro.bench.workloads import (
+    INFEASIBLE,
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    PAPER_TABLE3_LITERATURE,
+)
+
+
+class TestTable1Constants:
+    def test_row_shapes(self):
+        for name, row in PAPER_TABLE1.items():
+            rows, attrs, n, tane, mem, fdep = row
+            assert rows > 0 and attrs > 0 and n > 0, name
+            for cell in (tane, mem, fdep):
+                assert cell == INFEASIBLE or (isinstance(cell, float) and cell > 0)
+
+    def test_replication_rows_scale(self):
+        base = PAPER_TABLE1["wisconsin"][0]
+        assert PAPER_TABLE1["wisconsin x64"][0] == base * 64
+        assert PAPER_TABLE1["wisconsin x128"][0] == base * 128
+        assert PAPER_TABLE1["wisconsin x512"][0] == base * 512
+
+    def test_replication_keeps_n(self):
+        n = PAPER_TABLE1["wisconsin"][2]
+        for label in ("wisconsin x64", "wisconsin x128", "wisconsin x512"):
+            assert PAPER_TABLE1[label][2] == n
+
+    def test_chess_row(self):
+        assert PAPER_TABLE1["chess"][:3] == (28056, 7, 1)
+
+    def test_infeasible_monotone(self):
+        """Once FDEP stars out it stays starred at larger sizes."""
+        fdep_column = [PAPER_TABLE1[f"wisconsin{suffix}"][5]
+                       for suffix in ("", " x64", " x128", " x512")]
+        seen_star = False
+        for cell in fdep_column:
+            if cell == INFEASIBLE:
+                seen_star = True
+            else:
+                assert not seen_star
+
+
+class TestTable2Constants:
+    def test_epsilon_grid_matches_scales(self):
+        grid = set(resolve_scale("full").approx_epsilons)
+        for dataset, by_eps in PAPER_TABLE2.items():
+            assert set(by_eps) == grid, dataset
+
+    def test_eps0_matches_table1_n(self):
+        for label in ("lymphography", "hepatitis", "wisconsin", "chess"):
+            assert PAPER_TABLE2[label][0.0][0] == PAPER_TABLE1[label][2]
+
+    def test_chess_n_column(self):
+        values = [PAPER_TABLE2["chess"][eps][0] for eps in (0.0, 0.01, 0.05, 0.25, 0.5)]
+        assert values == [1, 1, 1, 2, 17]
+
+
+class TestTable3Constants:
+    def test_sixteen_quoted_rows(self):
+        assert len(PAPER_TABLE3_LITERATURE) == 16
+
+    def test_lhs_limits_within_schema(self):
+        for _, rows, attrs, limit, n, source, seconds in PAPER_TABLE3_LITERATURE:
+            assert 0 < limit <= attrs
+            assert n > 0 and rows > 0
+
+    def test_headline_comparison_factors(self):
+        """The paper's overview: wbc |X|=4 — TANE 0.34s, FDEP 15s
+        (c=44), Bell 259s (c=760), Schlimmer 4440s (c~13000)."""
+        wbc4 = {
+            source: seconds
+            for (db, _, _, limit, _, source, seconds) in PAPER_TABLE3_LITERATURE
+            if db == "wisconsin" and limit == 4
+        }
+        assert wbc4["TANE"] == 0.34
+        assert round(wbc4["Fdep [17]"] / wbc4["TANE"]) == 44
+        assert round(wbc4["Bell et al [1]"] / wbc4["TANE"]) == 762  # paper rounds to 760
+        assert round(wbc4["Schlimmer [19]"] / wbc4["TANE"]) == 13059  # paper: 13000

@@ -1,0 +1,67 @@
+"""Tests for benchmark table/series rendering."""
+
+import pytest
+
+from repro.bench.report import Series, Table
+
+
+class TestTable:
+    def test_add_and_format(self):
+        table = Table("Demo", ["name", "value"])
+        table.add_row("alpha", 1.5)
+        table.add_row("beta", None)
+        text = table.format()
+        assert "Demo" in text
+        assert "alpha" in text
+        assert "1.50" in text
+        assert "-" in text  # None cell
+
+    def test_wrong_arity_rejected(self):
+        table = Table("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_column_extraction(self):
+        table = Table("T", ["a", "b"])
+        table.add_row(1, "x")
+        table.add_row(2, "y")
+        assert table.column("a") == [1, 2]
+        assert table.column("b") == ["x", "y"]
+
+    def test_row_dict(self):
+        table = Table("T", ["a", "b"])
+        table.add_row(1, "x")
+        assert table.row_dict(0) == {"a": 1, "b": "x"}
+
+    def test_notes(self):
+        table = Table("T", ["a"])
+        table.add_note("hello")
+        assert "note: hello" in table.format()
+
+    def test_float_formats(self):
+        table = Table("T", ["v"])
+        table.add_row(1234.5)
+        table.add_row(12.345)
+        table.add_row(0.1234)
+        text = table.format()
+        assert "1234" in text or "1235" in text
+        assert "12.35" in text or "12.34" in text
+        assert "0.1234" in text
+
+    def test_nan_rendered_as_dash(self):
+        table = Table("T", ["v"])
+        table.add_row(float("nan"))
+        assert "-" in table.format()
+
+    def test_empty_table_formats(self):
+        assert "T" in Table("T", ["a", "b"]).format()
+
+
+class TestSeries:
+    def test_add_and_format(self):
+        series = Series("time ratio")
+        series.add(0.0, 1.0)
+        series.add(0.5, 0.25)
+        text = series.format()
+        assert "time ratio" in text
+        assert "(0.5" in text.replace("0.5000", "0.5")

@@ -1,0 +1,75 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro.model.relation import Relation
+
+
+@pytest.fixture
+def figure1_relation() -> Relation:
+    """The example relation from Figure 1 of the paper."""
+    rows = [
+        [1, "a", "$", "Flower"],
+        [1, "A", "L", "Tulip"],
+        [2, "A", "$", "Daffodil"],
+        [2, "A", "$", "Flower"],
+        [2, "b", "L", "Lily"],
+        [3, "b", "$", "Orchid"],
+        [3, "c", "L", "Flower"],
+        [3, "c", "#", "Rose"],
+    ]
+    return Relation.from_rows(rows, ["A", "B", "C", "D"])
+
+
+def relations(
+    min_rows: int = 0,
+    max_rows: int = 30,
+    min_columns: int = 1,
+    max_columns: int = 5,
+    max_domain: int = 4,
+) -> st.SearchStrategy[Relation]:
+    """Hypothesis strategy generating small random relations."""
+
+    def build(data: tuple[int, int, list[int]]) -> Relation:
+        num_rows, num_columns, values = data
+        columns = [
+            np.asarray(values[c * num_rows:(c + 1) * num_rows], dtype=np.int64)
+            for c in range(num_columns)
+        ]
+        return Relation.from_codes(columns, [f"c{i}" for i in range(num_columns)])
+
+    def shapes(pair: tuple[int, int]) -> st.SearchStrategy[tuple[int, int, list[int]]]:
+        num_rows, num_columns = pair
+        return st.tuples(
+            st.just(num_rows),
+            st.just(num_columns),
+            st.lists(
+                st.integers(min_value=0, max_value=max_domain - 1),
+                min_size=num_rows * num_columns,
+                max_size=num_rows * num_columns,
+            ),
+        )
+
+    return (
+        st.tuples(
+            st.integers(min_value=min_rows, max_value=max_rows),
+            st.integers(min_value=min_columns, max_value=max_columns),
+        )
+        .flatmap(shapes)
+        .map(build)
+    )
+
+
+def code_columns(
+    min_rows: int = 0, max_rows: int = 40, max_domain: int = 5
+) -> st.SearchStrategy[list[int]]:
+    """Strategy for one integer-coded column (for partition tests)."""
+    return st.lists(
+        st.integers(min_value=0, max_value=max_domain - 1),
+        min_size=min_rows,
+        max_size=max_rows,
+    )

@@ -1,0 +1,85 @@
+"""Tests for GENERATE-NEXT-LEVEL (prefix-block apriori generation)."""
+
+from itertools import combinations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import _bitset
+from repro.core.lattice import generate_next_level, prefix_blocks
+
+
+def masks_of(*index_tuples):
+    return [_bitset.from_indices(t) for t in index_tuples]
+
+
+class TestPrefixBlocks:
+    def test_singletons_share_empty_prefix(self):
+        blocks = prefix_blocks(masks_of((0,), (1,), (2,)))
+        assert blocks == {0: [1, 2, 4]}
+
+    def test_pairs(self):
+        blocks = prefix_blocks(masks_of((0, 1), (0, 2), (1, 2)))
+        assert blocks == {1: [2, 4], 2: [4]}
+
+    def test_zero_ignored(self):
+        assert prefix_blocks([0]) == {}
+
+
+class TestGenerateNextLevel:
+    def test_full_level2_from_singletons(self):
+        level1 = masks_of((0,), (1,), (2,))
+        result = generate_next_level(level1)
+        candidates = [c for c, _, _ in result]
+        assert candidates == masks_of((0, 1), (0, 2), (1, 2))
+
+    def test_factors_are_joined_subsets(self):
+        level1 = masks_of((0,), (1,))
+        [(candidate, x, y)] = generate_next_level(level1)
+        assert candidate == 0b11
+        assert {x, y} == {0b01, 0b10}
+        assert x | y == candidate
+
+    def test_missing_subset_blocks_candidate(self):
+        # {0,1}, {0,2} present but {1,2} absent: {0,1,2} not generated.
+        level2 = masks_of((0, 1), (0, 2))
+        assert generate_next_level(level2) == []
+
+    def test_three_pairs_give_triple(self):
+        level2 = masks_of((0, 1), (0, 2), (1, 2))
+        [(candidate, x, y)] = generate_next_level(level2)
+        assert candidate == 0b111
+        # the join uses the two sets sharing the 2-attribute prefix {0}/{1}
+        assert _bitset.is_subset(x, candidate) and _bitset.is_subset(y, candidate)
+
+    def test_empty_level(self):
+        assert generate_next_level([]) == []
+
+    def test_deterministic_order(self):
+        level = masks_of((2,), (0,), (1,))
+        first = generate_next_level(level)
+        second = generate_next_level(list(reversed(level)))
+        assert first == second
+
+    @given(st.integers(min_value=2, max_value=6), st.data())
+    def test_matches_specification(self, num_attributes, data):
+        """L_{l+1} = sets whose every l-subset is in L_l (paper spec)."""
+        level_size = data.draw(st.integers(min_value=1, max_value=min(3, num_attributes - 1)))
+        universe = list(combinations(range(num_attributes), level_size))
+        chosen = data.draw(
+            st.lists(st.sampled_from(universe), min_size=0, max_size=len(universe), unique=True)
+        )
+        level = sorted(_bitset.from_indices(c) for c in chosen)
+        level_set = set(level)
+        expected = []
+        for combo in combinations(range(num_attributes), level_size + 1):
+            mask = _bitset.from_indices(combo)
+            subsets_present = all(
+                (mask ^ _bitset.bit(i)) in level_set for i in combo
+            )
+            if subsets_present:
+                expected.append(mask)
+        result = generate_next_level(level)
+        assert [c for c, _, _ in result] == sorted(expected)
+        for candidate, x, y in result:
+            assert x in level_set and y in level_set and x | y == candidate

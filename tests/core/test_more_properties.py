@@ -1,0 +1,123 @@
+"""Further targeted property suites for the TANE driver."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import _bitset
+from repro.baselines.bruteforce import dependency_error, dependency_g3
+from repro.core.tane import TaneConfig, discover
+from tests.conftest import relations
+
+RELATIONS = relations(max_rows=18, max_columns=4, max_domain=3)
+SLOW = settings(max_examples=50, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestApproximateMinimality:
+    @given(RELATIONS, st.sampled_from([0.1, 0.3]))
+    @SLOW
+    def test_every_output_is_definitionally_minimal(self, relation, epsilon):
+        """Each reported dependency is valid at ε and every immediate
+        lhs subset is invalid — straight from the definition."""
+        result = discover(relation, TaneConfig(epsilon=epsilon))
+        for fd in result.dependencies:
+            assert dependency_g3(relation, fd.lhs, fd.rhs) <= epsilon + 1e-12
+            for attribute in fd.lhs_indices():
+                smaller = fd.lhs & ~_bitset.bit(attribute)
+                assert dependency_g3(relation, smaller, fd.rhs) > epsilon + 1e-12
+
+    @given(RELATIONS, st.sampled_from(["g1", "g2"]))
+    @SLOW
+    def test_minimality_under_alternative_measures(self, relation, measure):
+        epsilon = 0.2
+        result = discover(relation, TaneConfig(epsilon=epsilon, measure=measure))
+        for fd in result.dependencies:
+            assert dependency_error(relation, fd.lhs, fd.rhs, measure) <= epsilon + 1e-12
+            for attribute in fd.lhs_indices():
+                smaller = fd.lhs & ~_bitset.bit(attribute)
+                assert dependency_error(relation, smaller, fd.rhs, measure) > epsilon + 1e-12
+
+
+class TestStoreEquivalence:
+    @given(RELATIONS)
+    @SLOW
+    def test_disk_and_memory_identical(self, relation):
+        memory = discover(relation, TaneConfig())
+        disk = discover(
+            relation,
+            TaneConfig(store="disk", store_options=(("resident_budget_bytes", 512),)),
+        )
+        assert memory.dependencies == disk.dependencies
+        assert memory.keys == disk.keys
+        assert memory.statistics.level_sizes == disk.statistics.level_sizes
+
+    @given(RELATIONS, st.sampled_from([0.1, 0.4]))
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_disk_and_memory_identical_approximate(self, relation, epsilon):
+        memory = discover(relation, TaneConfig(epsilon=epsilon))
+        disk = discover(
+            relation,
+            TaneConfig(
+                epsilon=epsilon,
+                store="disk",
+                store_options=(("resident_budget_bytes", 512),),
+            ),
+        )
+        assert memory.dependencies == disk.dependencies
+
+
+class TestDeterminism:
+    @given(RELATIONS)
+    @SLOW
+    def test_repeat_runs_identical(self, relation):
+        first = discover(relation, TaneConfig())
+        second = discover(relation, TaneConfig())
+        assert first.dependencies == second.dependencies
+        assert first.keys == second.keys
+        assert first.statistics.validity_tests == second.statistics.validity_tests
+
+    @given(RELATIONS)
+    @SLOW
+    def test_output_order_stable(self, relation):
+        first = [
+            (fd.lhs, fd.rhs) for fd in discover(relation, TaneConfig()).dependencies
+        ]
+        second = [
+            (fd.lhs, fd.rhs) for fd in discover(relation, TaneConfig()).dependencies
+        ]
+        assert first == second
+
+
+class TestColumnPermutationInvariance:
+    @given(RELATIONS)
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_reversed_columns_give_permuted_results(self, relation):
+        """Renaming/permuting columns must permute, not change, the
+        dependency set."""
+        reversed_names = list(reversed(relation.schema.attribute_names))
+        permuted = relation.project(reversed_names)
+        base = discover(relation, TaneConfig()).dependencies
+        swapped = discover(permuted, TaneConfig()).dependencies
+        m = relation.num_attributes
+
+        def remap(index: int) -> int:
+            return m - 1 - index
+
+        expected = {
+            (_bitset.from_indices(remap(i) for i in _bitset.to_indices(fd.lhs)), remap(fd.rhs))
+            for fd in base
+        }
+        assert {(fd.lhs, fd.rhs) for fd in swapped} == expected
+
+
+class TestRowPermutationInvariance:
+    @given(RELATIONS, st.randoms(use_true_random=False))
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_shuffled_rows_same_dependencies(self, relation, rng):
+        order = list(range(relation.num_rows))
+        rng.shuffle(order)
+        shuffled = relation.take(order)
+        assert (
+            discover(relation, TaneConfig()).dependencies
+            == discover(shuffled, TaneConfig()).dependencies
+        )

@@ -1,0 +1,51 @@
+"""Tests for the per-level progress callback."""
+
+import pytest
+
+from repro.core.tane import LevelProgress, TaneConfig, discover
+
+
+class TestProgressCallback:
+    def test_called_once_per_level(self, figure1_relation):
+        snapshots: list[LevelProgress] = []
+        result = discover(figure1_relation, TaneConfig(progress=snapshots.append))
+        assert len(snapshots) == len(result.statistics.level_sizes)
+        assert [s.level for s in snapshots] == list(range(1, len(snapshots) + 1))
+        assert [s.level_size for s in snapshots] == result.statistics.level_sizes
+
+    def test_dependency_counts_monotone(self, figure1_relation):
+        snapshots: list[LevelProgress] = []
+        result = discover(figure1_relation, TaneConfig(progress=snapshots.append))
+        counts = [s.dependencies_found for s in snapshots]
+        assert counts == sorted(counts)
+        assert counts[-1] <= len(result.dependencies)
+
+    def test_elapsed_nondecreasing(self, figure1_relation):
+        snapshots: list[LevelProgress] = []
+        discover(figure1_relation, TaneConfig(progress=snapshots.append))
+        elapsed = [s.elapsed_seconds for s in snapshots]
+        assert elapsed == sorted(elapsed)
+        assert all(value >= 0 for value in elapsed)
+
+    def test_no_callback_by_default(self, figure1_relation):
+        result = discover(figure1_relation, TaneConfig())
+        assert len(result.dependencies) == 6  # nothing broke
+
+    def test_callback_exception_aborts(self, figure1_relation):
+        def boom(snapshot: LevelProgress) -> None:
+            if snapshot.level == 2:
+                raise RuntimeError("stop here")
+
+        with pytest.raises(RuntimeError, match="stop here"):
+            discover(figure1_relation, TaneConfig(progress=boom))
+
+    def test_result_unchanged_by_callback(self, figure1_relation):
+        plain = discover(figure1_relation, TaneConfig())
+        observed = discover(figure1_relation, TaneConfig(progress=lambda s: None))
+        assert plain.dependencies == observed.dependencies
+        assert plain.keys == observed.keys
+
+    def test_works_in_approximate_mode(self, figure1_relation):
+        snapshots: list[LevelProgress] = []
+        discover(figure1_relation, TaneConfig(epsilon=0.25, progress=snapshots.append))
+        assert snapshots

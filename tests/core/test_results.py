@@ -1,0 +1,65 @@
+"""Tests for DiscoveryResult and SearchStatistics."""
+
+from repro.core.results import DiscoveryResult, SearchStatistics
+from repro.model.fd import FDSet, FunctionalDependency
+from repro.model.schema import RelationSchema
+
+SCHEMA = RelationSchema(["A", "B", "C"])
+
+
+def make_result(**overrides):
+    defaults = dict(
+        dependencies=FDSet([FunctionalDependency.from_names(SCHEMA, ["A"], "B", 0.1)]),
+        keys=[SCHEMA.mask_of(["A", "C"])],
+        schema=SCHEMA,
+        epsilon=0.1,
+        statistics=SearchStatistics(level_sizes=[3, 2], pruned_level_sizes=[3, 1]),
+    )
+    defaults.update(overrides)
+    return DiscoveryResult(**defaults)
+
+
+class TestSearchStatistics:
+    def test_totals(self):
+        stats = SearchStatistics(level_sizes=[4, 6, 2])
+        assert stats.total_sets == 12
+        assert stats.max_level_size == 6
+
+    def test_empty(self):
+        stats = SearchStatistics()
+        assert stats.total_sets == 0
+        assert stats.max_level_size == 0
+
+    def test_defaults(self):
+        stats = SearchStatistics()
+        assert stats.validity_tests == 0
+        assert stats.store_spills == 0
+        assert stats.elapsed_seconds == 0.0
+
+
+class TestDiscoveryResult:
+    def test_container_protocol(self):
+        result = make_result()
+        assert len(result) == 1
+        assert list(iter(result))[0].rhs == SCHEMA.index_of("B")
+
+    def test_key_names(self):
+        assert make_result().key_names() == [("A", "C")]
+
+    def test_sorted_dependencies(self):
+        fds = FDSet([
+            FunctionalDependency.from_names(SCHEMA, ["A", "B"], "C"),
+            FunctionalDependency.from_names(SCHEMA, ["A"], "B"),
+        ])
+        result = make_result(dependencies=fds)
+        ordered = result.sorted_dependencies()
+        assert ordered[0].lhs_size <= ordered[1].lhs_size
+
+    def test_repr_exact_vs_approx(self):
+        assert "approximate" in repr(make_result(epsilon=0.2))
+        assert "exact" in repr(make_result(epsilon=0.0))
+
+    def test_format_contains_everything(self):
+        text = make_result().format()
+        assert "key: {A, C}" in text
+        assert "A -> B" in text

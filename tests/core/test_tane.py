@@ -1,0 +1,187 @@
+"""Tests for the TANE driver: exact discovery, keys, statistics, config."""
+
+import pytest
+
+from repro import _bitset
+from repro.core.results import DiscoveryResult
+from repro.core.tane import TaneConfig, discover, discover_approximate_fds, discover_fds
+from repro.exceptions import ConfigurationError
+from repro.model.fd import FunctionalDependency
+from repro.model.relation import Relation
+from repro.partition.store import MemoryPartitionStore
+from repro.partition.vectorized import CsrPartition
+
+
+class TestFigure1:
+    """The paper's running example has a known dependency set."""
+
+    def test_minimal_dependencies(self, figure1_relation):
+        result = discover_fds(figure1_relation)
+        found = {fd.format(figure1_relation.schema) for fd in result.dependencies}
+        assert found == {
+            "A,C -> B", "A,D -> B", "A,D -> C",
+            "B,C -> A", "B,D -> A", "B,D -> C",
+        }
+
+    def test_example2_dependencies(self, figure1_relation):
+        """Example 2: {B,C} -> A holds; {A} -> B does not."""
+        result = discover_fds(figure1_relation)
+        schema = figure1_relation.schema
+        assert FunctionalDependency.from_names(schema, ["B", "C"], "A") in result.dependencies
+        assert FunctionalDependency.from_names(schema, ["A"], "B") not in result.dependencies
+
+    def test_keys(self, figure1_relation):
+        result = discover_fds(figure1_relation)
+        assert sorted(result.key_names()) == [("A", "D"), ("B", "D")]
+
+    def test_all_errors_zero(self, figure1_relation):
+        result = discover_fds(figure1_relation)
+        assert all(fd.error == 0.0 for fd in result.dependencies)
+
+    def test_statistics(self, figure1_relation):
+        stats = discover_fds(figure1_relation).statistics
+        assert stats.level_sizes[0] == 4  # four singletons
+        assert stats.total_sets == sum(stats.level_sizes)
+        assert stats.max_level_size == max(stats.level_sizes)
+        assert stats.validity_tests > 0
+        assert stats.partition_products > 0
+        assert stats.keys_found == 2
+        assert stats.elapsed_seconds > 0
+
+    def test_disk_store_same_result(self, figure1_relation):
+        memory = discover_fds(figure1_relation)
+        disk = discover_fds(figure1_relation, store="disk")
+        assert memory.dependencies == disk.dependencies
+        assert memory.keys == disk.keys
+
+
+class TestEdgeCases:
+    def test_empty_relation(self):
+        rel = Relation.from_rows([], ["A", "B"])
+        result = discover_fds(rel)
+        # With no rows, every dependency holds; minimal ones are {} -> A.
+        assert {fd.format(rel.schema) for fd in result.dependencies} == {"{} -> A", "{} -> B"}
+
+    def test_single_row(self):
+        rel = Relation.from_rows([[1, 2, 3]], ["A", "B", "C"])
+        result = discover_fds(rel)
+        assert {fd.format(rel.schema) for fd in result.dependencies} == {
+            "{} -> A", "{} -> B", "{} -> C",
+        }
+
+    def test_single_column_unique(self):
+        rel = Relation.from_rows([[1], [2], [3]], ["A"])
+        result = discover_fds(rel)
+        assert len(result.dependencies) == 0
+        assert result.keys == [1]
+
+    def test_single_column_constant(self):
+        rel = Relation.from_rows([[1], [1]], ["A"])
+        result = discover_fds(rel)
+        assert {fd.format(rel.schema) for fd in result.dependencies} == {"{} -> A"}
+
+    def test_constant_column_among_others(self):
+        rel = Relation.from_rows([[1, "x"], [2, "x"], [3, "x"]], ["id", "c"])
+        result = discover_fds(rel)
+        formats = {fd.format(rel.schema) for fd in result.dependencies}
+        assert "{} -> c" in formats
+        assert result.keys == [rel.schema.mask_of("id")]
+
+    def test_duplicate_rows_no_keys(self):
+        rel = Relation.from_rows([[1, 2], [1, 2]], ["A", "B"])
+        result = discover_fds(rel)
+        assert result.keys == []
+
+    def test_identical_columns(self):
+        rel = Relation.from_rows([[1, 1], [2, 2], [2, 2]], ["A", "B"])
+        result = discover_fds(rel)
+        formats = {fd.format(rel.schema) for fd in result.dependencies}
+        assert formats == {"A -> B", "B -> A"}
+
+    def test_two_attribute_key_pair(self):
+        rel = Relation.from_rows([[0, 0], [0, 1], [1, 0]], ["A", "B"])
+        result = discover_fds(rel)
+        assert result.keys == [0b11]
+        assert len(result.dependencies) == 0
+
+
+class TestMaxLhsSize:
+    def test_limits_output(self, figure1_relation):
+        result = discover_fds(figure1_relation, max_lhs_size=1)
+        assert len(result.dependencies) == 0  # all minimal FDs have 2-attr lhs
+
+    def test_limit_two_equals_full_here(self, figure1_relation):
+        limited = discover_fds(figure1_relation, max_lhs_size=2)
+        full = discover_fds(figure1_relation)
+        assert limited.dependencies == full.dependencies
+
+    def test_bad_limit_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TaneConfig(max_lhs_size=0)
+
+
+class TestConfig:
+    def test_bad_epsilon(self):
+        with pytest.raises(ConfigurationError):
+            TaneConfig(epsilon=1.5)
+        with pytest.raises(ConfigurationError):
+            TaneConfig(epsilon=-0.1)
+
+    def test_explicit_store_instance_not_closed(self, figure1_relation):
+        store = MemoryPartitionStore()
+        result = discover(figure1_relation, TaneConfig(store=store))
+        assert len(result.dependencies) == 6
+        # caller-owned store is not closed (still usable)
+        store.put(1, CsrPartition.from_column([0, 0]))
+        assert store.get(1) is not None
+
+    def test_disk_store_options(self, figure1_relation):
+        config = TaneConfig(store="disk", store_options=(("resident_budget_bytes", 1), ("min_spill_bytes", 0)))
+        result = discover(figure1_relation, config)
+        assert len(result.dependencies) == 6
+        assert result.statistics.store_spills > 0
+
+    def test_pruning_flags_do_not_change_exact_output(self, figure1_relation):
+        base = discover_fds(figure1_relation).dependencies
+        for config in [TaneConfig(use_rule8=False), TaneConfig(use_key_pruning=False),
+                       TaneConfig(use_rule8=False, use_key_pruning=False)]:
+            assert discover(figure1_relation, config).dependencies == base
+
+    def test_no_rule8_does_more_work(self, figure1_relation):
+        full = discover_fds(figure1_relation).statistics
+        weak = discover(figure1_relation, TaneConfig(use_rule8=False)).statistics
+        assert weak.total_sets >= full.total_sets
+
+    def test_result_repr_and_format(self, figure1_relation):
+        result = discover_fds(figure1_relation)
+        assert isinstance(result, DiscoveryResult)
+        assert "6 dependencies" in repr(result)
+        text = result.format()
+        assert "key:" in text and "B,C -> A" in text
+        assert len(result) == 6
+        assert len(list(iter(result))) == 6
+
+
+class TestWideRelation:
+    def test_more_than_63_attributes(self):
+        """Bitmask sets must work past machine word width."""
+        num_attributes = 70
+        rows = [
+            [r] + [0] * (num_attributes - 1)
+            for r in range(3)
+        ]
+        rel = Relation.from_rows(rows)
+        result = discover_fds(rel, max_lhs_size=1)
+        formats = {fd.format(rel.schema) for fd in result.dependencies}
+        # col0 is a key; every other column is constant
+        assert "{} -> col1" in formats and "{} -> col69" in formats
+        assert rel.schema.mask_of("col0") in result.keys
+
+    def test_dependencies_found_in_wide_relation(self):
+        rows = [[r % 4] + [((r % 4) * 7 + c) % 5 for c in range(64)] for r in range(20)]
+        rel = Relation.from_rows(rows)
+        result = discover_fds(rel, max_lhs_size=1)
+        schema = rel.schema
+        # every column is a function of col0
+        fd = FunctionalDependency.from_names(schema, ["col0"], "col64")
+        assert fd in result.dependencies

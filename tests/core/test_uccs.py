@@ -1,0 +1,114 @@
+"""Tests for minimal (approximate) unique column combination discovery."""
+
+from itertools import combinations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import _bitset
+from repro.core.tane import discover_fds
+from repro.core.uccs import discover_uccs
+from repro.exceptions import ConfigurationError
+from repro.model.relation import Relation
+from tests.conftest import relations
+
+
+def bruteforce_uccs(relation, epsilon=0.0, max_size=None):
+    """Minimal (approximate) UCCs by direct counting."""
+    num_rows = relation.num_rows
+    num_attributes = relation.num_attributes
+    threshold = int(epsilon * num_rows + 1e-9)
+    limit = num_attributes if max_size is None else min(max_size, num_attributes)
+    found: list[int] = []
+    for size in range(1, limit + 1):
+        for combo in combinations(range(num_attributes), size):
+            mask = _bitset.from_indices(combo)
+            if any(_bitset.is_subset(kept, mask) for kept in found):
+                continue
+            groups: dict[tuple, int] = {}
+            for row in range(num_rows):
+                key = tuple(int(relation.column_codes(a)[row]) for a in combo)
+                groups[key] = groups.get(key, 0) + 1
+            surplus = sum(count - 1 for count in groups.values())
+            if surplus <= threshold:
+                found.append(mask)
+    return sorted(found)
+
+
+class TestExact:
+    def test_figure1_keys(self, figure1_relation):
+        result = discover_uccs(figure1_relation)
+        assert sorted(result.uccs) == sorted(discover_fds(figure1_relation).keys)
+        assert all(error == 0.0 for error in result.errors)
+
+    def test_unique_column(self):
+        rel = Relation.from_rows([[1, "x"], [2, "x"], [3, "y"]], ["id", "v"])
+        result = discover_uccs(rel)
+        assert result.uccs == [rel.schema.mask_of("id")]
+
+    def test_no_keys_with_duplicates(self):
+        rel = Relation.from_rows([[1, 2], [1, 2]], ["A", "B"])
+        assert len(discover_uccs(rel)) == 0
+
+    def test_max_size(self, figure1_relation):
+        result = discover_uccs(figure1_relation, max_size=1)
+        assert result.uccs == []  # figure 1 keys have 2 attributes
+
+    def test_bad_parameters(self, figure1_relation):
+        with pytest.raises(ConfigurationError):
+            discover_uccs(figure1_relation, epsilon=2.0)
+        with pytest.raises(ConfigurationError):
+            discover_uccs(figure1_relation, max_size=0)
+
+    def test_format_and_len(self, figure1_relation):
+        result = discover_uccs(figure1_relation)
+        assert len(result) == 2
+        text = result.format()
+        assert "minimal UCCs" in text and "A, D" in text
+        assert result.ucc_names() == [("A", "D"), ("B", "D")]
+
+
+class TestApproximate:
+    def test_threshold_semantics(self):
+        # column A: values [0,0,1,2] -> one duplicate pair: surplus 1 of 4
+        rel = Relation.from_rows([[0, 7], [0, 8], [1, 9], [2, 10]], ["A", "B"])
+        at_quarter = discover_uccs(rel, epsilon=0.25)
+        assert rel.schema.mask_of("A") in at_quarter.uccs
+        below = discover_uccs(rel, epsilon=0.24)
+        assert rel.schema.mask_of("A") not in below.uccs
+
+    def test_errors_reported(self):
+        rel = Relation.from_rows([[0, 7], [0, 8], [1, 9], [2, 10]], ["A", "B"])
+        result = discover_uccs(rel, epsilon=0.25)
+        by_mask = dict(zip(result.uccs, result.errors))
+        assert by_mask[rel.schema.mask_of("A")] == pytest.approx(0.25)
+        assert by_mask[rel.schema.mask_of("B")] == 0.0
+
+    def test_epsilon_one_accepts_singletons(self, figure1_relation):
+        result = discover_uccs(figure1_relation, epsilon=1.0)
+        assert sorted(result.uccs) == [1, 2, 4, 8]
+
+
+class TestProperties:
+    @given(relations(max_rows=20, max_columns=4, max_domain=3),
+           st.sampled_from([0.0, 0.1, 0.3]))
+    @settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_matches_bruteforce(self, relation, epsilon):
+        result = discover_uccs(relation, epsilon=epsilon)
+        assert sorted(result.uccs) == bruteforce_uccs(relation, epsilon)
+
+    @given(relations(min_rows=2, max_rows=20, max_columns=4, max_domain=3))
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_exact_uccs_equal_tane_keys(self, relation):
+        result = discover_uccs(relation)
+        assert sorted(result.uccs) == sorted(discover_fds(relation).keys)
+
+    @given(relations(max_rows=20, max_columns=4, max_domain=3))
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_output_is_antichain(self, relation):
+        result = discover_uccs(relation, epsilon=0.2)
+        for i, a in enumerate(result.uccs):
+            for b in result.uccs[i + 1:]:
+                assert not _bitset.is_subset(a, b)
+                assert not _bitset.is_subset(b, a)

@@ -1,0 +1,178 @@
+"""Tests for the KRK endgame reconstruction.
+
+The retrograde analysis is expensive (~15s) and cached per process; a
+module-scoped fixture shares it across these tests.  The headline
+assertion: our reconstruction equals the published UCI krkopt dataset
+in size and exact class distribution.
+"""
+
+import pytest
+
+from repro.datasets.chess import (
+    CLASS_NAMES,
+    _black_in_check,
+    _black_moves,
+    _rook_attacks,
+    _static_legal,
+    _symmetries,
+    _white_moves,
+    krk_class_distribution,
+    krk_endgame_relation,
+)
+
+UCI_DISTRIBUTION = {
+    "draw": 2796, "zero": 27, "one": 78, "two": 246, "three": 81,
+    "four": 198, "five": 471, "six": 592, "seven": 683, "eight": 1433,
+    "nine": 1712, "ten": 1985, "eleven": 2854, "twelve": 3597,
+    "thirteen": 4194, "fourteen": 4553, "fifteen": 2166, "sixteen": 390,
+}
+
+
+def square(file: int, rank: int) -> int:
+    return rank * 8 + file
+
+
+class TestMoveGeneration:
+    def test_rook_attacks_same_rank(self):
+        assert _rook_attacks(square(0, 0), square(7, 0), blocker=square(3, 3))
+
+    def test_rook_blocked(self):
+        assert not _rook_attacks(square(0, 0), square(7, 0), blocker=square(3, 0))
+
+    def test_rook_not_diagonal(self):
+        assert not _rook_attacks(square(0, 0), square(3, 3), blocker=square(7, 7))
+
+    def test_static_legality(self):
+        assert not _static_legal(0, 0, 5)  # wk == wr
+        assert not _static_legal(0, 5, 1)  # kings adjacent
+        assert _static_legal(0, 5, 16)
+
+    def test_black_in_check(self):
+        # rook a8 (file 0, rank 7), bk a3: same file, wk far away
+        assert _black_in_check(square(7, 0), square(0, 7), square(0, 2))
+
+    def test_black_capture_undefended_rook_is_draw_escape(self):
+        # bk b2 next to wr a1, wk far at h8: capture allowed
+        _, can_draw = _black_moves(square(7, 7), square(0, 0), square(1, 1))
+        assert can_draw
+
+    def test_black_cannot_capture_defended_rook(self):
+        # wr a1 defended by wk b1... kings adjacent check first: bk a3, wk b1?
+        # bk a2 adjacent wk b1 would be illegal; use wk a2? then wk adj wr.
+        # wk b2 defends a1; bk is at a3? a3 adjacent to b2 -> illegal.
+        # Position: wk b2, wr a1, bk a4: bk can move a4->a3 (adj? a3-b2 adjacent -> no)
+        successors, can_draw = _black_moves(square(1, 1), square(0, 0), square(0, 3))
+        assert not can_draw
+
+    def test_white_rook_slides_blocked_by_own_king(self):
+        # wk c1 blocks rook a1 along rank 1 beyond b1
+        moves = _white_moves(square(2, 0), square(0, 0), square(7, 7))
+        rook_targets = {wr for (_, wr, _) in moves if wr != square(0, 0)}
+        assert square(1, 0) in rook_targets
+        assert square(3, 0) not in rook_targets  # beyond the king
+
+    def test_symmetries_count(self):
+        variants = _symmetries((0, 9, 18))
+        assert len(variants) == 8
+        assert len(set(variants)) <= 8
+
+    def test_known_checkmate_position(self):
+        """wk a6, rook h8, bk a8 (black to move) is checkmate."""
+        wk, wr, bk = square(0, 5), square(7, 7), square(0, 7)
+        assert _static_legal(wk, wr, bk)
+        assert _black_in_check(wk, wr, bk)
+        successors, can_draw = _black_moves(wk, wr, bk)
+        assert successors == [] and not can_draw
+
+    def test_known_stalemate_position(self):
+        """wk a6, rook b1, bk a8 (black to move) is stalemate."""
+        wk, wr, bk = square(0, 5), square(1, 0), square(0, 7)
+        assert _static_legal(wk, wr, bk)
+        assert not _black_in_check(wk, wr, bk)
+        successors, can_draw = _black_moves(wk, wr, bk)
+        assert successors == [] and not can_draw
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return krk_endgame_relation()
+
+
+class TestDataset:
+    def test_total_rows_match_uci(self, relation):
+        assert relation.num_rows == 28056
+
+    def test_attributes(self, relation):
+        assert relation.num_attributes == 7
+        assert relation.schema.attribute_names[-1] == "outcome"
+
+    def test_class_distribution_matches_uci_exactly(self, relation):
+        distribution = krk_class_distribution()
+        assert distribution == UCI_DISTRIBUTION
+
+    def test_rows_unique(self, relation):
+        assert len(set(relation.to_rows())) == relation.num_rows
+
+    def test_white_king_in_triangle(self, relation):
+        files = relation.column_values("white_king_file")
+        ranks = relation.column_values("white_king_rank")
+        for file, rank in zip(files, ranks):
+            file_index = "abcdefgh".index(file)
+            assert file_index <= 3
+            assert rank - 1 <= file_index
+
+    def test_all_outcomes_valid_class_names(self, relation):
+        values = set(relation.column_values("outcome"))
+        assert values <= set(CLASS_NAMES)
+
+    def test_zero_class_rows_are_checkmates(self, relation):
+        """Every 'zero' row must be a position where black, to move,
+        is in check with no legal moves — verified by the move
+        generator, independent of the retrograde solver."""
+        files = "abcdefgh"
+        checked = 0
+        for row in relation.iter_rows():
+            wkf, wkr, wrf, wrr, bkf, bkr, outcome = row
+            if outcome != "zero":
+                continue
+            wk = (wkr - 1) * 8 + files.index(wkf)
+            wr = (wrr - 1) * 8 + files.index(wrf)
+            bk = (bkr - 1) * 8 + files.index(bkf)
+            assert _black_in_check(wk, wr, bk)
+            successors, can_draw = _black_moves(wk, wr, bk)
+            assert successors == [] and not can_draw
+            checked += 1
+        assert checked == 27  # the UCI count of mates
+
+    def test_single_minimal_dependency(self, relation):
+        """Paper Table 1: the Chess dataset has exactly N = 1."""
+        from repro.core.tane import discover_fds
+
+        result = discover_fds(relation)
+        assert len(result.dependencies) == 1
+        [fd] = list(result.dependencies)
+        assert fd.rhs == relation.schema.index_of("outcome")
+        assert fd.lhs == relation.schema.mask_of(
+            ["white_king_file", "white_king_rank", "white_rook_file",
+             "white_rook_rank", "black_king_file", "black_king_rank"]
+        )
+
+    def test_approximate_counts_oracle_verified(self, relation):
+        """At ε = 0.25 this byte-identical dataset has exactly 5
+        minimal approximate dependencies under the formal definition
+        (the count is pinned against the brute-force oracle in
+        EXPERIMENTS.md); the paper's Table 2 reports 2.  Four of the
+        five determine white_king_rank with `outcome` in the lhs."""
+        from repro.core.tane import discover_approximate_fds
+
+        result = discover_approximate_fds(relation, 0.25)
+        assert len(result.dependencies) == 5
+        wkr = relation.schema.index_of("white_king_rank")
+        outcome_bit = 1 << relation.schema.index_of("outcome")
+        into_rank = [
+            fd for fd in result.dependencies
+            if fd.rhs == wkr and fd.lhs & outcome_bit
+        ]
+        assert len(into_rank) == 4
+        for fd in result.dependencies:
+            assert fd.error <= 0.25

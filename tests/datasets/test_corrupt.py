@@ -1,0 +1,114 @@
+"""Tests for the controlled corruption utilities."""
+
+import pytest
+
+from repro.baselines.bruteforce import dependency_g3, dependency_holds
+from repro.core.tane import discover_fds
+from repro.datasets.corrupt import (
+    CORRUPTION_SENTINEL,
+    corrupt_cells,
+    duplicate_rows,
+    shuffle_within_column,
+)
+from repro.datasets.synthetic import planted_fd_relation
+from repro.exceptions import ConfigurationError
+from repro.model.relation import Relation
+
+
+@pytest.fixture
+def clean():
+    relation, _ = planted_fd_relation(200, 2, 1, domain_size=4, seed=1)
+    return relation
+
+
+class TestCorruptCells:
+    def test_affected_rows_changed_others_not(self, clean):
+        corrupted, affected = corrupt_cells(clean, 2, fraction=0.1, seed=3)
+        assert len(affected) == 20
+        original = clean.column_codes(2)
+        modified = corrupted.column_codes(2)
+        affected_set = set(affected)
+        for row in range(clean.num_rows):
+            if row in affected_set:
+                assert original[row] != modified[row]
+            else:
+                assert original[row] == modified[row]
+
+    def test_other_columns_untouched(self, clean):
+        corrupted, _ = corrupt_cells(clean, 2, fraction=0.2, seed=3)
+        for column in (0, 1):
+            assert clean.column_values(column) == corrupted.column_values(column)
+
+    def test_g3_matches_injected_rate(self, clean):
+        """Corrupting eps of the dependent column makes the planted
+        dependency approximately valid with g3 <= eps."""
+        lhs = 0b011  # the two determinant columns
+        assert dependency_holds(clean, lhs, 2)
+        corrupted, affected = corrupt_cells(clean, 2, fraction=0.05, seed=7)
+        error = dependency_g3(corrupted, lhs, 2)
+        assert 0 < error <= len(affected) / clean.num_rows + 1e-12
+
+    def test_zero_fraction_identity(self, clean):
+        corrupted, affected = corrupt_cells(clean, 2, fraction=0.0)
+        assert corrupted is clean and affected == []
+
+    def test_constant_column_gets_sentinel(self):
+        relation = Relation.from_rows([["x", 1], ["x", 2], ["x", 3]], ["c", "id"])
+        corrupted, affected = corrupt_cells(relation, "c", fraction=0.4, seed=1)
+        assert affected
+        values = corrupted.column_values("c")
+        assert any(value == CORRUPTION_SENTINEL for value in values)
+
+    def test_decoded_values_preserved(self):
+        relation = Relation.from_rows(
+            [["red", 1], ["blue", 2], ["red", 3], ["blue", 4]], ["color", "id"]
+        )
+        corrupted, affected = corrupt_cells(relation, "color", fraction=0.5, seed=2)
+        assert set(corrupted.column_values("color")) <= {"red", "blue"}
+
+    def test_bad_fraction(self, clean):
+        with pytest.raises(ConfigurationError):
+            corrupt_cells(clean, 0, fraction=1.5)
+
+    def test_by_attribute_name(self, clean):
+        corrupted, affected = corrupt_cells(clean, "attr2", fraction=0.1, seed=5)
+        assert len(affected) == 20
+
+
+class TestDuplicateRows:
+    def test_row_count(self, clean):
+        duplicated, sources = duplicate_rows(clean, fraction=0.25, seed=2)
+        assert duplicated.num_rows == clean.num_rows + len(sources)
+        assert len(sources) == 50
+
+    def test_dependencies_unchanged(self, clean):
+        duplicated, _ = duplicate_rows(clean, fraction=0.3, seed=2)
+        assert discover_fds(duplicated).dependencies == discover_fds(clean).dependencies
+
+    def test_keys_destroyed(self):
+        relation = Relation.from_rows([[1, "a"], [2, "b"], [3, "c"]], ["id", "v"])
+        assert discover_fds(relation).keys
+        duplicated, _ = duplicate_rows(relation, fraction=0.5, seed=1)
+        assert discover_fds(duplicated).keys == []
+
+    def test_zero_fraction_identity(self, clean):
+        duplicated, sources = duplicate_rows(clean, fraction=0.0)
+        assert duplicated is clean and sources == []
+
+
+class TestShuffle:
+    def test_distribution_preserved(self, clean):
+        shuffled = shuffle_within_column(clean, 2, seed=4)
+        assert sorted(shuffled.column_values(2)) == sorted(clean.column_values(2))
+
+    def test_breaks_planted_dependency(self):
+        relation, planted = planted_fd_relation(500, 1, 1, domain_size=6, seed=9)
+        [fd] = list(planted)
+        assert dependency_holds(relation, fd.lhs, fd.rhs)
+        shuffled = shuffle_within_column(relation, fd.rhs, seed=9)
+        assert dependency_g3(shuffled, fd.lhs, fd.rhs) > 0.1
+
+    def test_deterministic(self, clean):
+        first = shuffle_within_column(clean, 1, seed=6)
+        second = shuffle_within_column(clean, 1, seed=6)
+        assert first == second

@@ -1,0 +1,64 @@
+"""Tests for ×n replication with per-copy unique values (Section 7)."""
+
+import pytest
+
+from repro.core.tane import discover_fds
+from repro.datasets.replicate import replicate_with_unique_suffix
+from repro.exceptions import ConfigurationError
+from repro.model.relation import Relation
+
+
+@pytest.fixture
+def base():
+    return Relation.from_rows(
+        [[1, "a"], [1, "b"], [2, "a"], [2, "a"]], ["A", "B"]
+    )
+
+
+class TestReplication:
+    def test_row_count(self, base):
+        assert replicate_with_unique_suffix(base, 3).num_rows == 12
+
+    def test_single_copy_is_identity(self, base):
+        assert replicate_with_unique_suffix(base, 1) is base
+
+    def test_bad_copies(self, base):
+        with pytest.raises(ConfigurationError):
+            replicate_with_unique_suffix(base, 0)
+
+    def test_no_cross_copy_agreement(self, base):
+        replicated = replicate_with_unique_suffix(base, 2)
+        n = base.num_rows
+        for attribute in range(base.num_attributes):
+            codes = replicated.column_codes(attribute)
+            first_copy = set(int(c) for c in codes[:n])
+            second_copy = set(int(c) for c in codes[n:])
+            assert first_copy.isdisjoint(second_copy)
+
+    def test_within_copy_structure_preserved(self, base):
+        replicated = replicate_with_unique_suffix(base, 3)
+        n = base.num_rows
+        for attribute in range(base.num_attributes):
+            original = base.column_codes(attribute)
+            for copy in range(3):
+                segment = replicated.column_codes(attribute)[copy * n:(copy + 1) * n]
+                # same equality pattern as the original
+                for i in range(n):
+                    for j in range(i + 1, n):
+                        assert (segment[i] == segment[j]) == (original[i] == original[j])
+
+    def test_dependencies_invariant(self, base):
+        """The paper: 'The set of dependencies is the same in all of them.'"""
+        original = discover_fds(base).dependencies
+        for copies in (2, 5):
+            replicated = replicate_with_unique_suffix(base, copies)
+            assert discover_fds(replicated).dependencies == original
+
+    def test_keys_invariant(self, base):
+        original = discover_fds(base)
+        replicated = discover_fds(replicate_with_unique_suffix(base, 4))
+        assert sorted(original.keys) == sorted(replicated.keys)
+
+    def test_empty_relation(self):
+        rel = Relation.from_rows([], ["A"])
+        assert replicate_with_unique_suffix(rel, 3).num_rows == 0

@@ -1,0 +1,113 @@
+"""Tests for the synthetic relation generators."""
+
+import pytest
+
+from repro.baselines.bruteforce import dependency_holds
+from repro.datasets.synthetic import (
+    constant_relation,
+    correlated_relation,
+    planted_fd_relation,
+    random_relation,
+    zipf_relation,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestRandomRelation:
+    def test_shape(self):
+        rel = random_relation(100, 5, domain_sizes=4, seed=1)
+        assert rel.num_rows == 100
+        assert rel.num_attributes == 5
+        assert all(rel.distinct_count(i) <= 4 for i in range(5))
+
+    def test_per_column_domains(self):
+        rel = random_relation(200, 3, domain_sizes=[2, 5, 50], seed=1)
+        assert rel.distinct_count(0) <= 2
+        assert rel.distinct_count(2) <= 50
+
+    def test_deterministic(self):
+        assert random_relation(50, 3, seed=9) == random_relation(50, 3, seed=9)
+
+    def test_different_seeds_differ(self):
+        assert random_relation(50, 3, seed=1) != random_relation(50, 3, seed=2)
+
+    def test_bad_domains_rejected(self):
+        with pytest.raises(ConfigurationError):
+            random_relation(10, 3, domain_sizes=[2, 2])
+
+    def test_zero_columns_rejected(self):
+        with pytest.raises(ConfigurationError):
+            random_relation(10, 0)
+
+
+class TestZipfRelation:
+    def test_shape(self):
+        rel = zipf_relation(500, 3, domain_size=20, seed=2)
+        assert rel.num_rows == 500
+        assert rel.num_attributes == 3
+
+    def test_skew(self):
+        """The most common value covers far more than 1/domain of rows."""
+        rel = zipf_relation(2000, 1, domain_size=50, exponent=1.5, seed=3)
+        codes = rel.column_codes(0)
+        import numpy as np
+
+        top_share = np.bincount(codes).max() / len(codes)
+        assert top_share > 3 / 50
+
+    def test_bad_exponent(self):
+        with pytest.raises(ConfigurationError):
+            zipf_relation(10, 2, exponent=0)
+
+
+class TestCorrelatedRelation:
+    def test_zero_noise_gives_exact_dependencies(self):
+        rel = correlated_relation(300, 4, num_factors=1, noise=0.0, seed=4)
+        # all columns are functions of one factor: every pair of columns
+        # with the factor information should be strongly related; at
+        # noise 0 columns sharing the factor are mutually dependent via
+        # the factor. Column 0 determines nothing necessarily, but the
+        # relation must at least be deterministic and reproducible.
+        assert rel == correlated_relation(300, 4, num_factors=1, noise=0.0, seed=4)
+
+    def test_noise_bounds(self):
+        with pytest.raises(ConfigurationError):
+            correlated_relation(10, 2, noise=1.5)
+
+    def test_factor_count(self):
+        with pytest.raises(ConfigurationError):
+            correlated_relation(10, 2, num_factors=0)
+
+
+class TestPlantedFdRelation:
+    def test_planted_dependencies_hold(self):
+        rel, planted = planted_fd_relation(200, 3, 2, domain_size=3, seed=5)
+        assert rel.num_attributes == 5
+        for fd in planted:
+            assert dependency_holds(rel, fd.lhs, fd.rhs)
+
+    def test_discovery_implies_planted(self):
+        from repro.core.tane import discover_fds
+        from repro.theory.closure import implies
+
+        rel, planted = planted_fd_relation(150, 2, 3, domain_size=4, seed=6)
+        found = discover_fds(rel).dependencies
+        for fd in planted:
+            assert implies(found, fd)
+
+    def test_bad_counts(self):
+        with pytest.raises(ConfigurationError):
+            planted_fd_relation(10, 0, 1)
+
+
+class TestConstantRelation:
+    def test_all_constant(self):
+        rel = constant_relation(10, 3)
+        assert all(rel.distinct_count(i) == 1 for i in range(3))
+
+    def test_discovery(self):
+        from repro.core.tane import discover_fds
+
+        rel = constant_relation(5, 2)
+        result = discover_fds(rel)
+        assert {(fd.lhs, fd.rhs) for fd in result.dependencies} == {(0, 0), (0, 1)}

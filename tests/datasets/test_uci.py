@@ -1,0 +1,90 @@
+"""Tests for the UCI-shaped synthetic datasets."""
+
+import pytest
+
+from repro.datasets.uci import (
+    make_adult_like,
+    make_hepatitis_like,
+    make_lymphography_like,
+    make_wisconsin_like,
+    uci_dataset,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestShapes:
+    """Each stand-in must match the published (rows, attributes)."""
+
+    def test_lymphography(self):
+        rel = make_lymphography_like()
+        assert (rel.num_rows, rel.num_attributes) == (148, 19)
+
+    def test_hepatitis(self):
+        rel = make_hepatitis_like()
+        assert (rel.num_rows, rel.num_attributes) == (155, 20)
+
+    def test_wisconsin(self):
+        rel = make_wisconsin_like()
+        assert (rel.num_rows, rel.num_attributes) == (699, 11)
+
+    def test_adult_default(self):
+        rel = make_adult_like(num_rows=2000)
+        assert (rel.num_rows, rel.num_attributes) == (2000, 15)
+
+    def test_adult_paper_size_parameter(self):
+        # default is the paper's 48842 (not built here: slow); check wiring
+        rel = make_adult_like(num_rows=100)
+        assert rel.num_rows == 100
+
+
+class TestStructure:
+    def test_lymphography_domains_bounded(self):
+        rel = make_lymphography_like()
+        # documented domain sizes are upper bounds
+        assert rel.distinct_count("class") <= 4
+        assert rel.distinct_count("block_of_affere") <= 2
+        assert rel.distinct_count("changes_in_stru") <= 8
+
+    def test_wisconsin_id_almost_unique(self):
+        rel = make_wisconsin_like()
+        distinct = rel.distinct_count("sample_id")
+        assert 0.85 * rel.num_rows < distinct < rel.num_rows
+
+    def test_wisconsin_features_ten_valued(self):
+        rel = make_wisconsin_like()
+        assert rel.distinct_count("clump_thickness") <= 10
+        assert rel.distinct_count("class") == 2
+
+    def test_adult_education_dependency_planted(self):
+        from repro.baselines.bruteforce import dependency_holds
+
+        rel = make_adult_like(num_rows=3000)
+        schema = rel.schema
+        assert dependency_holds(
+            rel, schema.mask_of("education"), schema.index_of("education_num")
+        )
+        assert dependency_holds(
+            rel, schema.mask_of("education_num"), schema.index_of("education")
+        )
+
+    def test_adult_fnlwgt_high_cardinality(self):
+        rel = make_adult_like(num_rows=5000)
+        assert rel.distinct_count("fnlwgt") > 2000
+
+    def test_deterministic(self):
+        assert make_wisconsin_like(seed=3) == make_wisconsin_like(seed=3)
+        assert make_wisconsin_like(seed=3) != make_wisconsin_like(seed=4)
+
+
+class TestRegistry:
+    def test_by_name(self):
+        rel = uci_dataset("wisconsin", seed=1)
+        assert rel.num_rows == 699
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown dataset"):
+            uci_dataset("iris")
+
+    def test_adult_rows_option(self):
+        rel = uci_dataset("adult", num_rows=50)
+        assert rel.num_rows == 50

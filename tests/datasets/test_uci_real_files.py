@@ -1,0 +1,82 @@
+"""Tests for loading real UCI files when available.
+
+The actual UCI files are not shipped; these tests fabricate miniature
+files in the documented format and verify the loader plumbing,
+including the ``REPRO_UCI_DIR`` fallback chain.
+"""
+
+import pytest
+
+from repro.datasets.uci import (
+    UCI_FILE_NAMES,
+    find_real_uci,
+    load_uci_file,
+    uci_dataset,
+)
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def fake_uci_dir(tmp_path):
+    # A miniature breast-cancer-wisconsin.data: 11 comma-separated
+    # fields, no header, '?' for missing values.
+    (tmp_path / "breast-cancer-wisconsin.data").write_text(
+        "1000025,5,1,1,1,2,1,3,1,1,2\n"
+        "1002945,5,4,4,5,7,10,3,2,1,2\n"
+        "1015425,3,1,1,1,2,?,3,1,1,2\n"
+    )
+    return tmp_path
+
+
+class TestLoadUciFile:
+    def test_wisconsin_schema_applied(self, fake_uci_dir):
+        rel = load_uci_file("wisconsin", fake_uci_dir / "breast-cancer-wisconsin.data")
+        assert rel.num_rows == 3
+        assert rel.schema.attribute_names[0] == "sample_id"
+        assert rel.schema.attribute_names[-1] == "class"
+        assert rel.value(0, "sample_id") == "1000025"
+
+    def test_missing_values_kept(self, fake_uci_dir):
+        rel = load_uci_file("wisconsin", fake_uci_dir / "breast-cancer-wisconsin.data")
+        assert rel.value(2, "bare_nuclei") == "?"
+
+    def test_unknown_dataset(self, fake_uci_dir):
+        with pytest.raises(ConfigurationError):
+            load_uci_file("iris", fake_uci_dir / "breast-cancer-wisconsin.data")
+
+
+class TestFindRealUci:
+    def test_found_in_explicit_dir(self, fake_uci_dir):
+        assert find_real_uci("wisconsin", fake_uci_dir) is not None
+
+    def test_not_found(self, fake_uci_dir):
+        assert find_real_uci("hepatitis", fake_uci_dir) is None
+
+    def test_env_variable(self, fake_uci_dir, monkeypatch):
+        monkeypatch.setenv("REPRO_UCI_DIR", str(fake_uci_dir))
+        assert find_real_uci("wisconsin") is not None
+
+    def test_no_dir_no_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_UCI_DIR", raising=False)
+        assert find_real_uci("wisconsin") is None
+
+    def test_file_names_documented(self):
+        assert UCI_FILE_NAMES["chess"] == "krkopt.data"
+        assert len(UCI_FILE_NAMES) == 5
+
+
+class TestUciDatasetDispatch:
+    def test_real_file_preferred(self, fake_uci_dir, monkeypatch):
+        monkeypatch.setenv("REPRO_UCI_DIR", str(fake_uci_dir))
+        rel = uci_dataset("wisconsin")
+        assert rel.num_rows == 3  # the fake file, not the 699-row synthetic
+
+    def test_synthetic_fallback(self, monkeypatch):
+        monkeypatch.delenv("REPRO_UCI_DIR", raising=False)
+        rel = uci_dataset("wisconsin")
+        assert rel.num_rows == 699
+
+    def test_explicit_dir_argument(self, fake_uci_dir, monkeypatch):
+        monkeypatch.delenv("REPRO_UCI_DIR", raising=False)
+        rel = uci_dataset("wisconsin", data_dir=fake_uci_dir)
+        assert rel.num_rows == 3

@@ -1,0 +1,115 @@
+"""Tests for FunctionalDependency and FDSet."""
+
+import pytest
+
+from repro.exceptions import DependencyError
+from repro.model.fd import FDSet, FunctionalDependency
+from repro.model.schema import RelationSchema
+
+SCHEMA = RelationSchema(["A", "B", "C", "D"])
+
+
+class TestFunctionalDependency:
+    def test_basic(self):
+        fd = FunctionalDependency(0b0011, 2)
+        assert fd.lhs == 0b0011
+        assert fd.rhs == 2
+        assert fd.rhs_mask == 0b0100
+        assert fd.lhs_size == 2
+        assert fd.lhs_indices() == [0, 1]
+        assert fd.error == 0.0
+
+    def test_empty_lhs_allowed(self):
+        fd = FunctionalDependency(0, 1)
+        assert fd.lhs_size == 0
+
+    def test_trivial_rejected(self):
+        with pytest.raises(DependencyError, match="trivial"):
+            FunctionalDependency(0b0101, 2)
+
+    def test_negative_lhs_rejected(self):
+        with pytest.raises(DependencyError):
+            FunctionalDependency(-1, 0)
+
+    def test_bad_error_rejected(self):
+        with pytest.raises(DependencyError):
+            FunctionalDependency(1, 1, error=1.5)
+        with pytest.raises(DependencyError):
+            FunctionalDependency(1, 1, error=-0.1)
+
+    def test_format(self):
+        fd = FunctionalDependency.from_names(SCHEMA, ["A", "C"], "B")
+        assert fd.format(SCHEMA) == "A,C -> B"
+
+    def test_format_empty_lhs(self):
+        assert FunctionalDependency(0, 3).format(SCHEMA) == "{} -> D"
+
+    def test_format_with_error(self):
+        fd = FunctionalDependency(1, 1, error=0.25)
+        assert "g3=0.2500" in fd.format(SCHEMA)
+
+    def test_from_names_single_string(self):
+        fd = FunctionalDependency.from_names(SCHEMA, "A", "B")
+        assert fd.lhs == 1
+
+    def test_equality_ignores_error(self):
+        assert FunctionalDependency(1, 1, 0.1) == FunctionalDependency(1, 1, 0.2)
+
+    def test_frozen(self):
+        fd = FunctionalDependency(1, 1)
+        with pytest.raises(AttributeError):
+            fd.lhs = 2  # type: ignore[misc]
+
+    def test_ordering(self):
+        assert FunctionalDependency(1, 1) < FunctionalDependency(2, 0)
+
+
+class TestFDSet:
+    def test_add_and_contains(self):
+        fds = FDSet()
+        fd = FunctionalDependency(1, 1)
+        fds.add(fd)
+        assert fd in fds
+        assert len(fds) == 1
+        assert FunctionalDependency(1, 2) not in fds
+        assert "not an fd" not in fds
+
+    def test_dedup_on_key(self):
+        fds = FDSet([FunctionalDependency(1, 1, 0.0), FunctionalDependency(1, 1, 0.5)])
+        assert len(fds) == 1
+        assert next(iter(fds)).error == 0.0  # first insert wins
+
+    def test_equality_ignores_order(self):
+        a = FDSet([FunctionalDependency(1, 1), FunctionalDependency(2, 0)])
+        b = FDSet([FunctionalDependency(2, 0), FunctionalDependency(1, 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != FDSet()
+        assert a != 42
+
+    def test_with_rhs(self):
+        fds = FDSet([FunctionalDependency(1, 1), FunctionalDependency(4, 1),
+                     FunctionalDependency(2, 0)])
+        assert len(fds.with_rhs(1)) == 2
+        assert len(fds.with_rhs(3)) == 0
+
+    def test_lhs_masks_by_rhs(self):
+        fds = FDSet([FunctionalDependency(1, 1), FunctionalDependency(4, 1)])
+        assert fds.lhs_masks_by_rhs() == {1: [1, 4]}
+
+    def test_sorted(self):
+        fds = FDSet([FunctionalDependency(0b0110, 0), FunctionalDependency(0b0010, 0)])
+        ordered = fds.sorted()
+        assert ordered[0].lhs == 0b0010
+
+    def test_difference(self):
+        a = FDSet([FunctionalDependency(1, 1), FunctionalDependency(2, 0)])
+        b = FDSet([FunctionalDependency(1, 1)])
+        assert list(a.difference(b)) == [FunctionalDependency(2, 0)]
+
+    def test_format(self):
+        fds = FDSet([FunctionalDependency(1, 1)])
+        assert fds.format(SCHEMA) == "A -> B"
+
+    def test_repr(self):
+        assert "0 dependencies" in repr(FDSet())

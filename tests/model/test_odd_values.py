@@ -1,0 +1,67 @@
+"""Relations over awkward value types: unicode, None, mixed, floats.
+
+Discovery only needs hashable equality, so all of these must work end
+to end.
+"""
+
+import math
+
+from repro.baselines.bruteforce import discover_fds_bruteforce
+from repro.core.tane import discover_fds
+from repro.model.relation import Relation
+
+
+class TestOddValues:
+    def test_unicode_values(self):
+        rel = Relation.from_rows(
+            [["北京", "中国"], ["東京", "日本"], ["北京", "中国"]],
+            ["city", "country"],
+        )
+        result = discover_fds(rel)
+        formats = {fd.format(rel.schema) for fd in result.dependencies}
+        assert "city -> country" in formats
+
+    def test_none_is_a_value(self):
+        """Missing values (the UCI '?') are ordinary values for the
+        paper's semantics: two NULLs agree."""
+        rel = Relation.from_rows([[None, 1], [None, 1], ["x", 2]], ["a", "b"])
+        result = discover_fds(rel)
+        formats = {fd.format(rel.schema) for fd in result.dependencies}
+        assert "a -> b" in formats
+
+    def test_mixed_types_in_column(self):
+        rel = Relation.from_rows([[1, "x"], ["1", "y"], [1.5, "z"]], ["a", "b"])
+        # 1 and "1" differ; all three rows distinct on a (and on b)
+        assert rel.distinct_count("a") == 3
+        assert rel.schema.mask_of("a") in discover_fds(rel).keys
+
+    def test_float_equality(self):
+        rel = Relation.from_rows([[0.1 + 0.2, 1], [0.3, 2], [0.30000000000000004, 1]], ["a", "b"])
+        # 0.1+0.2 != 0.3 in floats; codes must reflect float equality
+        codes = rel.column_codes("a")
+        assert codes[0] == codes[2]
+        assert codes[0] != codes[1]
+
+    def test_bool_vs_int(self):
+        # Python dict semantics: True == 1, so they code identically.
+        rel = Relation.from_rows([[True], [1], [0], [False]], ["a"])
+        codes = rel.column_codes("a")
+        assert codes[0] == codes[1]
+        assert codes[2] == codes[3]
+
+    def test_tuples_as_values(self):
+        rel = Relation.from_rows([[(1, 2), "x"], [(1, 2), "x"], [(3,), "y"]], ["a", "b"])
+        assert discover_fds(rel).dependencies == discover_fds_bruteforce(rel)
+
+    def test_empty_string_vs_none(self):
+        rel = Relation.from_rows([[""], [None], [""]], ["a"])
+        assert rel.distinct_count("a") == 2
+
+    def test_nan_values_share_a_code(self):
+        nan = float("nan")
+        rel = Relation.from_rows([[nan], [nan], [1.0]], ["a"])
+        codes = rel.column_codes("a")
+        # the same NaN object is dictionary-encoded once (dict lookup
+        # hits identity before equality)
+        assert codes[0] == codes[1]
+        assert math.isnan(rel.value(0, "a"))

@@ -1,0 +1,100 @@
+"""Tests for RelationSchema."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.model.schema import RelationSchema
+
+
+class TestConstruction:
+    def test_basic(self):
+        schema = RelationSchema(["A", "B", "C"])
+        assert len(schema) == 3
+        assert list(schema) == ["A", "B", "C"]
+        assert schema.attribute_names == ("A", "B", "C")
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema([])
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            RelationSchema(["A", "B", "A"])
+
+    def test_non_string_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema(["A", 3])  # type: ignore[list-item]
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema(["A", ""])
+
+
+class TestLookup:
+    @pytest.fixture
+    def schema(self):
+        return RelationSchema(["A", "B", "C", "D"])
+
+    def test_index_of(self, schema):
+        assert schema.index_of("A") == 0
+        assert schema.index_of("D") == 3
+
+    def test_index_of_unknown(self, schema):
+        with pytest.raises(SchemaError, match="unknown attribute"):
+            schema.index_of("Z")
+
+    def test_getitem(self, schema):
+        assert schema[0] == "A"
+        assert schema[3] == "D"
+
+    def test_contains(self, schema):
+        assert "B" in schema
+        assert "Z" not in schema
+
+    def test_mask_of_list(self, schema):
+        assert schema.mask_of(["A", "C"]) == 0b0101
+
+    def test_mask_of_single_string(self, schema):
+        # A single string is one attribute, not characters.
+        assert schema.mask_of("B") == 0b0010
+
+    def test_mask_of_empty(self, schema):
+        assert schema.mask_of([]) == 0
+
+    def test_names_of(self, schema):
+        assert schema.names_of(0b1010) == ("B", "D")
+        assert schema.names_of(0) == ()
+
+    def test_names_of_out_of_range(self, schema):
+        with pytest.raises(SchemaError):
+            schema.names_of(1 << 10)
+
+    def test_full_mask(self, schema):
+        assert schema.full_mask() == 0b1111
+
+    def test_roundtrip(self, schema):
+        for names in [("A",), ("B", "C"), ("A", "B", "C", "D")]:
+            assert schema.names_of(schema.mask_of(names)) == names
+
+
+class TestEqualityAndProjection:
+    def test_equality(self):
+        assert RelationSchema(["A", "B"]) == RelationSchema(["A", "B"])
+        assert RelationSchema(["A", "B"]) != RelationSchema(["B", "A"])
+
+    def test_hash(self):
+        assert hash(RelationSchema(["A"])) == hash(RelationSchema(["A"]))
+
+    def test_eq_other_type(self):
+        assert RelationSchema(["A"]) != "A"
+
+    def test_project(self):
+        schema = RelationSchema(["A", "B", "C"])
+        assert schema.project(["C", "A"]) == RelationSchema(["C", "A"])
+
+    def test_project_unknown(self):
+        with pytest.raises(SchemaError):
+            RelationSchema(["A"]).project(["B"])
+
+    def test_repr(self):
+        assert "A" in repr(RelationSchema(["A"]))

@@ -1,0 +1,67 @@
+"""Tests for the shared PartitionBase derived quantities."""
+
+import pytest
+
+from repro.partition.pure import PurePartition
+from repro.partition.vectorized import CsrPartition
+
+ENGINES = [PurePartition, CsrPartition]
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestDerived:
+    def test_rank_identity(self, engine):
+        # n=6: classes {0,1,2} and {4,5}; row 3 singleton.
+        partition = engine.from_column([0, 0, 0, 1, 2, 2])
+        assert partition.stripped_size == 5
+        assert partition.num_classes == 2
+        assert partition.rank == 6 - 5 + 2 == 3
+        assert partition.error_count == 3
+
+    def test_superkey_iff_zero_error(self, engine):
+        unique = engine.from_column([2, 0, 1, 3])
+        assert unique.is_superkey()
+        assert unique.error_count == 0
+        grouped = engine.from_column([0, 0, 1])
+        assert not grouped.is_superkey()
+        assert grouped.error_count == 1
+
+    def test_refines_same_rank(self, engine):
+        coarse = engine.from_column([0, 0, 0, 1, 1])
+        fine = engine.from_column([0, 0, 1, 2, 2])
+        # fine refines coarse? class {0,1} ⊆ {0,1,2} and {3,4} ⊆ {3,4}
+        assert not coarse.refines_same_rank(fine)  # ranks 2 vs 3
+        assert coarse.refines_same_rank(coarse)
+
+    def test_bounds_ordering(self, engine):
+        pi_x = engine.from_column([0, 0, 0, 0, 1, 1])
+        pi_xa = engine.from_column([0, 0, 1, 2, 3, 3])
+        low, high = pi_x.g3_bound_counts(pi_xa)
+        assert low <= pi_x.g3_error_count(pi_xa) <= high
+
+    def test_class_sets(self, engine):
+        partition = engine.from_column([5, 5, 7])
+        assert partition.class_sets() == {frozenset({0, 1})}
+
+    def test_repr(self, engine):
+        assert "rows=3" in repr(engine.from_column([0, 0, 1]))
+
+
+class TestSparseCodes:
+    def test_from_column_sparse_codes(self):
+        """Huge code values must not blow up bincount."""
+        codes = [10**12, 10**12, 5, 999_999_999_999, 5]
+        partition = CsrPartition.from_column(codes)
+        assert partition.class_sets() == {frozenset({0, 1}), frozenset({2, 4})}
+
+    def test_relation_from_sparse_codes(self):
+        import numpy as np
+
+        from repro.model.relation import Relation
+
+        rel = Relation.from_codes([np.array([10**12, 7, 10**12], dtype=np.int64)], ["A"])
+        assert rel.num_rows == 3
+        assert rel.value(0, "A") == 10**12  # decoded values preserved
+        assert rel.value(1, "A") == 7
+        codes = rel.column_codes(0)
+        assert codes[0] == codes[2] != codes[1]

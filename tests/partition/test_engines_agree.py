@@ -1,0 +1,142 @@
+"""Property tests: the two partition engines are interchangeable.
+
+The vectorized CSR engine must agree with the paper-literal pure
+engine on every primitive, over random columns (hypothesis-driven).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partition.pure import PurePartition
+from repro.partition.vectorized import CsrPartition
+from tests.conftest import code_columns
+
+
+def pair_of_columns(max_rows: int = 40):
+    """Two equal-length random code columns."""
+    return st.integers(min_value=0, max_value=max_rows).flatmap(
+        lambda n: st.tuples(
+            st.lists(st.integers(0, 4), min_size=n, max_size=n),
+            st.lists(st.integers(0, 4), min_size=n, max_size=n),
+        )
+    )
+
+
+def triple_of_columns(max_rows: int = 30):
+    return st.integers(min_value=0, max_value=max_rows).flatmap(
+        lambda n: st.tuples(
+            *[st.lists(st.integers(0, 3), min_size=n, max_size=n) for _ in range(3)]
+        )
+    )
+
+
+class TestFromColumn:
+    @given(code_columns())
+    def test_same_classes(self, codes):
+        pure = PurePartition.from_column(codes)
+        csr = CsrPartition.from_column(codes)
+        assert pure.class_sets() == csr.class_sets()
+        assert pure.num_classes == csr.num_classes
+        assert pure.stripped_size == csr.stripped_size
+        assert pure.rank == csr.rank
+        assert pure.error_count == csr.error_count
+
+
+class TestProduct:
+    @given(pair_of_columns())
+    @settings(max_examples=200)
+    def test_same_product(self, columns):
+        first, second = columns
+        pure = PurePartition.from_column(first).product(PurePartition.from_column(second))
+        csr = CsrPartition.from_column(first).product(CsrPartition.from_column(second))
+        assert pure.class_sets() == csr.class_sets()
+
+    @given(pair_of_columns())
+    def test_lemma3_product_equals_joint_partition(self, columns):
+        """Lemma 3: π_X · π_Y == π_{X∪Y} (via combined codes)."""
+        first, second = columns
+        joint_codes = [a * 5 + b for a, b in zip(first, second)]
+        joint = CsrPartition.from_column(joint_codes)
+        product = CsrPartition.from_column(first).product(CsrPartition.from_column(second))
+        assert product.class_sets() == joint.class_sets()
+
+
+class TestG3:
+    @given(pair_of_columns())
+    @settings(max_examples=200)
+    def test_same_g3(self, columns):
+        lhs_codes, rhs_codes = columns
+        joint_codes = [a * 5 + b for a, b in zip(lhs_codes, rhs_codes)]
+        pure_lhs = PurePartition.from_column(lhs_codes)
+        pure_joint = PurePartition.from_column(joint_codes)
+        csr_lhs = CsrPartition.from_column(lhs_codes)
+        csr_joint = CsrPartition.from_column(joint_codes)
+        assert pure_lhs.g3_error_count(pure_joint) == csr_lhs.g3_error_count(csr_joint)
+
+    @given(pair_of_columns())
+    def test_g3_definition(self, columns):
+        """g3 count == rows minus the best keepable subset, per class."""
+        lhs_codes, rhs_codes = columns
+        joint_codes = [a * 5 + b for a, b in zip(lhs_codes, rhs_codes)]
+        expected = 0
+        groups: dict[int, list[int]] = {}
+        for row, code in enumerate(lhs_codes):
+            groups.setdefault(code, []).append(row)
+        for rows in groups.values():
+            counts: dict[int, int] = {}
+            for row in rows:
+                counts[rhs_codes[row]] = counts.get(rhs_codes[row], 0) + 1
+            expected += len(rows) - max(counts.values())
+        lhs = CsrPartition.from_column(lhs_codes)
+        joint = CsrPartition.from_column(joint_codes)
+        assert lhs.g3_error_count(joint) == expected
+
+    @given(pair_of_columns())
+    def test_bounds_bracket_g3(self, columns):
+        lhs_codes, rhs_codes = columns
+        joint_codes = [a * 5 + b for a, b in zip(lhs_codes, rhs_codes)]
+        lhs = CsrPartition.from_column(lhs_codes)
+        joint = CsrPartition.from_column(joint_codes)
+        low, high = lhs.g3_bound_counts(joint)
+        assert low <= lhs.g3_error_count(joint) <= high
+
+    @given(pair_of_columns())
+    def test_lemma2_iff_zero_error(self, columns):
+        """Rank equality (Lemma 2) iff no rows need removing."""
+        lhs_codes, rhs_codes = columns
+        joint_codes = [a * 5 + b for a, b in zip(lhs_codes, rhs_codes)]
+        lhs = CsrPartition.from_column(lhs_codes)
+        joint = CsrPartition.from_column(joint_codes)
+        assert lhs.refines_same_rank(joint) == (lhs.g3_error_count(joint) == 0)
+
+
+class TestAlgebraicProperties:
+    @given(pair_of_columns())
+    def test_product_commutes(self, columns):
+        first, second = columns
+        a = CsrPartition.from_column(first)
+        b = CsrPartition.from_column(second)
+        assert a.product(b).class_sets() == b.product(a).class_sets()
+
+    @given(triple_of_columns())
+    @settings(max_examples=100)
+    def test_product_associates(self, columns):
+        a, b, c = (CsrPartition.from_column(col) for col in columns)
+        left = a.product(b).product(c)
+        right = a.product(b.product(c))
+        assert left.class_sets() == right.class_sets()
+
+    @given(code_columns())
+    def test_product_idempotent(self, codes):
+        partition = CsrPartition.from_column(codes)
+        assert partition.product(partition).class_sets() == partition.class_sets()
+
+    @given(pair_of_columns())
+    def test_product_refines_factors(self, columns):
+        """π_X · π_Y refines both factors: ranks can only grow."""
+        first, second = columns
+        a = CsrPartition.from_column(first)
+        b = CsrPartition.from_column(second)
+        product = a.product(b)
+        assert product.rank >= a.rank
+        assert product.rank >= b.rank

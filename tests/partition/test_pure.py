@@ -1,0 +1,152 @@
+"""Tests for the pure-Python reference partition engine.
+
+Includes the paper's worked examples (Example 1 and 2 over Figure 1).
+"""
+
+import pytest
+
+from repro.exceptions import DataError
+from repro.partition.pure import PurePartition
+
+# Column codes of the Figure 1 relation (rows 1..8 -> indices 0..7).
+FIG1_A = [0, 0, 1, 1, 1, 2, 2, 2]
+FIG1_B = [0, 1, 1, 1, 2, 2, 3, 3]
+FIG1_C = [0, 1, 0, 0, 1, 0, 1, 2]
+FIG1_D = [0, 1, 2, 0, 3, 4, 0, 5]
+
+
+class TestConstruction:
+    def test_from_column_strips_singletons(self):
+        partition = PurePartition.from_column([0, 1, 0, 2])
+        assert partition.class_sets() == {frozenset({0, 2})}
+        assert partition.num_classes == 1
+        assert partition.stripped_size == 2
+
+    def test_example1_pi_A(self):
+        """Example 1: π_{A} = {{1,2},{3,4,5},{6,7,8}} (1-based)."""
+        partition = PurePartition.from_column(FIG1_A)
+        assert partition.class_sets() == {
+            frozenset({0, 1}), frozenset({2, 3, 4}), frozenset({5, 6, 7})
+        }
+
+    def test_example1_pi_BC(self):
+        """Example 1: π_{B,C} = {{1},{2},{3,4},{5},{6},{7},{8}}."""
+        b = PurePartition.from_column(FIG1_B)
+        c = PurePartition.from_column(FIG1_C)
+        product = b.product(c)
+        assert product.class_sets() == {frozenset({2, 3})}
+        # Full rank: 7 classes (6 singletons stripped).
+        assert product.rank == 7
+
+    def test_empty_relation(self):
+        partition = PurePartition.from_column([])
+        assert partition.num_rows == 0
+        assert partition.num_classes == 0
+        assert partition.is_superkey()
+
+    def test_single_class(self):
+        partition = PurePartition.single_class(4)
+        assert partition.class_sets() == {frozenset({0, 1, 2, 3})}
+        assert partition.rank == 1
+
+    def test_single_class_tiny(self):
+        assert PurePartition.single_class(1).num_classes == 0
+        assert PurePartition.single_class(0).num_classes == 0
+
+    def test_overlap_rejected(self):
+        with pytest.raises(DataError, match="overlap"):
+            PurePartition([[0, 1], [1, 2]], 3)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(DataError):
+            PurePartition([[0, 5]], 3)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(DataError):
+            PurePartition.from_column([0, 0], num_rows=5)
+
+
+class TestDerivedQuantities:
+    def test_rank(self):
+        partition = PurePartition.from_column([0, 0, 1, 2, 2, 2])
+        # Classes {0,1} and {3,4,5}, plus singleton {2}: rank 3.
+        assert partition.rank == 3
+        assert partition.error_count == (2 - 1) + (3 - 1)
+
+    def test_superkey(self):
+        assert PurePartition.from_column([3, 1, 2, 0]).is_superkey()
+        assert not PurePartition.from_column([0, 0, 1]).is_superkey()
+
+
+class TestRefinement:
+    def test_example2_BC_refines_A(self):
+        """Example 2: π_{B,C} refines π_{A}, so {B,C} -> A holds."""
+        a = PurePartition.from_column(FIG1_A)
+        bc = PurePartition.from_column(FIG1_B).product(PurePartition.from_column(FIG1_C))
+        assert bc.refines(a)
+
+    def test_example2_A_does_not_refine_B(self):
+        """Example 2: {A} -> B does not hold."""
+        a = PurePartition.from_column(FIG1_A)
+        b = PurePartition.from_column(FIG1_B)
+        assert not a.refines(b)
+
+    def test_lemma2_rank_test_matches_refinement(self):
+        """Lemma 2: X -> A  iff  |π_X| == |π_{X∪{A}}|."""
+        a = PurePartition.from_column(FIG1_A)
+        bc = PurePartition.from_column(FIG1_B).product(PurePartition.from_column(FIG1_C))
+        bca = bc.product(a)
+        assert bc.refines_same_rank(bca) == bc.refines(a)
+
+    def test_everything_refines_single_class(self):
+        single = PurePartition.single_class(8)
+        assert PurePartition.from_column(FIG1_D).refines(single)
+
+
+class TestProduct:
+    def test_identity_with_self(self):
+        partition = PurePartition.from_column(FIG1_B)
+        assert partition.product(partition).class_sets() == partition.class_sets()
+
+    def test_with_all_singletons(self):
+        key = PurePartition.from_column(list(range(8)))
+        other = PurePartition.from_column(FIG1_A)
+        assert other.product(key).num_classes == 0
+
+    def test_mismatched_rows_rejected(self):
+        with pytest.raises(DataError):
+            PurePartition.from_column([0, 0]).product(PurePartition.from_column([0, 0, 0]))
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(TypeError):
+            PurePartition.from_column([0, 0]).product("nope")  # type: ignore[arg-type]
+
+
+class TestG3:
+    def test_exact_dependency_zero_error(self):
+        bc = PurePartition.from_column(FIG1_B).product(PurePartition.from_column(FIG1_C))
+        a = PurePartition.from_column(FIG1_A)
+        bca = bc.product(a)
+        assert bc.g3_error_count(bca) == 0
+
+    def test_figure1_A_to_B(self):
+        """g3({A} -> B) in Figure 1: classes {1,2}->1, {3,4,5}->1, {6,7,8}->1."""
+        a = PurePartition.from_column(FIG1_A)
+        b = PurePartition.from_column(FIG1_B)
+        ab = a.product(b)
+        assert a.g3_error_count(ab) == 3
+
+    def test_mismatched_rows_rejected(self):
+        with pytest.raises(DataError):
+            PurePartition.from_column([0, 0]).g3_error_count(PurePartition.from_column([0]))
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(TypeError):
+            PurePartition.from_column([0, 0]).g3_error_count(42)  # type: ignore[arg-type]
+
+    def test_bounds_bracket_exact(self):
+        a = PurePartition.from_column(FIG1_A)
+        b = PurePartition.from_column(FIG1_B)
+        ab = a.product(b)
+        low, high = a.g3_bound_counts(ab)
+        assert low <= a.g3_error_count(ab) <= high

@@ -1,0 +1,126 @@
+"""Tests for the memory and disk partition stores."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.partition.store import DiskPartitionStore, MemoryPartitionStore, make_store
+from repro.partition.vectorized import CsrPartition
+
+
+def partition_of(codes):
+    return CsrPartition.from_column(codes)
+
+
+class TestMemoryStore:
+    def test_put_get(self):
+        store = MemoryPartitionStore()
+        partition = partition_of([0, 0, 1])
+        store.put(3, partition)
+        assert store.get(3) is partition
+        assert len(store) == 1
+
+    def test_get_missing_raises(self):
+        with pytest.raises(KeyError):
+            MemoryPartitionStore().get(1)
+
+    def test_discard(self):
+        store = MemoryPartitionStore()
+        store.put(1, partition_of([0, 0]))
+        store.discard(1)
+        with pytest.raises(KeyError):
+            store.get(1)
+        store.discard(1)  # idempotent
+
+    def test_overwrite(self):
+        store = MemoryPartitionStore()
+        store.put(1, partition_of([0, 0]))
+        replacement = partition_of([0, 0, 0])
+        store.put(1, replacement)
+        assert store.get(1) is replacement
+
+    def test_peak_bytes_tracked(self):
+        store = MemoryPartitionStore()
+        store.put(1, partition_of([0] * 100))
+        assert store.peak_resident_bytes > 0
+
+    def test_close_clears(self):
+        store = MemoryPartitionStore()
+        store.put(1, partition_of([0, 0]))
+        store.close()
+        assert len(store) == 0
+
+
+class TestDiskStore:
+    def test_round_trip_through_disk(self, tmp_path):
+        # Budget of 1 byte forces every earlier partition to spill.
+        store = DiskPartitionStore(resident_budget_bytes=1, directory=tmp_path, min_spill_bytes=0)
+        partitions = {mask: partition_of([0, 0, mask % 3]) for mask in range(1, 6)}
+        for mask, partition in partitions.items():
+            store.put(mask, partition)
+        assert store.spill_count > 0
+        for mask, original in partitions.items():
+            loaded = store.get(mask)
+            assert loaded.class_sets() == original.class_sets()
+            assert loaded.num_rows == original.num_rows
+        assert store.load_count > 0
+        store.close()
+
+    def test_discard_on_disk(self, tmp_path):
+        store = DiskPartitionStore(resident_budget_bytes=1, directory=tmp_path, min_spill_bytes=0)
+        store.put(1, partition_of([0, 0]))
+        store.put(2, partition_of([1, 1]))  # spills mask 1
+        store.discard(1)
+        with pytest.raises(KeyError):
+            store.get(1)
+        store.close()
+
+    def test_get_missing_raises(self, tmp_path):
+        store = DiskPartitionStore(directory=tmp_path)
+        with pytest.raises(KeyError):
+            store.get(42)
+        store.close()
+
+    def test_len_counts_both(self, tmp_path):
+        store = DiskPartitionStore(resident_budget_bytes=1, directory=tmp_path, min_spill_bytes=0)
+        for mask in range(1, 5):
+            store.put(mask, partition_of([0, 0, 1, 1]))
+        assert len(store) == 4
+        store.close()
+
+    def test_owns_tempdir_cleanup(self):
+        store = DiskPartitionStore(resident_budget_bytes=1, min_spill_bytes=0)
+        store.put(1, partition_of([0, 0]))
+        store.put(2, partition_of([0, 0]))
+        directory = store._directory
+        assert directory.exists()
+        store.close()
+        assert not directory.exists()
+
+    def test_bad_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DiskPartitionStore(resident_budget_bytes=0)
+
+    def test_peak_disk_bytes(self, tmp_path):
+        store = DiskPartitionStore(resident_budget_bytes=1, directory=tmp_path, min_spill_bytes=0)
+        for mask in range(1, 5):
+            store.put(mask, partition_of(list(range(10)) * 2))
+        assert store.peak_disk_bytes > 0
+        store.close()
+
+
+class TestMakeStore:
+    def test_memory(self):
+        assert isinstance(make_store("memory"), MemoryPartitionStore)
+
+    def test_disk(self, tmp_path):
+        store = make_store("disk", directory=tmp_path)
+        assert isinstance(store, DiskPartitionStore)
+        store.close()
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_store("cloud")
+
+    def test_memory_rejects_options(self):
+        with pytest.raises(ConfigurationError):
+            make_store("memory", directory="/tmp")

@@ -1,0 +1,69 @@
+"""Stress tests: workspace sharing and partition immutability.
+
+The TANE driver reuses a single probe workspace across hundreds of
+thousands of products and g3 computations; these tests hammer that
+pattern and the caching introduced for `_labels`/`class_sizes`.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partition.vectorized import CsrPartition, PartitionWorkspace
+
+
+def random_partitions(seed: int, num_rows: int, count: int) -> list[CsrPartition]:
+    rng = np.random.default_rng(seed)
+    return [
+        CsrPartition.from_column(rng.integers(0, 5, size=num_rows))
+        for _ in range(count)
+    ]
+
+
+class TestWorkspaceReuse:
+    def test_interleaved_products_and_g3(self):
+        num_rows = 200
+        partitions = random_partitions(0, num_rows, 6)
+        workspace = PartitionWorkspace(num_rows)
+        # reference results computed with fresh workspaces
+        expected = []
+        for a in partitions:
+            for b in partitions:
+                product = a.product(b)
+                expected.append((product.class_sets(), a.g3_error_count(product)))
+        observed = []
+        for a in partitions:
+            for b in partitions:
+                product = a.product(b, workspace)
+                observed.append((product.class_sets(), a.g3_error_count(product, workspace)))
+        assert observed == expected
+        assert (workspace.probe == -1).all()
+
+    def test_caches_do_not_leak_between_instances(self):
+        first = CsrPartition.from_column([0, 0, 1, 1, 2])
+        _ = first.class_sizes, first._labels()
+        second = CsrPartition.from_column([0, 1, 1, 0, 0])
+        assert second.class_sizes.tolist() == [3, 2]
+
+    def test_repeated_calls_return_same_values(self):
+        partition = CsrPartition.from_column([0, 0, 1, 1, 1])
+        assert partition.class_sizes.tolist() == partition.class_sizes.tolist()
+        assert partition._labels().tolist() == partition._labels().tolist()
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_product_chain_matches_joint_partition(self, seed):
+        """Folding products over a shared workspace equals the direct
+        joint partition of the combined columns."""
+        rng = np.random.default_rng(seed)
+        num_rows = int(rng.integers(0, 60))
+        columns = [rng.integers(0, 3, size=num_rows) for _ in range(4)]
+        workspace = PartitionWorkspace(num_rows)
+        chained = CsrPartition.from_column(columns[0])
+        for column in columns[1:]:
+            chained = chained.product(CsrPartition.from_column(column), workspace)
+        combined = columns[0]
+        for column in columns[1:]:
+            combined = combined * 3 + column
+        direct = CsrPartition.from_column(combined)
+        assert chained.class_sets() == direct.class_sets()

@@ -1,0 +1,72 @@
+"""Quality gates on the public API surface.
+
+* every public module, class, and function has a docstring;
+* ``__all__`` entries actually exist;
+* the top-level package re-exports what the README promises.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = [
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    if not name.split(".")[-1].startswith("_")
+]
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__ and module.__doc__.strip(), f"{module_name} lacks a docstring"
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_all_entries_exist(module_name):
+    module = importlib.import_module(module_name)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{module_name}.__all__ lists missing {name!r}"
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_public_callables_documented(module_name):
+    module = importlib.import_module(module_name)
+    exported = getattr(module, "__all__", None)
+    names = exported if exported is not None else [
+        n for n in dir(module) if not n.startswith("_")
+    ]
+    for name in names:
+        member = getattr(module, name)
+        if not (inspect.isfunction(member) or inspect.isclass(member)):
+            continue
+        if getattr(member, "__module__", "").startswith("repro"):
+            assert inspect.getdoc(member), f"{module_name}.{name} lacks a docstring"
+            if inspect.isclass(member):
+                for method_name, method in inspect.getmembers(member, inspect.isfunction):
+                    if method_name.startswith("_"):
+                        continue
+                    assert inspect.getdoc(method), (
+                        f"{module_name}.{name}.{method_name} lacks a docstring"
+                    )
+
+
+def test_top_level_exports():
+    for name in [
+        "Relation", "RelationSchema", "FunctionalDependency", "FDSet",
+        "TaneConfig", "discover", "discover_fds", "discover_approximate_fds",
+        "DiscoveryResult", "SearchStatistics", "ReproError",
+    ]:
+        assert hasattr(repro, name)
+
+
+def test_version_string():
+    assert repro.__version__.count(".") == 2
+
+
+def test_main_module_importable():
+    import repro.__main__  # noqa: F401

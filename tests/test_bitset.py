@@ -1,0 +1,88 @@
+"""Tests for the attribute-set bitmask helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import _bitset
+
+masks = st.integers(min_value=0, max_value=(1 << 24) - 1)
+
+
+class TestBasics:
+    def test_bit(self):
+        assert _bitset.bit(0) == 1
+        assert _bitset.bit(5) == 32
+
+    def test_from_indices_empty(self):
+        assert _bitset.from_indices([]) == 0
+
+    def test_from_indices(self):
+        assert _bitset.from_indices([0, 2]) == 5
+        assert _bitset.from_indices([2, 0, 2]) == 5
+
+    def test_to_indices(self):
+        assert _bitset.to_indices(0) == []
+        assert _bitset.to_indices(0b10110) == [1, 2, 4]
+
+    def test_iter_bits_order(self):
+        assert list(_bitset.iter_bits(0b101001)) == [0, 3, 5]
+
+    def test_popcount(self):
+        assert _bitset.popcount(0) == 0
+        assert _bitset.popcount(0b1011) == 3
+
+    def test_lowest_bit_index(self):
+        assert _bitset.lowest_bit_index(0b1000) == 3
+        assert _bitset.lowest_bit_index(0b1010) == 1
+
+    def test_lowest_bit_index_empty_raises(self):
+        with pytest.raises(ValueError):
+            _bitset.lowest_bit_index(0)
+
+    def test_mask_of_size(self):
+        assert _bitset.mask_of_size(0) == 0
+        assert _bitset.mask_of_size(3) == 0b111
+
+    def test_contains(self):
+        assert _bitset.contains(0b101, 0)
+        assert not _bitset.contains(0b101, 1)
+        assert _bitset.contains(0b101, 2)
+
+    def test_is_subset(self):
+        assert _bitset.is_subset(0, 0)
+        assert _bitset.is_subset(0b101, 0b111)
+        assert not _bitset.is_subset(0b101, 0b110)
+
+
+class TestSubsetEnumeration:
+    def test_iter_subsets_one_smaller(self):
+        pairs = list(_bitset.iter_subsets_one_smaller(0b1011))
+        assert pairs == [(0, 0b1010), (1, 0b1001), (3, 0b0011)]
+
+    def test_iter_subsets_empty(self):
+        assert list(_bitset.iter_subsets_one_smaller(0)) == []
+
+    def test_singleton(self):
+        assert list(_bitset.iter_subsets_one_smaller(0b100)) == [(2, 0)]
+
+
+class TestProperties:
+    @given(masks)
+    def test_roundtrip(self, mask):
+        assert _bitset.from_indices(_bitset.to_indices(mask)) == mask
+
+    @given(masks)
+    def test_popcount_matches_indices(self, mask):
+        assert _bitset.popcount(mask) == len(_bitset.to_indices(mask))
+
+    @given(masks)
+    def test_subsets_one_smaller_are_subsets(self, mask):
+        for index, subset in _bitset.iter_subsets_one_smaller(mask):
+            assert _bitset.is_subset(subset, mask)
+            assert not _bitset.contains(subset, index)
+            assert subset | _bitset.bit(index) == mask
+
+    @given(masks, masks)
+    def test_is_subset_definition(self, a, b):
+        assert _bitset.is_subset(a, b) == (a & b == a)

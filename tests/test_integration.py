@@ -1,0 +1,140 @@
+"""End-to-end integration tests across subsystem boundaries.
+
+Each test exercises a realistic pipeline: CSV → discovery → theory /
+analysis / export, or generator → replication → discovery → baseline
+agreement.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import Relation, discover_approximate_fds, discover_fds
+from repro.analysis import (
+    fdset_from_json,
+    fdset_to_json,
+    profile,
+    removal_witness,
+    result_to_json,
+)
+from repro.baselines import discover_fds_fdep
+from repro.datasets import (
+    make_wisconsin_like,
+    read_csv,
+    replicate_with_unique_suffix,
+    write_csv,
+)
+from repro.theory import (
+    bcnf_decompose,
+    candidate_keys,
+    canonical_cover,
+    check_normal_forms,
+    equivalent,
+)
+
+
+class TestCsvPipeline:
+    def test_csv_to_normalization(self, tmp_path):
+        rows = [
+            ["o1", "c1", "10115", "Berlin", "p1", "19"],
+            ["o2", "c1", "10115", "Berlin", "p2", "7"],
+            ["o3", "c2", "20095", "Hamburg", "p1", "19"],
+            ["o4", "c3", "20095", "Hamburg", "p2", "7"],
+            ["o5", "c3", "20095", "Hamburg", "p1", "19"],
+        ]
+        source = Relation.from_rows(
+            rows, ["order_id", "customer", "zip", "city", "product", "price"]
+        )
+        path = tmp_path / "orders.csv"
+        write_csv(source, path)
+        relation = read_csv(path)
+
+        result = discover_fds(relation)
+        formats = {fd.format(relation.schema) for fd in result.dependencies}
+        assert "zip -> city" in formats
+        assert "product -> price" in formats
+        assert relation.schema.mask_of("order_id") in result.keys
+
+        report = check_normal_forms(result.dependencies, relation.schema)
+        assert not report.is_bcnf
+        fragments = bcnf_decompose(result.dependencies, relation.schema)
+        union = 0
+        for fragment in fragments:
+            union |= fragment
+        assert union == relation.schema.full_mask()
+
+    def test_discovery_to_json_round_trip(self, figure1_relation):
+        result = discover_fds(figure1_relation)
+        text = fdset_to_json(result.dependencies, figure1_relation.schema)
+        parsed, schema = fdset_from_json(text)
+        assert parsed == result.dependencies
+        assert schema == figure1_relation.schema
+        document = json.loads(result_to_json(result))
+        assert document["statistics"]["total_sets"] > 0
+
+
+class TestCrossAlgorithm:
+    def test_tane_fdep_cover_agreement_on_generated_data(self):
+        relation = make_wisconsin_like(seed=11).head(250)
+        tane = discover_fds(relation).dependencies
+        fdep = discover_fds_fdep(relation)
+        assert tane == fdep
+        # canonical covers of identical sets are equivalent
+        assert equivalent(canonical_cover(tane), canonical_cover(fdep))
+
+    def test_replication_pipeline(self):
+        base = make_wisconsin_like(seed=2).head(120)
+        replicated = replicate_with_unique_suffix(base, 4)
+        assert discover_fds(replicated).dependencies == discover_fds(base).dependencies
+
+    def test_keys_consistent_between_instance_and_theory(self):
+        relation = make_wisconsin_like(seed=5).head(200)
+        rows = {tuple(r) for r in relation.iter_rows()}
+        if len(rows) != relation.num_rows:
+            pytest.skip("duplicate rows: instance keys undefined")
+        result = discover_fds(relation)
+        derived = candidate_keys(result.dependencies, relation.schema)
+        assert sorted(result.keys) == sorted(derived)
+
+
+class TestDirtyDataPipeline:
+    def test_approximate_to_repair_cycle(self):
+        rng = np.random.default_rng(8)
+        sensors = rng.integers(0, 30, size=1500)
+        location_of = rng.integers(0, 5, size=30)
+        locations = location_of[sensors]
+        corrupted = rng.random(1500) < 0.02
+        locations = np.where(corrupted, (locations + 1) % 5, locations)
+        relation = Relation.from_codes(
+            [sensors.astype(np.int64), locations.astype(np.int64)],
+            ["sensor", "location"],
+        )
+        schema = relation.schema
+
+        exact = discover_fds(relation, max_lhs_size=1)
+        assert not any(
+            fd.lhs == schema.mask_of("sensor") and fd.rhs == schema.index_of("location")
+            for fd in exact.dependencies
+        )
+        approx = discover_approximate_fds(relation, 0.05, max_lhs_size=1)
+        target = next(
+            fd for fd in approx.dependencies
+            if fd.lhs == schema.mask_of("sensor") and fd.rhs == schema.index_of("location")
+        )
+        witness = removal_witness(relation, target)
+        assert len(witness) == int(round(target.error * relation.num_rows))
+        keep = np.setdiff1d(np.arange(relation.num_rows), np.asarray(witness))
+        cleaned = relation.take(keep)
+        healed = discover_fds(cleaned, max_lhs_size=1)
+        assert any(
+            fd.lhs == schema.mask_of("sensor") and fd.rhs == schema.index_of("location")
+            for fd in healed.dependencies
+        )
+
+    def test_profile_end_to_end(self):
+        relation = make_wisconsin_like(seed=9).head(150)
+        report = profile(relation, epsilon=0.05)
+        assert report.exact is not None and report.approximate is not None
+        text = report.format()
+        assert "columns:" in text and "exact minimal dependencies" in text

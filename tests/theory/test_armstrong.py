@@ -1,0 +1,87 @@
+"""Tests for Armstrong-relation generation (discovery round trips)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import _bitset
+from repro.core.tane import discover_fds
+from repro.exceptions import ConfigurationError
+from repro.model.fd import FDSet, FunctionalDependency
+from repro.model.schema import RelationSchema
+from repro.theory.armstrong import armstrong_relation, maximal_invalid_sets
+from repro.theory.closure import attribute_closure
+from repro.theory.cover import equivalent
+
+SCHEMA = RelationSchema(["A", "B", "C", "D"])
+
+
+def fd(lhs_names, rhs_name):
+    return FunctionalDependency.from_names(SCHEMA, lhs_names, rhs_name)
+
+
+class TestMaximalInvalidSets:
+    def test_members_are_closed(self):
+        fds = FDSet([fd(["A"], "B"), fd(["B", "C"], "D")])
+        for mask in maximal_invalid_sets(fds, SCHEMA):
+            assert attribute_closure(mask, fds) == mask
+
+    def test_every_nonimplied_dep_witnessed(self):
+        fds = FDSet([fd(["A"], "B")])
+        family = maximal_invalid_sets(fds, SCHEMA)
+        # e.g. B -> A is not implied: some family member contains B, not A
+        b_mask = SCHEMA.mask_of("B")
+        assert any(
+            _bitset.is_subset(b_mask, m) and not _bitset.contains(m, SCHEMA.index_of("A"))
+            for m in family
+        )
+
+    def test_too_wide_rejected(self):
+        wide = RelationSchema([f"a{i}" for i in range(20)])
+        with pytest.raises(ConfigurationError):
+            maximal_invalid_sets(FDSet(), wide)
+
+
+class TestArmstrongRelation:
+    def test_empty_fd_set(self):
+        relation = armstrong_relation(FDSet(), SCHEMA)
+        found = discover_fds(relation).dependencies
+        assert len(found) == 0  # nothing holds beyond trivialities
+
+    def test_chain_round_trip(self):
+        fds = FDSet([fd(["A"], "B"), fd(["B"], "C")])
+        relation = armstrong_relation(fds, SCHEMA)
+        found = discover_fds(relation).dependencies
+        assert equivalent(found, fds)
+
+    def test_composite_lhs_round_trip(self):
+        fds = FDSet([fd(["A", "B"], "C")])
+        relation = armstrong_relation(fds, SCHEMA)
+        found = discover_fds(relation).dependencies
+        assert equivalent(found, fds)
+
+    def test_relation_is_small(self):
+        fds = FDSet([fd(["A"], "B")])
+        relation = armstrong_relation(fds, SCHEMA)
+        # one base row + one per maximal set
+        assert relation.num_rows == len(maximal_invalid_sets(fds, SCHEMA)) + 1
+
+
+fd_sets = st.lists(
+    st.tuples(st.integers(0, 3), st.integers(0, 15)),
+    max_size=5,
+).map(
+    lambda pairs: FDSet(
+        FunctionalDependency(lhs & ~(1 << rhs), rhs) for rhs, lhs in pairs
+    )
+)
+
+
+class TestRoundTripProperty:
+    @given(fd_sets)
+    @settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_discovery_recovers_cover(self, fds):
+        """discover(armstrong(F)) is always a cover of F."""
+        relation = armstrong_relation(fds, SCHEMA)
+        found = discover_fds(relation).dependencies
+        assert equivalent(found, fds)

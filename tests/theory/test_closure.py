@@ -1,0 +1,88 @@
+"""Tests for attribute closure and implication."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import _bitset
+from repro.model.fd import FDSet, FunctionalDependency
+from repro.model.schema import RelationSchema
+from repro.theory.closure import attribute_closure, implies, is_implied_by
+
+SCHEMA = RelationSchema(["A", "B", "C", "D", "E"])
+
+
+def fd(lhs_names, rhs_name):
+    return FunctionalDependency.from_names(SCHEMA, lhs_names, rhs_name)
+
+
+class TestClosure:
+    def test_no_fds(self):
+        assert attribute_closure(0b101, FDSet()) == 0b101
+
+    def test_chain(self):
+        fds = FDSet([fd(["A"], "B"), fd(["B"], "C"), fd(["C"], "D")])
+        closure = attribute_closure(SCHEMA.mask_of("A"), fds)
+        assert closure == SCHEMA.mask_of(["A", "B", "C", "D"])
+
+    def test_needs_both(self):
+        fds = FDSet([fd(["A", "B"], "C")])
+        assert attribute_closure(SCHEMA.mask_of("A"), fds) == SCHEMA.mask_of("A")
+        assert attribute_closure(SCHEMA.mask_of(["A", "B"]), fds) == SCHEMA.mask_of(["A", "B", "C"])
+
+    def test_empty_lhs_fd(self):
+        fds = FDSet([fd([], "E")])
+        assert attribute_closure(0, fds) == SCHEMA.mask_of("E")
+
+    def test_textbook_example(self):
+        # classic: F = {A->B, B->C, CD->E}; (AD)+ = ABCDE
+        fds = FDSet([fd(["A"], "B"), fd(["B"], "C"), fd(["C", "D"], "E")])
+        assert attribute_closure(SCHEMA.mask_of(["A", "D"]), fds) == SCHEMA.full_mask()
+        assert attribute_closure(SCHEMA.mask_of(["A"]), fds) == SCHEMA.mask_of(["A", "B", "C"])
+
+
+class TestImplication:
+    def test_transitivity(self):
+        fds = FDSet([fd(["A"], "B"), fd(["B"], "C")])
+        assert implies(fds, fd(["A"], "C"))
+        assert is_implied_by(fd(["A"], "C"), fds)
+
+    def test_augmentation(self):
+        fds = FDSet([fd(["A"], "B")])
+        assert implies(fds, fd(["A", "C"], "B"))
+
+    def test_not_implied(self):
+        fds = FDSet([fd(["A"], "B")])
+        assert not implies(fds, fd(["B"], "A"))
+
+
+fd_sets = st.lists(
+    st.tuples(st.integers(0, 4), st.integers(0, 31)),
+    max_size=8,
+).map(
+    lambda pairs: FDSet(
+        FunctionalDependency(lhs & ~(1 << rhs), rhs) for rhs, lhs in pairs
+    )
+)
+
+
+class TestClosureProperties:
+    @given(st.integers(0, 31), fd_sets)
+    def test_extensive(self, attributes, fds):
+        assert _bitset.is_subset(attributes, attribute_closure(attributes, fds))
+
+    @given(st.integers(0, 31), fd_sets)
+    def test_idempotent(self, attributes, fds):
+        once = attribute_closure(attributes, fds)
+        assert attribute_closure(once, fds) == once
+
+    @given(st.integers(0, 31), st.integers(0, 31), fd_sets)
+    def test_monotone(self, a, b, fds):
+        small, large = a & b, a | b
+        assert _bitset.is_subset(
+            attribute_closure(small, fds), attribute_closure(large, fds)
+        )
+
+    @given(fd_sets)
+    def test_every_member_implied(self, fds):
+        for member in fds:
+            assert implies(fds, member)

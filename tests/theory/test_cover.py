@@ -1,0 +1,97 @@
+"""Tests for dependency-set covers."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.model.fd import FDSet, FunctionalDependency
+from repro.model.schema import RelationSchema
+from repro.theory.closure import attribute_closure, implies
+from repro.theory.cover import canonical_cover, equivalent, remove_redundant
+
+SCHEMA = RelationSchema(["A", "B", "C", "D"])
+
+
+def fd(lhs_names, rhs_name):
+    return FunctionalDependency.from_names(SCHEMA, lhs_names, rhs_name)
+
+
+class TestEquivalent:
+    def test_reflexive(self):
+        fds = FDSet([fd(["A"], "B")])
+        assert equivalent(fds, fds)
+
+    def test_reordered_cover(self):
+        first = FDSet([fd(["A"], "B"), fd(["B"], "C")])
+        second = FDSet([fd(["B"], "C"), fd(["A"], "B"), fd(["A"], "C")])
+        assert equivalent(first, second)
+
+    def test_not_equivalent(self):
+        assert not equivalent(FDSet([fd(["A"], "B")]), FDSet([fd(["B"], "A")]))
+
+    def test_empty_sets(self):
+        assert equivalent(FDSet(), FDSet())
+
+
+class TestRemoveRedundant:
+    def test_transitive_member_removed(self):
+        fds = FDSet([fd(["A"], "B"), fd(["B"], "C"), fd(["A"], "C")])
+        reduced = remove_redundant(fds)
+        assert len(reduced) == 2
+        assert equivalent(reduced, fds)
+
+    def test_nothing_redundant(self):
+        fds = FDSet([fd(["A"], "B"), fd(["B"], "A")])
+        assert remove_redundant(fds) == fds
+
+
+class TestCanonicalCover:
+    def test_extraneous_lhs_removed(self):
+        fds = FDSet([fd(["A"], "B"), fd(["A", "B"], "C")])
+        cover = canonical_cover(fds)
+        assert fd(["A"], "C") in cover or fd(["A", "B"], "C") not in cover
+        assert equivalent(cover, fds)
+
+    def test_textbook(self):
+        # F = {A->BC (as two), B->C, AB->C}: canonical is {A->B, B->C}
+        fds = FDSet([fd(["A"], "B"), fd(["A"], "C"), fd(["B"], "C"), fd(["A", "B"], "C")])
+        cover = canonical_cover(fds)
+        assert equivalent(cover, fds)
+        assert len(cover) == 2
+        assert fd(["A"], "B") in cover
+        assert fd(["B"], "C") in cover
+
+
+fd_sets = st.lists(
+    st.tuples(st.integers(0, 3), st.integers(0, 15)),
+    max_size=6,
+).map(
+    lambda pairs: FDSet(
+        FunctionalDependency(lhs & ~(1 << rhs), rhs) for rhs, lhs in pairs
+    )
+)
+
+
+class TestCoverProperties:
+    @given(fd_sets)
+    def test_canonical_cover_equivalent(self, fds):
+        assert equivalent(canonical_cover(fds), fds)
+
+    @given(fd_sets)
+    def test_canonical_cover_no_redundancy(self, fds):
+        cover = canonical_cover(fds)
+        members = list(cover)
+        for member in members:
+            rest = FDSet(other for other in members if other is not member)
+            assert not implies(rest, member)
+
+    @given(fd_sets)
+    def test_canonical_cover_no_extraneous_lhs(self, fds):
+        cover = canonical_cover(fds)
+        for member in cover:
+            for attribute in member.lhs_indices():
+                smaller = member.lhs & ~(1 << attribute)
+                assert not (attribute_closure(smaller, cover) >> member.rhs & 1)
+
+    @given(fd_sets)
+    def test_remove_redundant_equivalent(self, fds):
+        assert equivalent(remove_redundant(fds), fds)

@@ -1,0 +1,119 @@
+"""Tests for candidate-key computation from dependency sets."""
+
+import pytest
+
+from repro import _bitset
+from repro.exceptions import ConfigurationError
+from repro.model.fd import FDSet, FunctionalDependency
+from repro.model.schema import RelationSchema
+from repro.theory.closure import attribute_closure
+from repro.theory.keys import candidate_keys, is_superkey_for, prime_attributes
+
+SCHEMA = RelationSchema(["A", "B", "C", "D"])
+
+
+def fd(lhs_names, rhs_name):
+    return FunctionalDependency.from_names(SCHEMA, lhs_names, rhs_name)
+
+
+class TestCandidateKeys:
+    def test_no_fds_full_set_is_key(self):
+        assert candidate_keys(FDSet(), SCHEMA) == [SCHEMA.full_mask()]
+
+    def test_single_chain(self):
+        fds = FDSet([fd(["A"], "B"), fd(["B"], "C"), fd(["C"], "D")])
+        assert candidate_keys(fds, SCHEMA) == [SCHEMA.mask_of("A")]
+
+    def test_cycle_gives_multiple_keys(self):
+        # A->B, B->A; keys: {A,C,D} and {B,C,D}
+        fds = FDSet([fd(["A"], "B"), fd(["B"], "A")])
+        keys = candidate_keys(fds, SCHEMA)
+        assert set(keys) == {SCHEMA.mask_of(["A", "C", "D"]), SCHEMA.mask_of(["B", "C", "D"])}
+
+    def test_classic_example(self):
+        # R(A,B,C,D), F = {AB->C, C->D, D->A}: keys AB, BC, BD
+        fds = FDSet([fd(["A", "B"], "C"), fd(["C"], "D"), fd(["D"], "A")])
+        keys = candidate_keys(fds, SCHEMA)
+        assert set(keys) == {
+            SCHEMA.mask_of(["A", "B"]),
+            SCHEMA.mask_of(["B", "C"]),
+            SCHEMA.mask_of(["B", "D"]),
+        }
+
+    def test_keys_are_minimal_and_superkeys(self):
+        fds = FDSet([fd(["A", "B"], "C"), fd(["C"], "D"), fd(["D"], "A")])
+        keys = candidate_keys(fds, SCHEMA)
+        for key in keys:
+            assert attribute_closure(key, fds) == SCHEMA.full_mask()
+            for attribute in _bitset.to_indices(key):
+                smaller = key & ~_bitset.bit(attribute)
+                assert attribute_closure(smaller, fds) != SCHEMA.full_mask()
+        for i, a in enumerate(keys):
+            for b in keys[i + 1:]:
+                assert not _bitset.is_subset(a, b)
+
+    def test_too_wide_rejected(self):
+        wide = RelationSchema([f"a{i}" for i in range(30)])
+        with pytest.raises(ConfigurationError):
+            candidate_keys(FDSet(), wide)
+
+
+class TestHelpers:
+    def test_is_superkey_for(self):
+        fds = FDSet([fd(["A"], "B"), fd(["B"], "C"), fd(["C"], "D")])
+        assert is_superkey_for(SCHEMA.mask_of("A"), fds, SCHEMA)
+        assert not is_superkey_for(SCHEMA.mask_of("B"), fds, SCHEMA)
+
+    def test_prime_attributes(self):
+        fds = FDSet([fd(["A", "B"], "C"), fd(["C"], "D"), fd(["D"], "A")])
+        prime = prime_attributes(fds, SCHEMA)
+        assert prime == SCHEMA.mask_of(["A", "B", "C", "D"])
+
+    def test_prime_attributes_chain(self):
+        fds = FDSet([fd(["A"], "B"), fd(["B"], "C"), fd(["C"], "D")])
+        assert prime_attributes(fds, SCHEMA) == SCHEMA.mask_of("A")
+
+
+class TestKeyProperties:
+    from hypothesis import HealthCheck, given, settings
+    from hypothesis import strategies as st
+
+    fd_sets = st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 15)),
+        max_size=6,
+    ).map(
+        lambda pairs: FDSet(
+            FunctionalDependency(lhs & ~(1 << rhs), rhs) for rhs, lhs in pairs
+        )
+    )
+
+    @given(fd_sets)
+    @settings(max_examples=80, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_matches_exhaustive_enumeration(self, fds):
+        from itertools import combinations
+
+        expected = []
+        for size in range(0, 5):
+            for combo in combinations(range(4), size):
+                mask = _bitset.from_indices(combo)
+                if any(_bitset.is_subset(k, mask) for k in expected):
+                    continue
+                if attribute_closure(mask, fds) == SCHEMA.full_mask():
+                    expected.append(mask)
+        assert sorted(candidate_keys(fds, SCHEMA)) == sorted(expected)
+
+    @given(fd_sets)
+    @settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_at_least_one_key_always_exists(self, fds):
+        assert candidate_keys(fds, SCHEMA)
+
+
+class TestAgainstTane:
+    def test_keys_from_discovered_fds_match_tane(self, figure1_relation):
+        """On duplicate-free data, candidate keys derived from the
+        discovered dependency set coincide with TANE's key output."""
+        from repro.core.tane import discover_fds
+
+        result = discover_fds(figure1_relation)
+        derived = candidate_keys(result.dependencies, figure1_relation.schema)
+        assert sorted(result.keys) == sorted(derived)

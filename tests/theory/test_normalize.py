@@ -1,0 +1,95 @@
+"""Tests for normal-form analysis and BCNF decomposition."""
+
+from repro import _bitset
+from repro.model.fd import FDSet, FunctionalDependency
+from repro.model.schema import RelationSchema
+from repro.theory.closure import attribute_closure
+from repro.theory.normalize import (
+    bcnf_decompose,
+    bcnf_violations,
+    check_normal_forms,
+    third_nf_violations,
+)
+
+SCHEMA = RelationSchema(["A", "B", "C", "D"])
+
+
+def fd(lhs_names, rhs_name):
+    return FunctionalDependency.from_names(SCHEMA, lhs_names, rhs_name)
+
+
+class TestViolations:
+    def test_bcnf_ok_when_lhs_superkey(self):
+        fds = FDSet([fd(["A"], "B"), fd(["A"], "C"), fd(["A"], "D")])
+        assert bcnf_violations(fds, SCHEMA) == []
+
+    def test_bcnf_violation_detected(self):
+        fds = FDSet([fd(["A"], "B"), fd(["B"], "C")])
+        violations = bcnf_violations(fds, SCHEMA)
+        assert fd(["B"], "C") in violations
+        assert fd(["A"], "B") in violations  # A is not a superkey either (D!)
+
+    def test_3nf_allows_prime_rhs(self):
+        # AB and BC keys; C -> A has prime rhs: 3NF but not BCNF.
+        schema = RelationSchema(["A", "B", "C"])
+        fds = FDSet([
+            FunctionalDependency.from_names(schema, ["A", "B"], "C"),
+            FunctionalDependency.from_names(schema, ["C"], "A"),
+        ])
+        assert third_nf_violations(fds, schema) == []
+        assert bcnf_violations(fds, schema) != []
+
+    def test_3nf_violation(self):
+        fds = FDSet([fd(["A"], "B"), fd(["B"], "C"), fd(["A"], "D")])
+        # key is A; B->C has non-prime rhs C and B not superkey
+        violations = third_nf_violations(fds, SCHEMA)
+        assert fd(["B"], "C") in violations
+
+
+class TestDecomposition:
+    def test_decomposition_fragments_are_bcnf(self):
+        fds = FDSet([fd(["A"], "B"), fd(["B"], "C")])
+        fragments = bcnf_decompose(fds, SCHEMA)
+        # every fragment must have no internal violation
+        for fragment in fragments:
+            for dependency in fds:
+                if not _bitset.is_subset(dependency.lhs, fragment):
+                    continue
+                closure = attribute_closure(dependency.lhs, fds)
+                inside = closure & fragment
+                assert not (inside & ~dependency.lhs) or inside == fragment
+
+    def test_decomposition_covers_schema(self):
+        fds = FDSet([fd(["A"], "B"), fd(["B"], "C")])
+        fragments = bcnf_decompose(fds, SCHEMA)
+        union = 0
+        for fragment in fragments:
+            union |= fragment
+        assert union == SCHEMA.full_mask()
+
+    def test_bcnf_input_unchanged(self):
+        fds = FDSet([fd(["A"], "B"), fd(["A"], "C"), fd(["A"], "D")])
+        assert bcnf_decompose(fds, SCHEMA) == [SCHEMA.full_mask()]
+
+    def test_zip_city_example(self):
+        schema = RelationSchema(["order", "zip", "city"])
+        fds = FDSet([FunctionalDependency.from_names(schema, ["zip"], "city")])
+        fragments = bcnf_decompose(fds, schema)
+        assert schema.mask_of(["zip", "city"]) in fragments
+
+
+class TestReport:
+    def test_report_flags(self):
+        fds = FDSet([fd(["A"], "B"), fd(["B"], "C")])
+        report = check_normal_forms(fds, SCHEMA)
+        assert not report.is_bcnf
+        assert not report.is_3nf
+        assert report.keys == (SCHEMA.mask_of(["A", "D"]),)
+        text = report.format()
+        assert "BCNF: no" in text
+
+    def test_report_clean_schema(self):
+        fds = FDSet([fd(["A"], "B"), fd(["A"], "C"), fd(["A"], "D")])
+        report = check_normal_forms(fds, SCHEMA)
+        assert report.is_bcnf and report.is_3nf
+        assert "BCNF: yes" in report.format()

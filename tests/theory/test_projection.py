@@ -1,0 +1,106 @@
+"""Tests for FD projection and dependency preservation."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import _bitset
+from repro.exceptions import ConfigurationError
+from repro.model.fd import FDSet, FunctionalDependency
+from repro.model.schema import RelationSchema
+from repro.theory.closure import implies
+from repro.theory.normalize import bcnf_decompose
+from repro.theory.projection import is_dependency_preserving, project_fds
+
+SCHEMA = RelationSchema(["A", "B", "C", "D"])
+
+
+def fd(lhs_names, rhs_name):
+    return FunctionalDependency.from_names(SCHEMA, lhs_names, rhs_name)
+
+
+class TestProjectFds:
+    def test_transitive_dependency_survives_projection(self):
+        # F = {A->B, B->C}; projecting onto {A, C} keeps A->C.
+        fds = FDSet([fd(["A"], "B"), fd(["B"], "C")])
+        projected = project_fds(fds, SCHEMA.mask_of(["A", "C"]))
+        assert implies(projected, fd(["A"], "C"))
+
+    def test_projection_mentions_only_fragment_attributes(self):
+        fds = FDSet([fd(["A"], "B"), fd(["B"], "C"), fd(["C"], "D")])
+        fragment = SCHEMA.mask_of(["A", "C", "D"])
+        for dependency in project_fds(fds, fragment):
+            assert _bitset.is_subset(dependency.lhs | dependency.rhs_mask, fragment)
+
+    def test_empty_fragment(self):
+        fds = FDSet([fd(["A"], "B")])
+        assert len(project_fds(fds, 0)) == 0
+
+    def test_full_fragment_is_cover(self):
+        from repro.theory.cover import equivalent
+
+        fds = FDSet([fd(["A"], "B"), fd(["B", "C"], "D")])
+        assert equivalent(project_fds(fds, SCHEMA.full_mask()), fds)
+
+    def test_too_wide_rejected(self):
+        with pytest.raises(ConfigurationError):
+            project_fds(FDSet(), (1 << 20) - 1)
+
+
+class TestDependencyPreservation:
+    def test_preserving_decomposition(self):
+        # A->B, B->C decomposed into {A,B} and {B,C}: preserving.
+        fds = FDSet([fd(["A"], "B"), fd(["B"], "C")])
+        fragments = [SCHEMA.mask_of(["A", "B"]), SCHEMA.mask_of(["B", "C"]),
+                     SCHEMA.mask_of(["A", "D"])]
+        assert is_dependency_preserving(fragments, fds, SCHEMA)
+
+    def test_non_preserving_decomposition(self):
+        # Classic: R(A,B,C), F = {AB->C, C->B}; BCNF split {C,B} + {C,A}
+        # loses AB->C.
+        schema = RelationSchema(["A", "B", "C"])
+        fds = FDSet([
+            FunctionalDependency.from_names(schema, ["A", "B"], "C"),
+            FunctionalDependency.from_names(schema, ["C"], "B"),
+        ])
+        fragments = [schema.mask_of(["C", "B"]), schema.mask_of(["C", "A"])]
+        assert not is_dependency_preserving(fragments, fds, schema)
+
+    def test_identity_decomposition_always_preserving(self):
+        fds = FDSet([fd(["A", "B"], "C"), fd(["C"], "A")])
+        assert is_dependency_preserving([SCHEMA.full_mask()], fds, SCHEMA)
+
+
+fd_sets = st.lists(
+    st.tuples(st.integers(0, 3), st.integers(0, 15)),
+    max_size=5,
+).map(
+    lambda pairs: FDSet(
+        FunctionalDependency(lhs & ~(1 << rhs), rhs) for rhs, lhs in pairs
+    )
+)
+
+
+class TestProperties:
+    @given(fd_sets)
+    @settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_projection_is_sound(self, fds):
+        """Everything in the projection is implied by the original."""
+        fragment = SCHEMA.mask_of(["A", "B", "C"])
+        for dependency in project_fds(fds, fragment):
+            assert implies(fds, dependency)
+
+    @given(fd_sets)
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_bcnf_decompose_preservation_check_runs(self, fds):
+        """The preservation checker composes with bcnf_decompose (it
+        may be True or False; it must be sound w.r.t. implication)."""
+        fragments = bcnf_decompose(fds, SCHEMA)
+        preserved = is_dependency_preserving(fragments, fds, SCHEMA)
+        if preserved:
+            union = FDSet()
+            for fragment in fragments:
+                for dependency in project_fds(fds, fragment):
+                    union.add(dependency)
+            for dependency in fds:
+                assert implies(union, dependency)
