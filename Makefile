@@ -2,10 +2,15 @@
 
 PYTHON ?= python3
 
-.PHONY: install test test-fast bench bench-full examples clean
+.PHONY: install check test test-fast bench bench-full examples clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+# The CI gate: byte-compile everything, then the tier-1 suite.
+check:
+	$(PYTHON) -m compileall -q src
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
 test:
 	$(PYTHON) -m pytest tests/

@@ -1,0 +1,63 @@
+"""Record the serial-vs-parallel comparison as a BENCH_*.json entry.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_parallel_bench.py [--workers 4]
+        [--scale quick] [--rows-target 100000]
+
+Runs :func:`repro.bench.workloads.parallel_speedup_records` (which
+asserts the process executor reproduces the serial results exactly)
+and writes ``benchmarks/results/BENCH_parallel_speedup.json`` with the
+measurements plus the hardware context they were taken on — speedups
+are meaningless without the core count next to them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+
+from repro.bench.workloads import parallel_speedup_records
+
+RESULTS = Path(__file__).parent / "results"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--scale", default=None)
+    parser.add_argument("--rows-target", type=int, default=100_000)
+    parser.add_argument("--output", default=str(RESULTS / "BENCH_parallel_speedup.json"))
+    args = parser.parse_args(argv)
+
+    records = parallel_speedup_records(
+        args.scale, workers=args.workers, rows_target=args.rows_target
+    )
+    entry = {
+        "benchmark": "parallel_speedup",
+        "created": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "hardware": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "workers": args.workers,
+        "workloads": records,
+    }
+    output = Path(args.output)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(entry, indent=2) + "\n", encoding="utf-8")
+    print(json.dumps(entry, indent=2))
+    if not all(record["identical_results"] for record in records):
+        print("PARITY FAILURE: process executor diverged from serial", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,7 @@ and the ε-behaviour.  See EXPERIMENTS.md for the recorded comparison.
 from __future__ import annotations
 
 import math
+import os
 from collections.abc import Callable
 
 from repro.baselines.fdep import discover_fds_fdep
@@ -40,6 +41,8 @@ __all__ = [
     "run_ablation_engine",
     "run_ablation_g3_bounds",
     "run_ablation_strategy",
+    "run_parallel_speedup",
+    "parallel_speedup_records",
 ]
 
 INFEASIBLE = "*"
@@ -444,6 +447,91 @@ def run_ablation_engine(scale: str | BenchScale | None = None) -> Table:
     table.add_row("vectorized CSR", len(pairs), csr_run.seconds)
     if csr_run.seconds > 0:
         table.add_note(f"speedup: {pure_run.seconds / csr_run.seconds:.1f}x")
+    return table
+
+
+def parallel_speedup_records(
+    scale: str | BenchScale | None = None,
+    workers: int = 4,
+    rows_target: int = 100_000,
+) -> list[dict[str, object]]:
+    """Measure serial vs process-executor discovery on large workloads.
+
+    Replicates the Wisconsin dataset to at least ``rows_target`` rows
+    (the regime the parallel engine targets; smoke scale stays small)
+    and runs exact plus ``epsilon = 0.01`` discovery under both
+    executors, asserting result parity.  Returns one record per
+    workload — the raw material for both the human-readable table and
+    the ``BENCH_*.json`` entry.
+    """
+    scale = resolve_scale(scale)
+    wisconsin = _dataset("wisconsin", scale)
+    if scale.name == "smoke":
+        multiple = max(scale.wbc_multiples)
+    else:
+        multiple = -(-rows_target // wisconsin.num_rows)  # ceil division
+    relation = replicate_with_unique_suffix(wisconsin, multiple)
+    records: list[dict[str, object]] = []
+    for label, epsilon in ((f"wisconsin x{multiple} exact", 0.0),
+                           (f"wisconsin x{multiple} eps=0.01", 0.01)):
+        serial = measure(lambda e=epsilon: discover(relation, TaneConfig(epsilon=e)))
+        process = measure(
+            lambda e=epsilon: discover(
+                relation, TaneConfig(epsilon=e, executor="process", workers=workers)
+            )
+        )
+        identical = (
+            serial.result.dependencies == process.result.dependencies
+            and serial.result.keys == process.result.keys
+        )
+        stats = process.result.statistics
+        records.append({
+            "workload": label,
+            "rows": relation.num_rows,
+            "attributes": relation.num_attributes,
+            "epsilon": epsilon,
+            "dependencies": len(serial.result),
+            "serial_seconds": serial.seconds,
+            "process_seconds": process.seconds,
+            "speedup": serial.seconds / process.seconds if process.seconds else None,
+            "identical_results": identical,
+            "workers": workers,
+            "workers_used": stats.workers_used,
+            "worker_chunks": stats.worker_chunks,
+            "worker_busy_seconds": stats.worker_busy_seconds,
+            "shm_bytes_shipped": stats.shm_bytes_shipped,
+        })
+    return records
+
+
+def run_parallel_speedup(
+    scale: str | BenchScale | None = None,
+    workers: int = 4,
+    rows_target: int = 100_000,
+) -> Table:
+    """Serial vs process-executor comparison as a paper-style table."""
+    scale = resolve_scale(scale)
+    records = parallel_speedup_records(scale, workers=workers, rows_target=rows_target)
+    table = Table(
+        title=f"Parallel executor (scale={scale.name}, workers={workers}): "
+        "serial vs process",
+        columns=["workload", "|r|", "serial s", "process s", "speedup",
+                 "identical", "chunks", "shm MiB"],
+    )
+    for record in records:
+        table.add_row(
+            record["workload"], record["rows"],
+            record["serial_seconds"], record["process_seconds"],
+            round(record["speedup"], 3) if record["speedup"] else INFEASIBLE,
+            record["identical_results"], record["worker_chunks"],
+            round(record["shm_bytes_shipped"] / (1024 * 1024), 2),
+        )
+    cores = os.cpu_count() or 1
+    table.add_note(f"host has {cores} CPU core(s); process pools cannot beat "
+                   "serial without multiple cores" if cores < 2 else
+                   f"host has {cores} CPU cores")
+    table.add_note("identical=True asserts the process executor returned the "
+                   "same dependencies and keys as serial")
     return table
 
 

@@ -51,6 +51,9 @@ def build_parser() -> argparse.ArgumentParser:
                                  help="left-hand-side size limit |X|")
     discover_parser.add_argument("--store", choices=["memory", "disk"], default="memory",
                                  help="partition store: memory (TANE/MEM) or disk (TANE)")
+    discover_parser.add_argument("--workers", type=int, default=0,
+                                 help="shard each lattice level across N worker "
+                                      "processes (0 = serial)")
     discover_parser.add_argument("--no-header", action="store_true",
                                  help="CSV file has no header row")
     discover_parser.add_argument("--stats", action="store_true",
@@ -78,7 +81,7 @@ def build_parser() -> argparse.ArgumentParser:
         "target",
         choices=["table1", "table2", "table3", "figure3", "figure4",
                  "ablation-pruning", "ablation-engine", "ablation-g3",
-                 "ablation-strategy"],
+                 "ablation-strategy", "parallel"],
     )
     bench_parser.add_argument("--scale", choices=["quick", "medium", "full"], default=None,
                               help="workload scale (default: REPRO_BENCH_SCALE or quick)")
@@ -99,6 +102,7 @@ def _cmd_discover(args: argparse.Namespace) -> int:
         max_lhs_size=args.max_lhs,
         store=args.store,
         measure=args.measure,
+        workers=args.workers,
     )
     result = discover(relation, config)
     print(result.format())
@@ -108,6 +112,11 @@ def _cmd_discover(args: argparse.Namespace) -> int:
         print(f"sets s={stats.total_sets} smax={stats.max_level_size} "
               f"tests v={stats.validity_tests} products={stats.partition_products} "
               f"keys k={stats.keys_found}")
+        if stats.executor != "serial":
+            print(f"executor: {stats.executor} workers={stats.workers_used} "
+                  f"chunks={stats.worker_chunks} "
+                  f"busy={stats.worker_busy_seconds:.2f}s "
+                  f"shm={stats.shm_bytes_shipped}B")
     return 0
 
 
@@ -145,6 +154,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         "ablation-engine": workloads.run_ablation_engine,
         "ablation-g3": workloads.run_ablation_g3_bounds,
         "ablation-strategy": workloads.run_ablation_strategy,
+        "parallel": workloads.run_parallel_speedup,
     }[args.target]
     print(runner(args.scale).format())
     return 0

@@ -35,7 +35,14 @@ class SearchStatistics:
     """Partition products computed by GENERATE-NEXT-LEVEL."""
 
     g3_exact_computations: int = 0
-    """Exact O(|r|) g3 error computations performed."""
+    """Exact O(|r|) g3 error computations performed (g3 measure only)."""
+
+    error_computations: int = 0
+    """Exact O(|r|) error computations under *any* measure (g1/g2/g3).
+
+    The measure-agnostic counterpart of :attr:`g3_exact_computations`,
+    so ablation reports comparing measures attribute work to the
+    measure that actually performed it."""
 
     g3_bound_rejections: int = 0
     """Validity tests resolved by the O(1) lower bound alone."""
@@ -54,6 +61,34 @@ class SearchStatistics:
 
     peak_resident_bytes: int = 0
     """Peak bytes of partitions held in memory by the store."""
+
+    executor: str = "serial"
+    """Name of the level executor that ran the search."""
+
+    workers_used: int = 0
+    """Distinct pool workers that executed at least one chunk (0 when
+    the search ran serially)."""
+
+    worker_chunks: int = 0
+    """Task shards dispatched to the pool."""
+
+    worker_busy_seconds: float = 0.0
+    """Cumulative busy time across all pool workers.  Can exceed
+    :attr:`elapsed_seconds` when shards genuinely overlap."""
+
+    shm_bytes_shipped: int = 0
+    """Bytes of CSR buffers exported to shared memory for workers."""
+
+    def merge_executor_usage(self, executor_name: str, usage) -> None:
+        """Fold an executor's :class:`~repro.parallel.executor.ExecutorUsage`
+        telemetry into the search counters (no-op for serial runs)."""
+        self.executor = executor_name
+        if usage is None:
+            return
+        self.workers_used = len(usage.pids)
+        self.worker_chunks = usage.chunks
+        self.worker_busy_seconds = usage.busy_seconds
+        self.shm_bytes_shipped = usage.shm_bytes
 
     @property
     def total_sets(self) -> int:

@@ -24,6 +24,11 @@ benchmarks:
 * ``use_key_pruning=False`` disables the key pruning rule.
 * ``use_g3_bounds=False`` disables the O(1) error-bound short-circuit
   of the extended version.
+* ``executor``/``workers`` select the level executor: the per-level
+  partition products and validity tests are independent, so
+  ``executor="process"`` (or ``workers=N``) shards them across a
+  ``multiprocessing`` pool (see :mod:`repro.parallel`); the default
+  serial executor performs exactly the historical single-core loop.
 """
 
 from __future__ import annotations
@@ -31,6 +36,7 @@ from __future__ import annotations
 import time
 from collections.abc import Callable
 from dataclasses import dataclass, replace
+from typing import Any
 
 from repro import _bitset
 from repro.core.lattice import generate_next_level
@@ -38,11 +44,18 @@ from repro.core.results import DiscoveryResult, SearchStatistics
 from repro.exceptions import ConfigurationError
 from repro.model.fd import FDSet, FunctionalDependency
 from repro.model.relation import Relation
-from repro.partition.errors import g1_error, g2_error
+from repro.parallel.executor import LevelExecutor, make_executor
+from repro.parallel.validity import ValidityCriteria, ValidityOutcome
 from repro.partition.store import DiskPartitionStore, PartitionStore, make_store
 from repro.partition.vectorized import CsrPartition, PartitionWorkspace
 
 _MEASURES = ("g3", "g1", "g2")
+_EXECUTORS = ("auto", "serial", "process")
+
+# Sentinel distinguishing "argument not supplied" from an explicit
+# value in the convenience wrappers, so they never clobber fields the
+# caller configured on an explicitly passed TaneConfig.
+_UNSET: Any = object()
 
 __all__ = [
     "TaneConfig",
@@ -116,7 +129,20 @@ class TaneConfig:
     ``from_singletons`` (re-multiply all single-attribute partitions —
     "roughly equivalent" to Schlimmer's decision-tree approach per
     Section 6, slower by a factor O(|R|); provided for the ablation
-    benchmark)."""
+    benchmark).  ``from_singletons`` always runs serially — it exists
+    to measure the strategy, not to scale it."""
+
+    executor: str | LevelExecutor = "auto"
+    """Level executor: ``"serial"`` (the classic loop), ``"process"``
+    (shard each level across a ``multiprocessing`` pool), ``"auto"``
+    (process exactly when ``workers > 1``), or a ready
+    :class:`~repro.parallel.executor.LevelExecutor` whose lifecycle the
+    caller owns.  Serial and process executors produce identical
+    dependencies, keys, and counters."""
+
+    workers: int = 0
+    """Pool size for the process executor; ``0`` means "all cores"
+    when ``executor="process"`` and "stay serial" under ``"auto"``."""
 
     progress: Callable[["LevelProgress"], None] | None = None
     """Optional callback invoked once per level with a
@@ -136,36 +162,66 @@ class TaneConfig:
                 f"unknown partition_strategy {self.partition_strategy!r}; "
                 "use 'pairwise' or 'from_singletons'"
             )
+        if isinstance(self.executor, str) and self.executor not in _EXECUTORS:
+            raise ConfigurationError(
+                f"unknown executor {self.executor!r}; use one of {_EXECUTORS} "
+                "or pass a LevelExecutor instance"
+            )
+        if self.workers < 0:
+            raise ConfigurationError(f"workers must be >= 0, got {self.workers}")
+
+
+def _with_overrides(
+    config: TaneConfig | None,
+    epsilon: float,
+    store: str | PartitionStore,
+    max_lhs_size: int | None,
+) -> TaneConfig:
+    """Apply only the keyword arguments the caller actually supplied.
+
+    ``epsilon`` is always fixed by the wrapper's contract, but
+    ``store``/``max_lhs_size`` must not silently clobber values set on
+    an explicitly passed ``TaneConfig`` with the keyword defaults.
+    """
+    overrides: dict[str, Any] = {"epsilon": epsilon}
+    if store is not _UNSET:
+        overrides["store"] = store
+    if max_lhs_size is not _UNSET:
+        overrides["max_lhs_size"] = max_lhs_size
+    return replace(config or TaneConfig(), **overrides)
 
 
 def discover_fds(
     relation: Relation,
     *,
-    store: str | PartitionStore = "memory",
-    max_lhs_size: int | None = None,
+    store: str | PartitionStore = _UNSET,
+    max_lhs_size: int | None = _UNSET,
     config: TaneConfig | None = None,
 ) -> DiscoveryResult:
     """Find all minimal non-trivial functional dependencies of ``relation``.
 
     Convenience wrapper around :func:`discover` with ``epsilon = 0``.
+    Without ``config``, ``store`` defaults to ``"memory"`` and
+    ``max_lhs_size`` to unlimited; with an explicit ``config``, only
+    the keywords actually supplied override its fields.
     """
-    config = config or TaneConfig()
-    config = replace(config, epsilon=0.0, store=store, max_lhs_size=max_lhs_size)
-    return discover(relation, config)
+    return discover(relation, _with_overrides(config, 0.0, store, max_lhs_size))
 
 
 def discover_approximate_fds(
     relation: Relation,
     epsilon: float,
     *,
-    store: str | PartitionStore = "memory",
-    max_lhs_size: int | None = None,
+    store: str | PartitionStore = _UNSET,
+    max_lhs_size: int | None = _UNSET,
     config: TaneConfig | None = None,
 ) -> DiscoveryResult:
-    """Find all minimal approximate dependencies with ``g3 <= epsilon``."""
-    config = config or TaneConfig()
-    config = replace(config, epsilon=epsilon, store=store, max_lhs_size=max_lhs_size)
-    return discover(relation, config)
+    """Find all minimal approximate dependencies with ``g3 <= epsilon``.
+
+    Like :func:`discover_fds`, keywords left at their defaults never
+    override fields of an explicitly passed ``config``.
+    """
+    return discover(relation, _with_overrides(config, epsilon, store, max_lhs_size))
 
 
 def discover(relation: Relation, config: TaneConfig | None = None) -> DiscoveryResult:
@@ -192,7 +248,16 @@ class _TaneRun:
         else:
             self.store = config.store
             self._owns_store = False
+        self.executor = make_executor(config.executor, config.workers)
+        self._owns_executor = not isinstance(config.executor, LevelExecutor)
         self.workspace = PartitionWorkspace(self.num_rows)
+        self.criteria = ValidityCriteria(
+            epsilon=config.epsilon,
+            epsilon_count=self.epsilon_count,
+            measure=config.measure,
+            use_g3_bounds=config.use_g3_bounds,
+            num_rows=self.num_rows,
+        )
         self.stats = SearchStatistics()
         self.dependencies = FDSet()
         self.keys: list[int] = []
@@ -208,8 +273,11 @@ class _TaneRun:
             self._search()
         finally:
             self._collect_store_stats()
+            self.stats.merge_executor_usage(self.executor.name, self.executor.usage)
             if self._owns_store:
                 self.store.close()
+            if self._owns_executor:
+                self.executor.close()
         self.stats.elapsed_seconds = time.perf_counter() - start
         return DiscoveryResult(
             dependencies=self.dependencies,
@@ -281,57 +349,60 @@ class _TaneRun:
                 if candidates == 0:
                     break
             cplus[mask] = candidates
+        # The validity tests of one level are mutually independent: the
+        # testable rhs set of each mask is fixed by ``cplus`` *before*
+        # any test runs, and test results only mutate that mask's own
+        # ``cplus`` entry.  The executor may therefore shard them
+        # freely; outcomes are applied here in level order, so the
+        # dependency stream (and every counter) is deterministic and
+        # identical across backends.
+        groups: list[tuple[int, list[tuple[int, int]]]] = []
         for mask in level:
             testable = mask & cplus[mask]
             if testable == 0:
                 continue
-            pi_whole = self.store.get(mask)
-            for rhs_index, lhs_mask in _bitset.iter_subsets_one_smaller(mask):
-                if not _bitset.contains(testable, rhs_index):
-                    continue
-                pi_lhs = self.store.get(lhs_mask)
+            pairs = [
+                (rhs_index, lhs_mask)
+                for rhs_index, lhs_mask in _bitset.iter_subsets_one_smaller(mask)
+                if _bitset.contains(testable, rhs_index)
+            ]
+            groups.append((mask, pairs))
+        outcomes = self.executor.validity_tests(
+            groups, self.store.get, self.criteria, self.workspace
+        )
+        position = 0
+        for mask, pairs in groups:
+            for rhs_index, lhs_mask in pairs:
+                outcome = outcomes[position]
+                position += 1
                 self.stats.validity_tests += 1
-                valid, exactly_valid, error = self._test_validity(pi_lhs, pi_whole)
-                if valid:
-                    self._add_dependency(FunctionalDependency(lhs_mask, rhs_index, error))
+                self._record_test_counters(outcome)
+                if outcome.valid:
+                    self._add_dependency(
+                        FunctionalDependency(lhs_mask, rhs_index, outcome.error)
+                    )
                     cplus[mask] &= ~_bitset.bit(rhs_index)
                     # Line 8 (exact) / lines 8'-9' (approximate): remove
                     # all attributes outside X, but only when the
                     # dependency holds *exactly*.
-                    if self.config.use_rule8 and exactly_valid:
+                    if self.config.use_rule8 and outcome.exactly_valid:
                         cplus[mask] &= mask
         return cplus
 
-    def _test_validity(
-        self,
-        pi_lhs: CsrPartition,
-        pi_whole: CsrPartition,
-    ) -> tuple[bool, bool, float]:
-        """Return (valid, exactly_valid, error_fraction) for one test.
+    def _record_test_counters(self, outcome: ValidityOutcome) -> None:
+        """Fold one test's counter flags into the search statistics.
 
-        Exact validity is the O(1) rank comparison of Lemma 2.  For the
-        approximate variant under ``g3``, the O(1) lower bound can
-        reject without the O(|r|) exact computation (extended-version
-        optimization); ``g1``/``g2`` are always computed exactly.
+        ``error_computations`` counts exact O(|r|) error computations
+        under any measure; ``g3_exact_computations`` only those of the
+        g3 measure (the one with the O(1) bound short-circuit), so the
+        bound ablation never misattributes g1/g2 work to g3.
         """
-        exactly_valid = pi_lhs.error_count == pi_whole.error_count
-        if exactly_valid:
-            return True, True, 0.0
-        if self.config.epsilon == 0.0:
-            return False, False, 0.0
-        if self.config.measure == "g3":
-            if self.config.use_g3_bounds:
-                lower, _ = pi_lhs.g3_bound_counts(pi_whole)
-                if lower > self.epsilon_count:
-                    self.stats.g3_bound_rejections += 1
-                    return False, False, lower / self.num_rows
-            self.stats.g3_exact_computations += 1
-            error_count = pi_lhs.g3_error_count(pi_whole, self.workspace)
-            return error_count <= self.epsilon_count, False, error_count / self.num_rows
-        measure = g1_error if self.config.measure == "g1" else g2_error
-        self.stats.g3_exact_computations += 1
-        error = measure(pi_lhs, pi_whole)
-        return error <= self.config.epsilon + 1e-12, False, error
+        if outcome.bound_rejected:
+            self.stats.g3_bound_rejections += 1
+        if outcome.error_computed:
+            self.stats.error_computations += 1
+            if self.config.measure == "g3":
+                self.stats.g3_exact_computations += 1
 
     # ------------------------------------------------------------------
     # PRUNE
@@ -452,17 +523,32 @@ class _TaneRun:
     # ------------------------------------------------------------------
 
     def _generate_next_level(self, surviving: list[int]) -> list[int]:
+        triples = generate_next_level(surviving)
         next_level: list[int] = []
-        for candidate, factor_x, factor_y in generate_next_level(surviving):
-            if self.config.partition_strategy == "pairwise":
-                product = self.store.get(factor_x).product(
-                    self.store.get(factor_y), self.workspace
-                )
+        if self.config.partition_strategy != "pairwise":
+            # Ablation-only strategy; always serial (see TaneConfig).
+            for candidate, _factor_x, _factor_y in triples:
+                self.store.put(candidate, self._product_from_singletons(candidate))
+                next_level.append(candidate)
+            return next_level
+
+        def stream():
+            # The store consumes the executor's result stream directly:
+            # products become resident (and may spill) while later
+            # shards are still computing in the pool.
+            for candidate, product in self.executor.products(
+                triples, self.store.get, self.workspace
+            ):
                 self.stats.partition_products += 1
-            else:
-                product = self._product_from_singletons(candidate)
-            self.store.put(candidate, product)
-            next_level.append(candidate)
+                next_level.append(candidate)
+                yield candidate, product
+
+        put_many = getattr(self.store, "put_many", None)
+        if put_many is not None:
+            put_many(stream())
+        else:  # minimal PartitionStore implementations
+            for candidate, product in stream():
+                self.store.put(candidate, product)
         return next_level
 
     def _product_from_singletons(self, candidate: int) -> CsrPartition:

@@ -1,0 +1,40 @@
+"""Parallel execution of the per-level hot loops (sharding the lattice).
+
+The paper's analysis (Section 6) puts the dominant cost of TANE in the
+O(|r|) partition products of GENERATE-NEXT-LEVEL and the O(|r|) ``g3``
+computations of COMPUTE-DEPENDENCIES — work that is independent within
+a level.  This package shards both loops across a
+:mod:`multiprocessing` pool:
+
+* :mod:`repro.parallel.validity` — the validity test as a pure
+  function of two partitions plus a :class:`ValidityCriteria`, shared
+  verbatim by the serial path and the workers (so parallel runs are
+  bit-identical to serial ones).
+* :mod:`repro.parallel.shm` — packs a level's CSR partitions into one
+  :class:`multiprocessing.shared_memory.SharedMemory` segment so the
+  int64 ``indices``/``offsets`` buffers reach workers zero-copy.
+* :mod:`repro.parallel.worker` — the process-pool entry point; holds
+  one :class:`~repro.partition.vectorized.PartitionWorkspace` per
+  worker.
+* :mod:`repro.parallel.executor` — the :class:`LevelExecutor`
+  abstraction with ``serial`` and ``process`` backends, selected by
+  :attr:`repro.core.tane.TaneConfig.executor` / ``workers``.
+"""
+
+from repro.parallel.executor import (
+    LevelExecutor,
+    ProcessLevelExecutor,
+    SerialLevelExecutor,
+    make_executor,
+)
+from repro.parallel.validity import ValidityCriteria, ValidityOutcome, evaluate_validity
+
+__all__ = [
+    "LevelExecutor",
+    "SerialLevelExecutor",
+    "ProcessLevelExecutor",
+    "make_executor",
+    "ValidityCriteria",
+    "ValidityOutcome",
+    "evaluate_validity",
+]

@@ -1,0 +1,274 @@
+"""The ``LevelExecutor`` abstraction: serial vs process-pool backends.
+
+A level executor runs the two embarrassingly parallel loops of one
+lattice level on behalf of the TANE driver:
+
+* ``products`` — GENERATE-NEXT-LEVEL's partition products, yielded in
+  candidate order (the driver streams them into the partition store);
+* ``validity_tests`` — COMPUTE-DEPENDENCIES' validity tests, returned
+  in level order.
+
+Both backends produce *identical* outputs for identical inputs: the
+serial backend performs exactly the operations the pre-executor driver
+performed, in the same order; the process backend shards the task list
+across a ``multiprocessing`` pool (inputs shipped zero-copy via
+:mod:`repro.parallel.shm`) and merges results back in deterministic
+task order.  Exact-mode validity tests (``epsilon == 0``) are O(1)
+rank comparisons on precomputed counters, so the process backend runs
+them in-process rather than paying shipping costs for no work.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from abc import ABC, abstractmethod
+from collections.abc import Callable, Iterator, Sequence
+from dataclasses import dataclass, field
+
+from repro.exceptions import ConfigurationError
+from repro.parallel.shm import SharedPartitionBlock
+from repro.parallel.validity import ValidityCriteria, ValidityOutcome, evaluate_validity
+from repro.parallel.worker import ProductChunk, ValidityChunk, init_worker, run_chunk
+from repro.partition.vectorized import CsrPartition, PartitionWorkspace
+
+__all__ = [
+    "ExecutorUsage",
+    "LevelExecutor",
+    "SerialLevelExecutor",
+    "ProcessLevelExecutor",
+    "make_executor",
+]
+
+Fetch = Callable[[int], CsrPartition]
+# ``(whole_mask, [(rhs_index, lhs_mask), ...])`` in level order; the
+# rhs indices ride along for the driver's benefit and are ignored here.
+ValidityGroups = Sequence[tuple[int, Sequence[tuple[int, int]]]]
+
+
+@dataclass
+class ExecutorUsage:
+    """Aggregated telemetry of a process executor's pool."""
+
+    chunks: int = 0
+    busy_seconds: float = 0.0
+    shm_bytes: int = 0
+    pids: set[int] = field(default_factory=set)
+
+
+class LevelExecutor(ABC):
+    """Strategy for executing one level's independent hot-loop tasks."""
+
+    name: str = "abstract"
+    workers: int = 1
+    usage: ExecutorUsage | None = None
+
+    @abstractmethod
+    def products(
+        self,
+        triples: Sequence[tuple[int, int, int]],
+        fetch: Fetch,
+        workspace: PartitionWorkspace,
+    ) -> Iterator[tuple[int, CsrPartition]]:
+        """Yield ``(candidate, partition)`` for each product triple, in order."""
+
+    @abstractmethod
+    def validity_tests(
+        self,
+        groups: ValidityGroups,
+        fetch: Fetch,
+        criteria: ValidityCriteria,
+        workspace: PartitionWorkspace,
+    ) -> list[ValidityOutcome]:
+        """Run every group's tests; outcomes flattened in group order."""
+
+    def close(self) -> None:
+        """Release pool resources (no-op for in-process backends)."""
+
+
+def _serial_validity(
+    groups: ValidityGroups,
+    fetch: Fetch,
+    criteria: ValidityCriteria,
+    workspace: PartitionWorkspace,
+) -> list[ValidityOutcome]:
+    """The in-process test loop (store accesses in historical order)."""
+    outcomes: list[ValidityOutcome] = []
+    for whole_mask, pairs in groups:
+        pi_whole = fetch(whole_mask)
+        for _rhs, lhs_mask in pairs:
+            outcomes.append(
+                evaluate_validity(fetch(lhs_mask), pi_whole, criteria, workspace)
+            )
+    return outcomes
+
+
+class SerialLevelExecutor(LevelExecutor):
+    """Run every task inline — the classic single-core TANE loop."""
+
+    name = "serial"
+    workers = 1
+
+    def products(self, triples, fetch, workspace):
+        for candidate, factor_x, factor_y in triples:
+            yield candidate, fetch(factor_x).product(fetch(factor_y), workspace)
+
+    def validity_tests(self, groups, fetch, criteria, workspace):
+        return _serial_validity(groups, fetch, criteria, workspace)
+
+
+class ProcessLevelExecutor(LevelExecutor):
+    """Shard level tasks across a ``multiprocessing`` pool.
+
+    Parameters
+    ----------
+    workers:
+        Pool size; defaults to ``os.cpu_count()``.
+    chunks_per_worker:
+        Shards per worker per phase.  More shards balance skewed task
+        costs (partition products vary wildly in size) at the price of
+        more result pickling; 4 is a good default.
+    start_method:
+        ``multiprocessing`` start method; defaults to ``fork`` where
+        available (cheap on Linux) and the platform default elsewhere.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        chunks_per_worker: int = 4,
+        start_method: str | None = None,
+    ) -> None:
+        resolved = workers if workers else os.cpu_count() or 1
+        if resolved < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if chunks_per_worker < 1:
+            raise ConfigurationError(
+                f"chunks_per_worker must be >= 1, got {chunks_per_worker}"
+            )
+        self.workers = resolved
+        self._chunks_per_worker = chunks_per_worker
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self._context = multiprocessing.get_context(start_method)
+        self._pool = None
+        self.usage = ExecutorUsage()
+
+    # -- pool management -------------------------------------------------
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            self._pool = self._context.Pool(
+                processes=self.workers, initializer=init_worker
+            )
+        return self._pool
+
+    def close(self) -> None:
+        # terminate(), not close()+join(): on a normal run every result
+        # has been consumed by now, and on an interrupted run joining
+        # would block on shards that no longer matter.
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    # -- sharding --------------------------------------------------------
+
+    def _shards(self, tasks: Sequence) -> list[Sequence]:
+        count = min(len(tasks), self.workers * self._chunks_per_worker)
+        bounds = [len(tasks) * i // count for i in range(count + 1)]
+        return [tasks[bounds[i]:bounds[i + 1]] for i in range(count)]
+
+    def _record(self, receipt) -> list:
+        assert self.usage is not None
+        self.usage.chunks += 1
+        self.usage.busy_seconds += receipt.seconds
+        self.usage.pids.add(receipt.pid)
+        return receipt.payload
+
+    # -- LevelExecutor interface -----------------------------------------
+
+    def products(self, triples, fetch, workspace):
+        if not triples:
+            return
+        factor_masks = {mask for _, x, y in triples for mask in (x, y)}
+        partitions = {mask: fetch(mask) for mask in sorted(factor_masks)}
+        num_rows = next(iter(partitions.values())).num_rows
+        block = SharedPartitionBlock(partitions)
+        self.usage.shm_bytes += block.nbytes
+        try:
+            chunks = [
+                ProductChunk(
+                    block_name=block.name,
+                    directory=block.subset(
+                        mask for _, x, y in shard for mask in (x, y)
+                    ),
+                    num_rows=num_rows,
+                    triples=tuple(shard),
+                )
+                for shard in self._shards(triples)
+            ]
+            # Ordered imap: results stream back as workers finish, but
+            # arrive merged in candidate order — determinism for free.
+            for receipt in self._ensure_pool().imap(run_chunk, chunks):
+                for candidate, indices, offsets in self._record(receipt):
+                    yield candidate, CsrPartition(indices, offsets, num_rows)
+        finally:
+            block.close()
+
+    def validity_tests(self, groups, fetch, criteria, workspace):
+        tasks = [
+            (whole_mask, lhs_mask)
+            for whole_mask, pairs in groups
+            for _rhs, lhs_mask in pairs
+        ]
+        # Exact-mode tests compare two precomputed counters — O(1) each;
+        # shipping partitions to workers would cost more than the test.
+        if not tasks or criteria.epsilon == 0.0:
+            return _serial_validity(groups, fetch, criteria, workspace)
+        masks = {mask for task in tasks for mask in task}
+        partitions = {mask: fetch(mask) for mask in sorted(masks)}
+        block = SharedPartitionBlock(partitions)
+        self.usage.shm_bytes += block.nbytes
+        try:
+            chunks = [
+                ValidityChunk(
+                    block_name=block.name,
+                    directory=block.subset(mask for task in shard for mask in task),
+                    criteria=criteria,
+                    tasks=tuple(shard),
+                )
+                for shard in self._shards(tasks)
+            ]
+            outcomes: list[ValidityOutcome] = []
+            for receipt in self._ensure_pool().imap(run_chunk, chunks):
+                outcomes.extend(self._record(receipt))
+            return outcomes
+        finally:
+            block.close()
+
+
+def make_executor(executor: str | LevelExecutor, workers: int) -> LevelExecutor:
+    """Resolve the ``TaneConfig.executor`` / ``workers`` pair.
+
+    ``"serial"`` always runs inline; ``"process"`` always uses a pool
+    (of ``workers`` or all cores); ``"auto"`` picks the pool exactly
+    when ``workers > 1``.  A ready :class:`LevelExecutor` instance is
+    passed through (the caller owns its lifecycle).
+    """
+    if isinstance(executor, LevelExecutor):
+        return executor
+    if executor == "serial":
+        return SerialLevelExecutor()
+    if executor == "process":
+        return ProcessLevelExecutor(workers or None)
+    if executor == "auto":
+        if workers > 1:
+            return ProcessLevelExecutor(workers)
+        return SerialLevelExecutor()
+    raise ConfigurationError(
+        f"unknown executor {executor!r}; use 'auto', 'serial' or 'process'"
+    )

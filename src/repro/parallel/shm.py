@@ -1,0 +1,173 @@
+"""Zero-copy shipment of CSR partitions via ``multiprocessing.shared_memory``.
+
+A level's partitions are packed into **one** shared-memory segment: a
+single flat ``int64`` area holding every partition's ``indices`` and
+``offsets`` back to back, plus a small picklable *directory* mapping
+each attribute-set mask to its slice positions.  Workers attach the
+segment once and reconstruct :class:`~repro.partition.vectorized.CsrPartition`
+views directly over the shared buffer — no bytes are copied on either
+side of the fork, which is what makes sharding the O(|r|) hot loops
+worthwhile for large relations.
+
+The parent creates and unlinks one block per level phase; workers keep
+a small LRU of attached segments (a mapped segment stays valid after
+the parent unlinks it, so eviction is only about address-space
+hygiene).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from multiprocessing import shared_memory
+from typing import Mapping
+
+import numpy as np
+
+from repro.partition.vectorized import CsrPartition
+
+__all__ = [
+    "BlockEntry",
+    "SharedPartitionBlock",
+    "attached_partition",
+    "detach_all",
+]
+
+# (indices_start, indices_size, offsets_start, offsets_size, num_rows),
+# all in int64 *elements* relative to the block's flat array.
+BlockEntry = tuple[int, int, int, int, int]
+
+_ITEMSIZE = 8  # np.int64
+
+
+class SharedPartitionBlock:
+    """Parent-side packing of partitions into one shared segment.
+
+    Parameters
+    ----------
+    partitions:
+        ``mask -> CsrPartition`` for every partition the level's tasks
+        reference.  The block is immutable once built.
+    """
+
+    def __init__(self, partitions: Mapping[int, CsrPartition]) -> None:
+        total = sum(
+            partition.stripped_size + partition.num_classes + 1
+            for partition in partitions.values()
+        )
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=max(total, 1) * _ITEMSIZE
+        )
+        flat = np.ndarray((total,), dtype=np.int64, buffer=self._shm.buf)
+        directory: dict[int, BlockEntry] = {}
+        cursor = 0
+        for mask, partition in partitions.items():
+            indices, offsets = partition.export_buffers()
+            flat[cursor:cursor + indices.size] = indices
+            indices_start, cursor = cursor, cursor + int(indices.size)
+            flat[cursor:cursor + offsets.size] = offsets
+            offsets_start, cursor = cursor, cursor + int(offsets.size)
+            directory[mask] = (
+                indices_start,
+                int(indices.size),
+                offsets_start,
+                int(offsets.size),
+                partition.num_rows,
+            )
+        self.directory = directory
+        self.nbytes = total * _ITEMSIZE
+
+    @property
+    def name(self) -> str:
+        """The segment name workers attach by."""
+        return self._shm.name
+
+    def subset(self, masks) -> dict[int, BlockEntry]:
+        """Directory restricted to ``masks`` (keeps chunk pickles small)."""
+        return {mask: self.directory[mask] for mask in set(masks)}
+
+    def close(self) -> None:
+        """Release and unlink the segment (idempotent)."""
+        try:
+            self._shm.close()
+            self._shm.unlink()
+        except FileNotFoundError:  # already unlinked
+            pass
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+_MAX_ATTACHED = 4
+
+# block name -> (segment, its int64 view, {mask -> reconstructed partition}).
+# Reconstructed partitions are cached because their label/probe-table
+# caches are what make repeated products against the same factor cheap.
+_attached: OrderedDict[
+    str, tuple[shared_memory.SharedMemory, np.ndarray, dict[int, CsrPartition]]
+] = OrderedDict()
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without resource-tracker tracking.
+
+    Before Python 3.13 (``track=False``), every attachment registers
+    the segment with the resource tracker — whose per-type cache is a
+    *set* shared by all of a pool's workers, so the parent's
+    create-time registration and N attach-time registrations collapse
+    into one entry and the unregisters tear it down N times (cpython
+    bpo-39959).  Attachments are not ours to clean up; suppress the
+    registration for the duration of the attach.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
+    except TypeError:  # Python < 3.13
+        pass
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None  # type: ignore[assignment]
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original  # type: ignore[assignment]
+
+
+def _attach(name: str) -> tuple[np.ndarray, dict[int, CsrPartition]]:
+    entry = _attached.get(name)
+    if entry is not None:
+        _attached.move_to_end(name)
+        return entry[1], entry[2]
+    segment = _attach_untracked(name)
+    flat = np.ndarray((segment.size // _ITEMSIZE,), dtype=np.int64, buffer=segment.buf)
+    _attached[name] = (segment, flat, {})
+    while len(_attached) > _MAX_ATTACHED:
+        _evict(next(iter(_attached)))
+    return flat, _attached[name][2]
+
+
+def _evict(name: str) -> None:
+    segment, _, partitions = _attached.pop(name)
+    partitions.clear()
+    segment.close()
+
+
+def attached_partition(name: str, mask: int, entry: BlockEntry) -> CsrPartition:
+    """Reconstruct (and cache) one partition from an attached block."""
+    flat, partitions = _attach(name)
+    partition = partitions.get(mask)
+    if partition is None:
+        indices_start, indices_size, offsets_start, offsets_size, num_rows = entry
+        partition = CsrPartition.attach(
+            flat[indices_start:indices_start + indices_size],
+            flat[offsets_start:offsets_start + offsets_size],
+            num_rows,
+        )
+        partitions[mask] = partition
+    return partition
+
+
+def detach_all() -> None:
+    """Drop every cached attachment (tests / worker shutdown)."""
+    for name in list(_attached):
+        _evict(name)

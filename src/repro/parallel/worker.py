@@ -1,0 +1,125 @@
+"""Process-pool entry points for the sharded level loops.
+
+A chunk is a self-contained, picklable unit of work: the name of the
+shared-memory block holding the input partitions, the directory slice
+for exactly the masks the chunk touches, and the task list.  Workers
+are stateless between runs except for two deliberate caches:
+
+* one :class:`~repro.partition.vectorized.PartitionWorkspace` per
+  worker process (per row count) — the probe array TANE reuses across
+  every product and g3 computation;
+* the attached-segment / reconstructed-partition cache in
+  :mod:`repro.parallel.shm`.
+
+Results carry the worker's pid and busy seconds so the driver can
+aggregate per-worker statistics into
+:class:`~repro.core.results.SearchStatistics`.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.parallel.shm import BlockEntry, attached_partition
+from repro.parallel.validity import ValidityCriteria, ValidityOutcome, evaluate_validity
+from repro.partition.vectorized import PartitionWorkspace
+
+__all__ = ["ProductChunk", "ValidityChunk", "ChunkReceipt", "init_worker", "run_chunk"]
+
+
+def init_worker() -> None:
+    """Pool initializer: leave interrupt handling to the parent.
+
+    A terminal Ctrl-C delivers SIGINT to the whole foreground process
+    group — parent *and* forked workers.  If workers die mid-queue the
+    parent deadlocks waiting on the result pipe; ignoring SIGINT here
+    lets the parent take the KeyboardInterrupt and tear the pool down
+    (``ProcessLevelExecutor.close`` terminates, not joins).
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+
+@dataclass(frozen=True)
+class ProductChunk:
+    """A shard of GENERATE-NEXT-LEVEL's partition products."""
+
+    block_name: str
+    directory: dict[int, BlockEntry]
+    num_rows: int
+    triples: tuple[tuple[int, int, int], ...]
+    """``(candidate, factor_x, factor_y)`` as produced by
+    :func:`repro.core.lattice.generate_next_level`."""
+
+
+@dataclass(frozen=True)
+class ValidityChunk:
+    """A shard of COMPUTE-DEPENDENCIES' validity tests."""
+
+    block_name: str
+    directory: dict[int, BlockEntry]
+    criteria: ValidityCriteria
+    tasks: tuple[tuple[int, int], ...]
+    """``(whole_mask, lhs_mask)`` pairs, in level order."""
+
+
+@dataclass(frozen=True)
+class ChunkReceipt:
+    """One chunk's results plus worker telemetry."""
+
+    pid: int
+    seconds: float
+    payload: list
+    """Products: ``[(candidate, indices, offsets), ...]``;
+    validity: ``[ValidityOutcome, ...]`` — both in task order."""
+
+
+_workspaces: dict[int, PartitionWorkspace] = {}
+
+
+def _workspace(num_rows: int) -> PartitionWorkspace:
+    workspace = _workspaces.get(num_rows)
+    if workspace is None:
+        # One workspace per worker (per row count); TANE runs touch a
+        # single relation, so this holds exactly one probe array.
+        _workspaces.clear()
+        workspace = _workspaces.setdefault(num_rows, PartitionWorkspace(num_rows))
+    return workspace
+
+
+def _run_products(chunk: ProductChunk) -> list[tuple[int, np.ndarray, np.ndarray]]:
+    workspace = _workspace(chunk.num_rows)
+    results: list[tuple[int, np.ndarray, np.ndarray]] = []
+    for candidate, factor_x, factor_y in chunk.triples:
+        pi_x = attached_partition(chunk.block_name, factor_x, chunk.directory[factor_x])
+        pi_y = attached_partition(chunk.block_name, factor_y, chunk.directory[factor_y])
+        product = pi_x.product(pi_y, workspace)
+        indices, offsets = product.export_buffers()
+        results.append((candidate, indices, offsets))
+    return results
+
+
+def _run_validity(chunk: ValidityChunk) -> list[ValidityOutcome]:
+    workspace = _workspace(chunk.criteria.num_rows)
+    outcomes: list[ValidityOutcome] = []
+    for whole_mask, lhs_mask in chunk.tasks:
+        pi_whole = attached_partition(
+            chunk.block_name, whole_mask, chunk.directory[whole_mask]
+        )
+        pi_lhs = attached_partition(chunk.block_name, lhs_mask, chunk.directory[lhs_mask])
+        outcomes.append(evaluate_validity(pi_lhs, pi_whole, chunk.criteria, workspace))
+    return outcomes
+
+
+def run_chunk(chunk: ProductChunk | ValidityChunk) -> ChunkReceipt:
+    """Pool entry point: dispatch one chunk and time it."""
+    start = time.perf_counter()
+    if isinstance(chunk, ProductChunk):
+        payload: list = _run_products(chunk)
+    else:
+        payload = _run_validity(chunk)
+    return ChunkReceipt(os.getpid(), time.perf_counter() - start, payload)

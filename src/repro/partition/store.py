@@ -20,6 +20,7 @@ import shutil
 import struct
 import tempfile
 from collections import OrderedDict
+from collections.abc import Iterable
 from pathlib import Path
 from typing import Protocol
 
@@ -49,6 +50,14 @@ class PartitionStore(Protocol):
 
     def discard(self, mask: int) -> None:
         """Drop the partition of ``mask`` if present."""
+
+    def put_many(self, items: Iterable[tuple[int, CsrPartition]]) -> None:
+        """Store a stream of ``(mask, partition)`` pairs as it arrives.
+
+        The parallel driver hands the pool's result stream straight to
+        the store, so partitions become resident (and can spill) while
+        later shards are still computing.
+        """
 
     def close(self) -> None:
         """Release all resources (files, memory)."""
@@ -80,6 +89,11 @@ class MemoryPartitionStore:
         partition = self._partitions.pop(mask, None)
         if partition is not None:
             self._resident_bytes -= partition.nbytes()
+
+    def put_many(self, items: Iterable[tuple[int, CsrPartition]]) -> None:
+        """Store a stream of ``(mask, partition)`` pairs as it arrives."""
+        for mask, partition in items:
+            self.put(mask, partition)
 
     def close(self) -> None:
         """Release all held partitions."""
@@ -217,14 +231,36 @@ class DiskPartitionStore:
                 pass
             path.unlink(missing_ok=True)
 
+    def put_many(self, items: Iterable[tuple[int, CsrPartition]]) -> None:
+        """Store a stream of ``(mask, partition)`` pairs as it arrives.
+
+        Each put may trigger LRU spills, so streaming keeps the
+        resident set bounded even while a parallel level is still
+        producing partitions.
+        """
+        for mask, partition in items:
+            self.put(mask, partition)
+
     def close(self) -> None:
-        """Drop everything; remove the spill directory if we own it."""
+        """Drop everything; remove or empty the spill directory.
+
+        When the store created its own temporary directory the whole
+        tree is removed.  With a caller-supplied ``directory`` the
+        directory itself is preserved but every spill file this store
+        wrote is unlinked — otherwise ``partition-*.bin`` files would
+        leak across runs sharing a spill directory.
+        """
         self._small.clear()
         self._large.clear()
         self._resident_bytes = 0
-        self._on_disk.clear()
         if self._owns_directory:
+            self._on_disk.clear()
             shutil.rmtree(self._directory, ignore_errors=True)
+        else:
+            for path, _ in self._on_disk.values():
+                path.unlink(missing_ok=True)
+            self._on_disk.clear()
+        self._disk_bytes = 0
 
     def __len__(self) -> int:
         return len(self._small) + len(self._large) + len(self._on_disk)

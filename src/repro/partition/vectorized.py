@@ -90,6 +90,12 @@ class CsrPartition(PartitionBase):
             raise DataError(f"column has {codes.size} codes for {num_rows} rows")
         if num_rows == 0:
             return cls.empty(0)
+        if int(codes.min()) < 0:
+            row = int(np.argmax(codes < 0))
+            raise DataError(
+                f"negative value code {int(codes[row])} at row {row}; "
+                "column codes must be non-negative integers"
+            )
         if int(codes.max()) > 2 * num_rows + 1024:
             # Sparse code space: bincount would allocate max(code)+1
             # counters. Re-encode densely first (same partition).
@@ -132,6 +138,35 @@ class CsrPartition(PartitionBase):
             np.array([0, num_rows], dtype=np.int64),
             num_rows,
         )
+
+    # ------------------------------------------------------------------
+    # Buffer export / attach (shared-memory shipment)
+    # ------------------------------------------------------------------
+
+    def export_buffers(self) -> tuple[np.ndarray, np.ndarray]:
+        """The raw ``(indices, offsets)`` buffers as contiguous int64.
+
+        Used by :mod:`repro.parallel.shm` to copy a partition into a
+        shared-memory block (and by workers to pickle products back).
+        Returns the internal arrays when they are already contiguous;
+        treat them as read-only.
+        """
+        return (
+            np.ascontiguousarray(self._indices, dtype=np.int64),
+            np.ascontiguousarray(self._offsets, dtype=np.int64),
+        )
+
+    @classmethod
+    def attach(
+        cls, indices: np.ndarray, offsets: np.ndarray, num_rows: int
+    ) -> "CsrPartition":
+        """Build a partition over *existing* int64 buffers without copying.
+
+        The caller promises the buffers outlive the partition and are
+        never mutated — the contract under which workers reconstruct
+        partitions directly over a shared-memory segment.
+        """
+        return cls(indices, offsets, num_rows)
 
     # ------------------------------------------------------------------
     # PartitionBase primitives

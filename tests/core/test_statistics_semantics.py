@@ -49,6 +49,22 @@ class TestCountsSemantics:
         )
         stats = discover(rel, TaneConfig(epsilon=0.1)).statistics
         assert stats.g3_exact_computations + stats.g3_bound_rejections > 0
+        assert stats.error_computations >= stats.g3_exact_computations
+
+    def test_g1_g2_runs_count_measure_agnostic_errors(self):
+        """Regression: g1/g2 validity tests used to be tallied under
+        ``g3_exact_computations``; they belong to the measure-agnostic
+        ``error_computations`` counter only."""
+        rel = Relation.from_rows(
+            [[i % 3, (i * 7) % 5, i % 2] for i in range(30)], ["A", "B", "C"]
+        )
+        for measure in ("g1", "g2"):
+            stats = discover(
+                rel, TaneConfig(epsilon=0.1, measure=measure)
+            ).statistics
+            assert stats.error_computations > 0
+            assert stats.g3_exact_computations == 0
+            assert stats.g3_bound_rejections == 0
 
     def test_elapsed_seconds_positive(self, figure1_relation):
         assert discover_fds(figure1_relation).statistics.elapsed_seconds > 0

@@ -100,6 +100,33 @@ class TestDiskStore:
         with pytest.raises(ConfigurationError):
             DiskPartitionStore(resident_budget_bytes=0)
 
+    def test_close_unlinks_files_in_user_directory(self, tmp_path):
+        """Regression: with a caller-supplied ``directory=`` the store
+        does not own the directory, but the ``partition-*.bin`` spill
+        files are still its own to delete."""
+        store = DiskPartitionStore(resident_budget_bytes=1, directory=tmp_path, min_spill_bytes=0)
+        for mask in range(1, 5):
+            store.put(mask, partition_of([0, 0, 1, 1]))
+        assert any(tmp_path.iterdir())
+        store.close()
+        assert tmp_path.exists()  # the user's directory survives ...
+        assert not list(tmp_path.glob("partition-*"))  # ... our files do not
+
+    def test_close_resets_disk_bytes(self, tmp_path):
+        store = DiskPartitionStore(resident_budget_bytes=1, directory=tmp_path, min_spill_bytes=0)
+        for mask in range(1, 5):
+            store.put(mask, partition_of([0, 0, 1, 1]))
+        store.close()
+        assert store._disk_bytes == 0
+        assert len(store) == 0
+
+    def test_put_many_streams(self, tmp_path):
+        store = DiskPartitionStore(resident_budget_bytes=1, directory=tmp_path, min_spill_bytes=0)
+        store.put_many((mask, partition_of([0, 0, mask % 2])) for mask in range(1, 4))
+        assert len(store) == 3
+        assert store.get(2).num_rows == 3
+        store.close()
+
     def test_peak_disk_bytes(self, tmp_path):
         store = DiskPartitionStore(resident_budget_bytes=1, directory=tmp_path, min_spill_bytes=0)
         for mask in range(1, 5):

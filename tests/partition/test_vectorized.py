@@ -33,6 +33,12 @@ class TestConstruction:
         partition = CsrPartition.from_classes([[0, 2], [1], [3, 4, 5]], 6)
         assert partition.class_sets() == {frozenset({0, 2}), frozenset({3, 4, 5})}
 
+    def test_from_column_negative_code_rejected(self):
+        """Regression: a negative code used to surface as a raw numpy
+        ValueError; it must be a DataError naming the offending row."""
+        with pytest.raises(DataError, match=r"negative value code -4 at row 2"):
+            CsrPartition.from_column([0, 1, -4, 1])
+
     def test_from_classes_overlap_rejected(self):
         with pytest.raises(DataError, match="overlap"):
             CsrPartition.from_classes([[0, 1], [1, 2]], 3)
