@@ -2,15 +2,27 @@
 
 PYTHON ?= python3
 
-.PHONY: install check test test-fast bench bench-full examples clean
+.PHONY: install check test test-fast trace-smoke bench bench-full examples clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
 
-# The CI gate: byte-compile everything, then the tier-1 suite.
+# The CI gate: byte-compile everything, the tier-1 suite, then a trace
+# round-trip on a bundled example dataset.
 check:
 	$(PYTHON) -m compileall -q src
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+	$(MAKE) trace-smoke
+
+# End-to-end observability smoke: record a trace (serial and parallel),
+# assert it is non-empty, and render the report from it.
+trace-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.cli discover examples/data/orders.csv --trace /tmp/repro-trace.jsonl > /dev/null
+	test -s /tmp/repro-trace.jsonl
+	PYTHONPATH=src $(PYTHON) -m repro.cli trace-report /tmp/repro-trace.jsonl > /dev/null
+	PYTHONPATH=src $(PYTHON) -m repro.cli discover examples/data/orders.csv --workers 2 --trace /tmp/repro-trace-par.jsonl > /dev/null
+	PYTHONPATH=src $(PYTHON) -m repro.cli trace-report /tmp/repro-trace-par.jsonl | grep "worker utilization" > /dev/null
+	rm -f /tmp/repro-trace.jsonl /tmp/repro-trace-par.jsonl
 
 test:
 	$(PYTHON) -m pytest tests/

@@ -41,6 +41,7 @@ from repro.exceptions import (
 from repro.model.fd import FDSet, FunctionalDependency
 from repro.model.relation import Relation
 from repro.model.schema import RelationSchema
+from repro.obs import InMemorySink, JsonlSink, LoggingSink, Tracer
 
 __version__ = "1.0.0"
 
@@ -57,6 +58,10 @@ __all__ = [
     "discover_uccs",
     "DiscoveryResult",
     "SearchStatistics",
+    "Tracer",
+    "InMemorySink",
+    "JsonlSink",
+    "LoggingSink",
     "ReproError",
     "SchemaError",
     "DataError",

@@ -123,15 +123,17 @@ def profile(
     """
     if not 0.0 <= epsilon <= 1.0:
         raise ConfigurationError(f"epsilon must be in [0, 1], got {epsilon}")
-    columns = [
-        ColumnStats(
-            name=relation.schema[index],
-            distinct=relation.distinct_count(index),
-            is_unique=relation.distinct_count(index) == relation.num_rows,
-            is_constant=relation.distinct_count(index) <= 1,
+    columns = []
+    for index in range(relation.num_attributes):
+        distinct = relation.distinct_count(index)
+        columns.append(
+            ColumnStats(
+                name=relation.schema[index],
+                distinct=distinct,
+                is_unique=distinct == relation.num_rows,
+                is_constant=distinct <= 1,
+            )
         )
-        for index in range(relation.num_attributes)
-    ]
     exact = discover(relation, TaneConfig(max_lhs_size=max_lhs_size))
     approximate = None
     if epsilon > 0.0:

@@ -13,11 +13,15 @@ Subcommands
     Regenerate one of the paper's tables/figures.
 ``dataset``
     Materialize one of the built-in benchmark datasets as CSV.
+``trace-report``
+    Render a ``--trace`` JSONL file as per-level phase timings, store
+    I/O, and worker utilization.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from collections.abc import Sequence
 
@@ -26,7 +30,9 @@ from repro.core.tane import TaneConfig, discover
 from repro.datasets.csvio import read_csv, write_csv
 from repro.datasets.replicate import replicate_with_unique_suffix
 from repro.datasets.uci import DATASET_BUILDERS, uci_dataset
-from repro.exceptions import ReproError
+from repro.exceptions import DataError, ReproError
+
+_LOG_LEVELS = ("DEBUG", "INFO", "WARNING", "ERROR")
 
 __all__ = ["main", "build_parser"]
 
@@ -58,6 +64,12 @@ def build_parser() -> argparse.ArgumentParser:
                                  help="CSV file has no header row")
     discover_parser.add_argument("--stats", action="store_true",
                                  help="print search statistics")
+    discover_parser.add_argument("--trace", metavar="JSONL", default=None,
+                                 help="write a span trace of the run to this "
+                                      "JSONL file (inspect with 'repro trace-report')")
+    discover_parser.add_argument("--log-level", choices=_LOG_LEVELS, default=None,
+                                 help="additionally stream spans through the "
+                                      "'repro.obs' logger at this level")
 
     keys_parser = subparsers.add_parser(
         "keys", help="find minimal (approximate) unique column combinations"
@@ -92,19 +104,52 @@ def build_parser() -> argparse.ArgumentParser:
     dataset_parser.add_argument("--seed", type=int, default=0)
     dataset_parser.add_argument("--copies", type=int, default=1,
                                 help="replicate xN with unique per-copy values")
+
+    trace_parser = subparsers.add_parser(
+        "trace-report",
+        help="render a --trace JSONL file: per-level phase timings, "
+             "store I/O, worker utilization",
+    )
+    trace_parser.add_argument("trace", help="JSONL trace written by 'discover --trace'")
     return parser
+
+
+def _build_tracer(args: argparse.Namespace):
+    """Construct the tracer requested by ``--trace`` / ``--log-level``.
+
+    Returns ``None`` when neither flag is present, so the untraced
+    path never imports or allocates observability machinery.
+    """
+    if args.trace is None and args.log_level is None:
+        return None
+    from repro.obs import JsonlSink, LoggingSink, Tracer
+
+    sinks = []
+    if args.trace is not None:
+        sinks.append(JsonlSink(args.trace))
+    if args.log_level is not None:
+        level = getattr(logging, args.log_level)
+        logging.basicConfig(level=level)
+        sinks.append(LoggingSink(level=level))
+    return Tracer(sinks=sinks)
 
 
 def _cmd_discover(args: argparse.Namespace) -> int:
     relation = read_csv(args.csv, header=not args.no_header)
+    tracer = _build_tracer(args)
     config = TaneConfig(
         epsilon=args.epsilon,
         max_lhs_size=args.max_lhs,
         store=args.store,
         measure=args.measure,
         workers=args.workers,
+        tracer=tracer,
     )
-    result = discover(relation, config)
+    try:
+        result = discover(relation, config)
+    finally:
+        if tracer is not None:
+            tracer.close()
     print(result.format())
     if args.stats:
         stats = result.statistics
@@ -117,6 +162,24 @@ def _cmd_discover(args: argparse.Namespace) -> int:
                   f"chunks={stats.worker_chunks} "
                   f"busy={stats.worker_busy_seconds:.2f}s "
                   f"shm={stats.shm_bytes_shipped}B")
+    if args.trace is not None:
+        print(f"trace written to {args.trace} "
+              f"(render with: repro trace-report {args.trace})", file=sys.stderr)
+    return 0
+
+
+def _cmd_trace_report(args: argparse.Namespace) -> int:
+    from repro.obs import report_from_file
+
+    try:
+        report = report_from_file(args.trace)
+    except OSError as error:
+        raise DataError(f"cannot read trace file: {error}") from error
+    except ValueError as error:
+        raise DataError(str(error)) from error
+    if not report.span_count:
+        raise DataError(f"trace file {args.trace} contains no spans")
+    print(report.format())
     return 0
 
 
@@ -179,6 +242,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "profile": _cmd_profile,
         "bench": _cmd_bench,
         "dataset": _cmd_dataset,
+        "trace-report": _cmd_trace_report,
     }[args.command]
     try:
         return handler(args)

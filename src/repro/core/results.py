@@ -3,17 +3,31 @@
 The statistics mirror the quantities of the paper's analysis
 (Section 6): level sizes ``s_ℓ`` (and their sum ``s`` / max
 ``s_max``), the number of keys ``k``, the number of validity tests
-``v``, plus implementation counters (partition products, exact ``g3``
+``v``, plus implementation counters (partition products, exact error
 computations, bound short-circuits, store I/O) used by the benchmark
 harness and the ablation experiments.
+
+Since the observability layer landed, the TANE driver accumulates
+these quantities in a :class:`~repro.obs.metrics.MetricsRegistry`
+(shared with the tracer when one is attached) and derives the
+:class:`SearchStatistics` object from it at the end of the run via
+:meth:`SearchStatistics.from_metrics` — the dataclass is a stable
+public *view* of the registry, so every counter keeps its historical
+meaning whether tracing is on or off.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.model.fd import FDSet, FunctionalDependency
 from repro.model.schema import RelationSchema
+
+if TYPE_CHECKING:
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.trace import Tracer
+    from repro.parallel.executor import ExecutorUsage
 
 __all__ = ["SearchStatistics", "DiscoveryResult"]
 
@@ -35,14 +49,19 @@ class SearchStatistics:
     """Partition products computed by GENERATE-NEXT-LEVEL."""
 
     g3_exact_computations: int = 0
-    """Exact O(|r|) g3 error computations performed (g3 measure only)."""
+    """Exact O(|r|) error computations of a ``g3`` run.
+
+    Kept for compatibility: this is a **g3-only alias** of
+    :attr:`error_computations` — equal to it when ``measure == "g3"``
+    and 0 under ``g1``/``g2``.  It is derived, not counted separately;
+    new code should read :attr:`error_computations`."""
 
     error_computations: int = 0
     """Exact O(|r|) error computations under *any* measure (g1/g2/g3).
 
-    The measure-agnostic counterpart of :attr:`g3_exact_computations`,
-    so ablation reports comparing measures attribute work to the
-    measure that actually performed it."""
+    The single source of truth for exact error work; ablation reports
+    comparing measures attribute work to the measure that actually
+    performed it."""
 
     g3_bound_rejections: int = 0
     """Validity tests resolved by the O(1) lower bound alone."""
@@ -79,7 +98,32 @@ class SearchStatistics:
     shm_bytes_shipped: int = 0
     """Bytes of CSR buffers exported to shared memory for workers."""
 
-    def merge_executor_usage(self, executor_name: str, usage) -> None:
+    @classmethod
+    def from_metrics(cls, metrics: "MetricsRegistry", measure: str = "g3") -> "SearchStatistics":
+        """Derive the statistics view from a run's metrics registry.
+
+        ``measure`` decides :attr:`g3_exact_computations`: the field is
+        a g3-only alias of :attr:`error_computations`, so it mirrors
+        that counter for g3 runs and stays 0 otherwise.
+        """
+        error_computations = int(metrics.counter_value("tane.error_computations"))
+        return cls(
+            level_sizes=[int(v) for v in metrics.series_values("tane.level_sizes")],
+            pruned_level_sizes=[
+                int(v) for v in metrics.series_values("tane.pruned_level_sizes")
+            ],
+            validity_tests=int(metrics.counter_value("tane.validity_tests")),
+            partition_products=int(metrics.counter_value("tane.partition_products")),
+            error_computations=error_computations,
+            g3_exact_computations=error_computations if measure == "g3" else 0,
+            g3_bound_rejections=int(metrics.counter_value("tane.g3_bound_rejections")),
+            keys_found=int(metrics.counter_value("tane.keys_found")),
+            store_spills=int(metrics.gauge_value("store.spill_count")),
+            store_loads=int(metrics.gauge_value("store.load_count")),
+            peak_resident_bytes=int(metrics.gauge_value("store.peak_resident_bytes")),
+        )
+
+    def merge_executor_usage(self, executor_name: str, usage: "ExecutorUsage | None") -> None:
         """Fold an executor's :class:`~repro.parallel.executor.ExecutorUsage`
         telemetry into the search counters (no-op for serial runs)."""
         self.executor = executor_name
@@ -119,6 +163,11 @@ class DiscoveryResult:
         The ``g3`` threshold used (0.0 for exact discovery).
     statistics:
         Search counters (see :class:`SearchStatistics`).
+    trace:
+        The :class:`~repro.obs.trace.Tracer` that observed the run,
+        when one was attached via ``TaneConfig(tracer=...)`` — its
+        sinks hold the spans, its registry the raw metrics.  ``None``
+        for untraced runs.
     """
 
     dependencies: FDSet
@@ -126,6 +175,7 @@ class DiscoveryResult:
     schema: RelationSchema
     epsilon: float
     statistics: SearchStatistics
+    trace: "Tracer | None" = None
 
     def __len__(self) -> int:
         return len(self.dependencies)

@@ -44,6 +44,9 @@ from repro.core.results import DiscoveryResult, SearchStatistics
 from repro.exceptions import ConfigurationError
 from repro.model.fd import FDSet, FunctionalDependency
 from repro.model.relation import Relation
+from repro.obs import trace as obs
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.parallel.executor import LevelExecutor, make_executor
 from repro.parallel.validity import ValidityCriteria, ValidityOutcome
 from repro.partition.store import DiskPartitionStore, PartitionStore, make_store
@@ -149,6 +152,15 @@ class TaneConfig:
     :class:`LevelProgress` snapshot — lets long-running discoveries
     (the lattice can hold hundreds of thousands of sets) report
     liveness.  Exceptions raised by the callback abort the search."""
+
+    tracer: Tracer | None = None
+    """Optional :class:`~repro.obs.trace.Tracer` observing the run:
+    one span per lattice level with child spans for the three phases,
+    store spill/load spans, and per-chunk worker spans; the run's
+    counters accumulate in ``tracer.metrics`` and the returned
+    :class:`~repro.core.results.DiscoveryResult` keeps the tracer as
+    its ``trace`` handle.  ``None`` (the default) disables tracing —
+    the no-op path adds no measurable overhead."""
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.epsilon <= 1.0:
@@ -258,7 +270,23 @@ class _TaneRun:
             use_g3_bounds=config.use_g3_bounds,
             num_rows=self.num_rows,
         )
-        self.stats = SearchStatistics()
+        # Counters live in a metrics registry — shared with the tracer
+        # when one is attached, private otherwise — and the public
+        # SearchStatistics view is derived from it at the end of the
+        # run.  Instruments are cached here so the hot loops pay one
+        # attribute increment per event, exactly like the old direct
+        # dataclass-field bumps.
+        self.tracer = config.tracer
+        self.metrics: MetricsRegistry = (
+            config.tracer.metrics if config.tracer is not None else MetricsRegistry()
+        )
+        self._c_tests = self.metrics.counter("tane.validity_tests")
+        self._c_products = self.metrics.counter("tane.partition_products")
+        self._c_errors = self.metrics.counter("tane.error_computations")
+        self._c_bounds = self.metrics.counter("tane.g3_bound_rejections")
+        self._c_keys = self.metrics.counter("tane.keys_found")
+        self._level_sizes = self.metrics.series("tane.level_sizes")
+        self._pruned_level_sizes = self.metrics.series("tane.pruned_level_sizes")
         self.dependencies = FDSet()
         self.keys: list[int] = []
         # Minimal-dependency lhs masks per rhs, for lazy C+ membership
@@ -269,22 +297,40 @@ class _TaneRun:
 
     def run(self) -> DiscoveryResult:
         start = time.perf_counter()
+        executor_name = self.executor.name
+        usage = self.executor.usage
         try:
-            self._search()
+            if self.tracer is not None:
+                with obs.activated(self.tracer):
+                    with obs.span(
+                        "discover",
+                        rows=self.num_rows,
+                        attributes=self.num_attributes,
+                        epsilon=self.config.epsilon,
+                        measure=self.config.measure,
+                        executor=executor_name,
+                    ):
+                        self._search()
+            else:
+                self._search()
         finally:
             self._collect_store_stats()
-            self.stats.merge_executor_usage(self.executor.name, self.executor.usage)
             if self._owns_store:
                 self.store.close()
             if self._owns_executor:
                 self.executor.close()
-        self.stats.elapsed_seconds = time.perf_counter() - start
+        stats = SearchStatistics.from_metrics(self.metrics, measure=self.config.measure)
+        stats.merge_executor_usage(executor_name, usage)
+        stats.elapsed_seconds = time.perf_counter() - start
+        if self.tracer is not None:
+            self.tracer.flush()
         return DiscoveryResult(
             dependencies=self.dependencies,
             keys=self.keys,
             schema=self.relation.schema,
             epsilon=self.config.epsilon,
-            statistics=self.stats,
+            statistics=stats,
+            trace=self.tracer,
         )
 
     def _search(self) -> None:
@@ -307,7 +353,7 @@ class _TaneRun:
         level_number = 1
         search_start = time.perf_counter()
         while level and level_number <= max_level:
-            self.stats.level_sizes.append(len(level))
+            self._level_sizes.append(len(level))
             if self.config.progress is not None:
                 self.config.progress(
                     LevelProgress(
@@ -317,13 +363,39 @@ class _TaneRun:
                         elapsed_seconds=time.perf_counter() - search_start,
                     )
                 )
-            cplus = self._compute_dependencies(level, cplus_prev, level_number)
-            surviving = self._prune(level, cplus, level_number)
-            self.stats.pruned_level_sizes.append(len(surviving))
-            if level_number < max_level:
-                next_level = self._generate_next_level(surviving)
-            else:
-                next_level = []
+            # One span per level, child spans per phase.  Attribute
+            # values are deltas of the always-on counters, so the
+            # trace and SearchStatistics agree by construction; with
+            # tracing disabled the spans are the shared no-op and the
+            # delta bookkeeping is a handful of int reads per level.
+            with obs.span("level", level=level_number) as level_span:
+                level_span.set("s_l", len(level))
+                tests_before = self._c_tests.value
+                errors_before = self._c_errors.value
+                bounds_before = self._c_bounds.value
+                deps_before = len(self.dependencies)
+                with obs.span("compute_dependencies") as phase:
+                    cplus = self._compute_dependencies(level, cplus_prev, level_number)
+                    phase.set("tests", self._c_tests.value - tests_before)
+                    phase.set("error_computations", self._c_errors.value - errors_before)
+                    phase.set("bound_rejections", self._c_bounds.value - bounds_before)
+                    phase.set("dependencies_found", len(self.dependencies) - deps_before)
+                keys_before = self._c_keys.value
+                with obs.span("prune") as phase:
+                    surviving = self._prune(level, cplus, level_number)
+                    phase.set("keys_found", self._c_keys.value - keys_before)
+                    phase.set("surviving", len(surviving))
+                self._pruned_level_sizes.append(len(surviving))
+                products_before = self._c_products.value
+                with obs.span("generate_next_level") as phase:
+                    if level_number < max_level:
+                        next_level = self._generate_next_level(surviving)
+                    else:
+                        next_level = []
+                    phase.set("products", self._c_products.value - products_before)
+                    phase.set("next_size", len(next_level))
+                level_span.set("surviving", len(surviving))
+                level_span.set("dependencies_total", len(self.dependencies))
             for mask in previous_level_masks:
                 self.store.discard(mask)
             previous_level_masks = level
@@ -375,7 +447,7 @@ class _TaneRun:
             for rhs_index, lhs_mask in pairs:
                 outcome = outcomes[position]
                 position += 1
-                self.stats.validity_tests += 1
+                self._c_tests.inc()
                 self._record_test_counters(outcome)
                 if outcome.valid:
                     self._add_dependency(
@@ -390,19 +462,19 @@ class _TaneRun:
         return cplus
 
     def _record_test_counters(self, outcome: ValidityOutcome) -> None:
-        """Fold one test's counter flags into the search statistics.
+        """Fold one test's counter flags into the metrics registry.
 
         ``error_computations`` counts exact O(|r|) error computations
-        under any measure; ``g3_exact_computations`` only those of the
-        g3 measure (the one with the O(1) bound short-circuit), so the
-        bound ablation never misattributes g1/g2 work to g3.
+        under any measure; the legacy ``g3_exact_computations`` field
+        is no longer counted separately — it is derived as a g3-only
+        alias of this counter when the statistics view is built (see
+        :meth:`SearchStatistics.from_metrics`), so the bound ablation
+        never misattributes g1/g2 work to g3.
         """
         if outcome.bound_rejected:
-            self.stats.g3_bound_rejections += 1
+            self._c_bounds.inc()
         if outcome.error_computed:
-            self.stats.error_computations += 1
-            if self.config.measure == "g3":
-                self.stats.g3_exact_computations += 1
+            self._c_errors.inc()
 
     # ------------------------------------------------------------------
     # PRUNE
@@ -434,7 +506,7 @@ class _TaneRun:
                     # minimal key: its superkey subsets would have been
                     # deleted, preventing its generation.
                     self.keys.append(mask)
-                    self.stats.keys_found += 1
+                    self._c_keys.inc()
                     if cplus[mask] and emit_key_rule_deps:
                         self._emit_key_rule_dependencies(mask, cplus)
                     continue
@@ -442,7 +514,7 @@ class _TaneRun:
                 # (no immediate subset is a superkey), but keep it.
                 if self._is_minimal_key(mask):
                     self.keys.append(mask)
-                    self.stats.keys_found += 1
+                    self._c_keys.inc()
             if cplus[mask] == 0:
                 continue
             surviving.append(mask)
@@ -539,7 +611,7 @@ class _TaneRun:
             for candidate, product in self.executor.products(
                 triples, self.store.get, self.workspace
             ):
-                self.stats.partition_products += 1
+                self._c_products.inc()
                 next_level.append(candidate)
                 yield candidate, product
 
@@ -564,7 +636,7 @@ class _TaneRun:
         product = self._singleton_partitions[indices[0]]
         for index in indices[1:]:
             product = product.product(self._singleton_partitions[index], self.workspace)
-            self.stats.partition_products += 1
+            self._c_products.inc()
         return product
 
     # ------------------------------------------------------------------
@@ -572,7 +644,7 @@ class _TaneRun:
     def _collect_store_stats(self) -> None:
         store = self.store
         if isinstance(store, DiskPartitionStore):
-            self.stats.store_spills = store.spill_count
-            self.stats.store_loads = store.load_count
+            self.metrics.gauge("store.spill_count").set(store.spill_count)
+            self.metrics.gauge("store.load_count").set(store.load_count)
         peak = getattr(store, "peak_resident_bytes", 0)
-        self.stats.peak_resident_bytes = int(peak)
+        self.metrics.gauge("store.peak_resident_bytes").set(int(peak))

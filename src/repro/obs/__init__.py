@@ -1,0 +1,71 @@
+"""repro.obs — span-based tracing and metrics for the discovery engine.
+
+The observability layer of the repo: a low-overhead tracer
+(:mod:`repro.obs.trace`), a metrics registry of counters / gauges /
+timers (:mod:`repro.obs.metrics`), pluggable span sinks — in-memory,
+JSONL file, stdlib ``logging`` (:mod:`repro.obs.sinks`) — and the
+per-level / per-worker trace report (:mod:`repro.obs.report`).
+
+The TANE driver, the partition store, and the parallel executor are
+instrumented against the module-level helpers in
+:mod:`repro.obs.trace`; with no tracer activated every
+instrumentation site reduces to a flag check returning a shared no-op
+span, so the disabled path costs nothing measurable.
+
+Typical use::
+
+    from repro import TaneConfig, discover
+    from repro.obs import InMemorySink, JsonlSink, Tracer
+
+    tracer = Tracer(sinks=[JsonlSink("trace.jsonl")])
+    result = discover(relation, TaneConfig(tracer=tracer))
+    tracer.close()
+    # result.trace is the tracer; result.statistics is derived from
+    # tracer.metrics — same counters, whole-run view.
+
+or, from the command line::
+
+    repro discover data.csv --trace trace.jsonl --log-level INFO
+    repro trace-report trace.jsonl
+"""
+
+from repro.obs.metrics import Counter, Gauge, MetricsRegistry, Timer
+from repro.obs.report import TraceReport, build_report, report_from_file
+from repro.obs.sinks import InMemorySink, JsonlSink, LoggingSink, SpanSink, load_spans
+from repro.obs.trace import (
+    NULL_SPAN,
+    NullSpan,
+    Span,
+    Tracer,
+    activated,
+    active_tracer,
+    emit,
+    enabled,
+    set_gauge,
+    span,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Timer",
+    "MetricsRegistry",
+    "Span",
+    "NullSpan",
+    "NULL_SPAN",
+    "Tracer",
+    "enabled",
+    "active_tracer",
+    "span",
+    "emit",
+    "set_gauge",
+    "activated",
+    "SpanSink",
+    "InMemorySink",
+    "JsonlSink",
+    "LoggingSink",
+    "load_spans",
+    "TraceReport",
+    "build_report",
+    "report_from_file",
+]

@@ -1,0 +1,145 @@
+"""Span sinks: where finished spans go.
+
+A sink receives every finished :class:`~repro.obs.trace.Span` from a
+tracer, in completion order (children before parents, since a span is
+dispatched when it *exits*).  Three implementations cover the
+observability needs of this repo:
+
+* :class:`InMemorySink` — keeps spans in a list; tests and the
+  benchmark harness read them back directly.
+* :class:`JsonlSink` — one JSON object per line, the schema of
+  :meth:`~repro.obs.trace.Span.to_dict`; the format ``repro discover
+  --trace out.jsonl`` writes and ``repro trace-report`` reads.
+* :class:`LoggingSink` — renders spans through stdlib ``logging`` so
+  existing log pipelines pick them up (``--log-level INFO``).
+
+Sinks are only ever constructed when tracing is explicitly requested;
+the disabled path in :mod:`repro.obs.trace` never touches this module.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from pathlib import Path
+from typing import TYPE_CHECKING, Protocol
+
+if TYPE_CHECKING:
+    from repro.obs.trace import Span
+
+__all__ = ["SpanSink", "InMemorySink", "JsonlSink", "LoggingSink", "load_spans"]
+
+
+class SpanSink(Protocol):
+    """The interface a tracer drives."""
+
+    def record(self, span: "Span") -> None:
+        """Receive one finished span."""
+
+    def flush(self) -> None:
+        """Persist any buffered output."""
+
+    def close(self) -> None:
+        """Release resources; the sink receives no further spans."""
+
+
+class InMemorySink:
+    """Collect finished spans in a list (tests, benchmarks, REPL)."""
+
+    def __init__(self) -> None:
+        self.spans: list["Span"] = []
+
+    def record(self, span: "Span") -> None:
+        """Append the finished span to :attr:`spans`."""
+        self.spans.append(span)
+
+    def flush(self) -> None:
+        """No buffering; nothing to do."""
+
+    def close(self) -> None:
+        """Keep the collected spans readable after close."""
+
+
+class JsonlSink:
+    """Write each finished span as one JSON line.
+
+    The file is opened eagerly (so a bad path fails at configuration
+    time, not mid-run) and buffered by the underlying file object;
+    :meth:`flush`/:meth:`close` make the trace durable.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._handle = self.path.open("w", encoding="utf-8")
+
+    def record(self, span: "Span") -> None:
+        """Serialize the span as one JSON object on its own line."""
+        self._handle.write(json.dumps(span.to_dict(), separators=(",", ":")))
+        self._handle.write("\n")
+
+    def flush(self) -> None:
+        """Flush the file buffer."""
+        if not self._handle.closed:
+            self._handle.flush()
+
+    def close(self) -> None:
+        """Flush and close the file (idempotent)."""
+        if not self._handle.closed:
+            self._handle.close()
+
+
+class LoggingSink:
+    """Render finished spans through stdlib ``logging``.
+
+    Each span becomes one record on the ``repro.obs`` logger (or a
+    caller-supplied one) at the configured level — the integration
+    point for applications that already aggregate logs.
+    """
+
+    def __init__(
+        self,
+        level: int = logging.INFO,
+        logger: logging.Logger | None = None,
+    ) -> None:
+        self.level = level
+        self.logger = logger if logger is not None else logging.getLogger("repro.obs")
+
+    def record(self, span: "Span") -> None:
+        """Log one line: span name, duration, and attributes."""
+        if self.logger.isEnabledFor(self.level):
+            attrs = " ".join(f"{k}={v}" for k, v in span.attributes.items())
+            self.logger.log(
+                self.level,
+                "span %s %.3fms%s",
+                span.name,
+                span.duration * 1000.0,
+                f" {attrs}" if attrs else "",
+            )
+
+    def flush(self) -> None:
+        """Logging handlers manage their own buffers; nothing to do."""
+
+    def close(self) -> None:
+        """The logger outlives the sink; nothing to release."""
+
+
+def load_spans(path: str | Path) -> list["Span"]:
+    """Read a JSONL trace file back into :class:`Span` objects.
+
+    Blank lines are skipped; malformed lines raise ``ValueError`` with
+    the offending line number so a truncated trace is diagnosable.
+    """
+    from repro.obs.trace import Span
+
+    spans: list[Span] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(f"{path}:{line_number}: not valid JSON: {error}") from error
+            spans.append(Span.from_dict(payload))
+    return spans

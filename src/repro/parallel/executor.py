@@ -16,6 +16,12 @@ across a ``multiprocessing`` pool (inputs shipped zero-copy via
 task order.  Exact-mode validity tests (``epsilon == 0``) are O(1)
 rank comparisons on precomputed counters, so the process backend runs
 them in-process rather than paying shipping costs for no work.
+
+When a tracer is active (:mod:`repro.obs.trace`) the process backend
+emits one ``worker.chunk`` span per receipt — carrying the worker pid,
+busy seconds, and task count, merged into the main trace as results
+arrive — plus a ``shm.ship`` span per shared-memory block export, so a
+trace separates pool overhead from shipping from genuine compute.
 """
 
 from __future__ import annotations
@@ -27,6 +33,7 @@ from collections.abc import Callable, Iterator, Sequence
 from dataclasses import dataclass, field
 
 from repro.exceptions import ConfigurationError
+from repro.obs import trace as obs
 from repro.parallel.shm import SharedPartitionBlock
 from repro.parallel.validity import ValidityCriteria, ValidityOutcome, evaluate_validity
 from repro.parallel.worker import ProductChunk, ValidityChunk, init_worker, run_chunk
@@ -182,11 +189,21 @@ class ProcessLevelExecutor(LevelExecutor):
         bounds = [len(tasks) * i // count for i in range(count + 1)]
         return [tasks[bounds[i]:bounds[i + 1]] for i in range(count)]
 
-    def _record(self, receipt) -> list:
+    def _record(self, receipt, kind: str) -> list:
         assert self.usage is not None
         self.usage.chunks += 1
         self.usage.busy_seconds += receipt.seconds
         self.usage.pids.add(receipt.pid)
+        # Workers do not trace; their receipts are merged into the
+        # main trace here, as the pool hands results back — the
+        # synthesized span lands under whichever level phase is open.
+        obs.emit(
+            "worker.chunk",
+            receipt.seconds,
+            pid=receipt.pid,
+            kind=kind,
+            tasks=len(receipt.payload),
+        )
         return receipt.payload
 
     # -- LevelExecutor interface -----------------------------------------
@@ -197,7 +214,10 @@ class ProcessLevelExecutor(LevelExecutor):
         factor_masks = {mask for _, x, y in triples for mask in (x, y)}
         partitions = {mask: fetch(mask) for mask in sorted(factor_masks)}
         num_rows = next(iter(partitions.values())).num_rows
-        block = SharedPartitionBlock(partitions)
+        with obs.span("shm.ship", kind="products") as ship:
+            block = SharedPartitionBlock(partitions)
+            ship.set("bytes", block.nbytes)
+            ship.set("partitions", len(partitions))
         self.usage.shm_bytes += block.nbytes
         try:
             chunks = [
@@ -214,7 +234,7 @@ class ProcessLevelExecutor(LevelExecutor):
             # Ordered imap: results stream back as workers finish, but
             # arrive merged in candidate order — determinism for free.
             for receipt in self._ensure_pool().imap(run_chunk, chunks):
-                for candidate, indices, offsets in self._record(receipt):
+                for candidate, indices, offsets in self._record(receipt, "products"):
                     yield candidate, CsrPartition(indices, offsets, num_rows)
         finally:
             block.close()
@@ -231,7 +251,10 @@ class ProcessLevelExecutor(LevelExecutor):
             return _serial_validity(groups, fetch, criteria, workspace)
         masks = {mask for task in tasks for mask in task}
         partitions = {mask: fetch(mask) for mask in sorted(masks)}
-        block = SharedPartitionBlock(partitions)
+        with obs.span("shm.ship", kind="validity") as ship:
+            block = SharedPartitionBlock(partitions)
+            ship.set("bytes", block.nbytes)
+            ship.set("partitions", len(partitions))
         self.usage.shm_bytes += block.nbytes
         try:
             chunks = [
@@ -245,7 +268,7 @@ class ProcessLevelExecutor(LevelExecutor):
             ]
             outcomes: list[ValidityOutcome] = []
             for receipt in self._ensure_pool().imap(run_chunk, chunks):
-                outcomes.extend(self._record(receipt))
+                outcomes.extend(self._record(receipt, "validity"))
             return outcomes
         finally:
             block.close()

@@ -12,6 +12,12 @@ flat binary files in a private temporary directory once the resident
 budget is exceeded, and transparently reloaded on access.  Counters for
 spills and reloads are exposed so benchmarks can report I/O behaviour
 the way the paper reports disk accesses.
+
+When a tracer is active (see :mod:`repro.obs.trace`) every spill and
+reload additionally emits a span carrying the mask and byte count, and
+the resident-byte total is mirrored into a gauge — the raw material of
+the per-level store-I/O columns in ``repro trace-report``.  With no
+tracer active the instrumentation reduces to a module-flag check.
 """
 
 from __future__ import annotations
@@ -27,6 +33,7 @@ from typing import Protocol
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+from repro.obs import trace as obs
 from repro.partition.vectorized import CsrPartition
 
 # Spill file layout: little-endian header (indices count, offsets
@@ -79,6 +86,8 @@ class MemoryPartitionStore:
         self._partitions[mask] = partition
         self._resident_bytes += partition.nbytes()
         self.peak_resident_bytes = max(self.peak_resident_bytes, self._resident_bytes)
+        if obs.enabled():
+            obs.set_gauge("store.resident_bytes", self._resident_bytes)
 
     def get(self, mask: int) -> CsrPartition:
         """Return the partition of ``mask``; KeyError if absent."""
@@ -166,17 +175,22 @@ class DiskPartitionStore:
             mask, partition = self._large.popitem(last=False)
             self._resident_bytes -= partition.nbytes()
             path = self._path_for(mask)
-            indices = np.ascontiguousarray(partition.indices, dtype=np.int64)
-            offsets = np.ascontiguousarray(partition.offsets, dtype=np.int64)
-            with path.open("wb") as handle:
-                handle.write(_SPILL_HEADER.pack(indices.size, offsets.size))
-                handle.write(indices.tobytes())
-                handle.write(offsets.tobytes())
-            size = _SPILL_HEADER.size + indices.nbytes + offsets.nbytes
+            with obs.span("store.spill", mask=mask) as span:
+                indices = np.ascontiguousarray(partition.indices, dtype=np.int64)
+                offsets = np.ascontiguousarray(partition.offsets, dtype=np.int64)
+                with path.open("wb") as handle:
+                    handle.write(_SPILL_HEADER.pack(indices.size, offsets.size))
+                    handle.write(indices.tobytes())
+                    handle.write(offsets.tobytes())
+                size = _SPILL_HEADER.size + indices.nbytes + offsets.nbytes
+                span.set("bytes", size)
+                span.set("resident_bytes", self._resident_bytes)
             self._on_disk[mask] = (path, partition.num_rows)
             self._disk_bytes += size
             self.peak_disk_bytes = max(self.peak_disk_bytes, self._disk_bytes)
             self.spill_count += 1
+        if obs.enabled():
+            obs.set_gauge("store.resident_bytes", self._resident_bytes)
 
     # -- PartitionStore interface ----------------------------------------
 
@@ -202,11 +216,13 @@ class DiskPartitionStore:
             self._large.move_to_end(mask)
             return partition
         path, num_rows = self._on_disk.pop(mask)  # KeyError if truly absent
-        with path.open("rb") as handle:
-            raw_header = handle.read(_SPILL_HEADER.size)
-            indices_count, offsets_count = _SPILL_HEADER.unpack(raw_header)
-            indices = np.frombuffer(handle.read(indices_count * 8), dtype=np.int64)
-            offsets = np.frombuffer(handle.read(offsets_count * 8), dtype=np.int64)
+        with obs.span("store.load", mask=mask) as span:
+            with path.open("rb") as handle:
+                raw_header = handle.read(_SPILL_HEADER.size)
+                indices_count, offsets_count = _SPILL_HEADER.unpack(raw_header)
+                indices = np.frombuffer(handle.read(indices_count * 8), dtype=np.int64)
+                offsets = np.frombuffer(handle.read(offsets_count * 8), dtype=np.int64)
+            span.set("bytes", _SPILL_HEADER.size + indices.nbytes + offsets.nbytes)
         partition = CsrPartition(indices, offsets, num_rows)
         self._disk_bytes -= _SPILL_HEADER.size + indices.nbytes + offsets.nbytes
         path.unlink(missing_ok=True)

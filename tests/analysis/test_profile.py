@@ -71,3 +71,20 @@ class TestProfile:
     def test_max_lhs_size_respected(self, orders):
         report = profile(orders, max_lhs_size=1)
         assert all(fd.lhs_size <= 1 for fd in report.dependencies)
+
+
+    def test_distinct_count_called_once_per_column(self, orders):
+        """Regression: column stats used to call ``distinct_count``
+        three times per attribute (distinct / is_unique / is_constant);
+        the value must be computed once and reused."""
+        from unittest import mock
+
+        original = type(orders).distinct_count
+        with mock.patch.object(
+            type(orders), "distinct_count", autospec=True, side_effect=original
+        ) as spy:
+            profile(orders, include_normal_forms=False)
+        profiled_calls = [
+            c for c in spy.call_args_list if c.args[0] is orders
+        ]
+        assert len(profiled_calls) == orders.num_attributes

@@ -51,6 +51,16 @@ class TestCountsSemantics:
         assert stats.g3_exact_computations + stats.g3_bound_rejections > 0
         assert stats.error_computations >= stats.g3_exact_computations
 
+    def test_g3_exact_computations_aliases_error_computations(self):
+        """On a g3 run every error computation *is* an exact g3
+        computation, so the documented alias must agree exactly."""
+        rel = Relation.from_rows(
+            [[i % 3, (i * 7) % 5, i % 2] for i in range(30)], ["A", "B", "C"]
+        )
+        stats = discover(rel, TaneConfig(epsilon=0.1, measure="g3")).statistics
+        assert stats.error_computations > 0
+        assert stats.g3_exact_computations == stats.error_computations
+
     def test_g1_g2_runs_count_measure_agnostic_errors(self):
         """Regression: g1/g2 validity tests used to be tallied under
         ``g3_exact_computations``; they belong to the measure-agnostic

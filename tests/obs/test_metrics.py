@@ -1,0 +1,79 @@
+"""Tests for the metrics registry instruments."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestCounter:
+    def test_inc_default_and_amount(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("x")
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+        assert registry.counter_value("x") == 6
+
+    def test_same_object_on_reaccess(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_missing_counter_reads_default(self):
+        registry = MetricsRegistry()
+        assert registry.counter_value("absent") == 0
+        assert registry.counter_value("absent", default=7) == 7
+
+
+class TestGauge:
+    def test_tracks_current_and_max(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("resident")
+        gauge.set(10)
+        gauge.set(100)
+        gauge.set(3)
+        assert gauge.value == 3
+        assert gauge.max_value == 100
+        assert registry.gauge_value("resident") == 3
+
+
+class TestTimer:
+    def test_accumulates_seconds_and_count(self):
+        registry = MetricsRegistry()
+        timer = registry.timer("io")
+        timer.add(0.5)
+        timer.add(0.25)
+        assert timer.seconds == pytest.approx(0.75)
+        assert timer.count == 2
+
+
+class TestSeries:
+    def test_append_only_list(self):
+        registry = MetricsRegistry()
+        registry.series("levels").append(4)
+        registry.series("levels").append(6)
+        assert registry.series_values("levels") == [4, 6]
+        # series_values returns a copy
+        registry.series_values("levels").append(99)
+        assert registry.series_values("levels") == [4, 6]
+
+
+class TestRegistry:
+    def test_kind_collision_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+        with pytest.raises(ValueError):
+            registry.series("x")
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(9)
+        registry.timer("t").add(1.0)
+        registry.series("s").extend([1, 2])
+        snap = registry.snapshot()
+        assert snap["counters"] == {"c": 2}
+        assert snap["gauges"] == {"g": {"value": 9, "max": 9}}
+        assert snap["timers"]["t"]["count"] == 1
+        assert snap["series"] == {"s": [1, 2]}
