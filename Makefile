@@ -2,17 +2,18 @@
 
 PYTHON ?= python3
 
-.PHONY: install check test test-fast trace-smoke bench bench-full examples clean
+.PHONY: install check test test-fast trace-smoke fault-smoke bench bench-full examples clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
 
 # The CI gate: byte-compile everything, the tier-1 suite, then a trace
-# round-trip on a bundled example dataset.
+# round-trip on a bundled example dataset and the fault-tolerance smoke.
 check:
 	$(PYTHON) -m compileall -q src
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 	$(MAKE) trace-smoke
+	$(MAKE) fault-smoke
 
 # End-to-end observability smoke: record a trace (serial and parallel),
 # assert it is non-empty, and render the report from it.
@@ -23,6 +24,18 @@ trace-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.cli discover examples/data/orders.csv --workers 2 --trace /tmp/repro-trace-par.jsonl > /dev/null
 	PYTHONPATH=src $(PYTHON) -m repro.cli trace-report /tmp/repro-trace-par.jsonl | grep "worker utilization" > /dev/null
 	rm -f /tmp/repro-trace.jsonl /tmp/repro-trace-par.jsonl
+
+# Fault-tolerance smoke: the resilience suite (checkpoint/resume,
+# worker-kill recovery, crash-path store errors) plus a CLI
+# checkpoint/resume round trip.
+fault-smoke:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/resilience tests/partition/test_store_faults.py -q
+	rm -rf /tmp/repro-ckpt
+	PYTHONPATH=src $(PYTHON) -m repro.cli discover examples/data/orders.csv --checkpoint-dir /tmp/repro-ckpt | sed 's/, [0-9.]*s>/>/' > /tmp/repro-ckpt-first.out
+	test -s /tmp/repro-ckpt/checkpoint.json
+	PYTHONPATH=src $(PYTHON) -m repro.cli discover examples/data/orders.csv --checkpoint-dir /tmp/repro-ckpt --resume | sed 's/, [0-9.]*s>/>/' > /tmp/repro-ckpt-second.out
+	diff /tmp/repro-ckpt-first.out /tmp/repro-ckpt-second.out
+	rm -rf /tmp/repro-ckpt /tmp/repro-ckpt-first.out /tmp/repro-ckpt-second.out
 
 test:
 	$(PYTHON) -m pytest tests/

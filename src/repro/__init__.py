@@ -32,9 +32,11 @@ from repro.core.results import DiscoveryResult, SearchStatistics
 from repro.core.tane import TaneConfig, discover, discover_approximate_fds, discover_fds
 from repro.core.uccs import UccResult, discover_uccs
 from repro.exceptions import (
+    CheckpointError,
     ConfigurationError,
     DataError,
     DependencyError,
+    PartitionMissingError,
     ReproError,
     SchemaError,
 )
@@ -67,5 +69,7 @@ __all__ = [
     "DataError",
     "DependencyError",
     "ConfigurationError",
+    "CheckpointError",
+    "PartitionMissingError",
     "__version__",
 ]

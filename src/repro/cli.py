@@ -60,6 +60,12 @@ def build_parser() -> argparse.ArgumentParser:
     discover_parser.add_argument("--workers", type=int, default=0,
                                  help="shard each lattice level across N worker "
                                       "processes (0 = serial)")
+    discover_parser.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                                 help="checkpoint the search to DIR after every "
+                                      "completed level")
+    discover_parser.add_argument("--resume", action="store_true",
+                                 help="resume from the checkpoint in "
+                                      "--checkpoint-dir instead of starting over")
     discover_parser.add_argument("--no-header", action="store_true",
                                  help="CSV file has no header row")
     discover_parser.add_argument("--stats", action="store_true",
@@ -144,6 +150,8 @@ def _cmd_discover(args: argparse.Namespace) -> int:
         measure=args.measure,
         workers=args.workers,
         tracer=tracer,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
     )
     try:
         result = discover(relation, config)
@@ -162,6 +170,11 @@ def _cmd_discover(args: argparse.Namespace) -> int:
                   f"chunks={stats.worker_chunks} "
                   f"busy={stats.worker_busy_seconds:.2f}s "
                   f"shm={stats.shm_bytes_shipped}B")
+            if stats.chunk_retries or stats.pool_respawns or stats.executor_degraded:
+                print(f"recovery: retries={stats.chunk_retries} "
+                      f"respawns={stats.pool_respawns} "
+                      f"serial-fallbacks={stats.serial_chunk_fallbacks} "
+                      f"degraded={stats.executor_degraded}")
     if args.trace is not None:
         print(f"trace written to {args.trace} "
               f"(render with: repro trace-report {args.trace})", file=sys.stderr)

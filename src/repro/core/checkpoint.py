@@ -1,0 +1,205 @@
+"""Level-granular checkpointing of the TANE levelwise search.
+
+The loop state at a level boundary is small and self-contained — the
+next level's masks, the previous level's ``C+`` map, the dependencies
+and keys found so far, and the deterministic counters — while the
+*partitions* are large but reconstructible (from singleton partitions,
+Lemma 3, or from the disk store's spill files).  A checkpoint
+therefore serializes only the loop state: one JSON document, written
+atomically (temp file + ``fsync`` + ``os.replace``), once per
+completed level.  A crashed or killed run resumes from the last
+completed level and produces dependencies, keys, and counters
+identical to an uninterrupted run.
+
+A checkpoint is bound to its run by a *fingerprint* of the relation
+(row count, attribute names) and of every configuration field that
+shapes the search; resuming with a different relation or config
+raises :class:`~repro.exceptions.CheckpointError` instead of silently
+producing a hybrid result.
+
+The final checkpoint of a successful run is marked ``complete`` and
+carries an empty next level, so resuming a finished run replays no
+work and simply returns the recorded results.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.exceptions import CheckpointError
+from repro.testing import faults
+
+_FORMAT_VERSION = 1
+_CHECKPOINT_NAME = "checkpoint.json"
+
+__all__ = ["CheckpointState", "CheckpointManager", "load_checkpoint"]
+
+
+@dataclass
+class CheckpointState:
+    """The levelwise loop state at one level boundary."""
+
+    fingerprint: dict[str, Any]
+    """Relation and configuration identity the checkpoint belongs to."""
+
+    level_number: int
+    """The next level to execute (levels below it are complete)."""
+
+    level: list[int]
+    """Attribute-set masks of the next level (empty when complete)."""
+
+    previous_level_masks: list[int]
+    """Masks of the last completed level — their partitions are needed
+    as validity-test left-hand sides when the next level runs."""
+
+    cplus_prev: dict[int, int]
+    """``C+`` map of the last completed level (mask -> candidate mask)."""
+
+    dependencies: list[tuple[int, int, float]]
+    """Minimal dependencies found so far as ``(lhs, rhs, error)``."""
+
+    keys: list[int]
+    """Key masks found so far."""
+
+    counters: dict[str, float] = field(default_factory=dict)
+    """Deterministic ``tane.*`` counter values at the boundary."""
+
+    series: dict[str, list[int]] = field(default_factory=dict)
+    """Per-level series (level sizes) up to the boundary."""
+
+    complete: bool = False
+    """True when the search finished; resume replays nothing."""
+
+    def to_payload(self) -> dict[str, Any]:
+        """The JSON document written to disk."""
+        return {
+            "version": _FORMAT_VERSION,
+            "fingerprint": self.fingerprint,
+            "level_number": self.level_number,
+            "level": self.level,
+            "previous_level_masks": self.previous_level_masks,
+            # JSON objects key on strings; masks round-trip via pairs.
+            "cplus_prev": [[mask, cands] for mask, cands in self.cplus_prev.items()],
+            "dependencies": [[lhs, rhs, error] for lhs, rhs, error in self.dependencies],
+            "keys": self.keys,
+            "counters": self.counters,
+            "series": self.series,
+            "complete": self.complete,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "CheckpointState":
+        """Rebuild the state from a parsed checkpoint document."""
+        version = payload.get("version")
+        if version != _FORMAT_VERSION:
+            raise CheckpointError(
+                f"unsupported checkpoint version {version!r} "
+                f"(this build reads version {_FORMAT_VERSION})"
+            )
+        try:
+            return cls(
+                fingerprint=dict(payload["fingerprint"]),
+                level_number=int(payload["level_number"]),
+                level=[int(mask) for mask in payload["level"]],
+                previous_level_masks=[int(m) for m in payload["previous_level_masks"]],
+                cplus_prev={int(m): int(c) for m, c in payload["cplus_prev"]},
+                dependencies=[
+                    (int(lhs), int(rhs), float(error))
+                    for lhs, rhs, error in payload["dependencies"]
+                ],
+                keys=[int(mask) for mask in payload["keys"]],
+                counters={str(k): v for k, v in payload.get("counters", {}).items()},
+                series={
+                    str(k): [int(v) for v in values]
+                    for k, values in payload.get("series", {}).items()
+                },
+                complete=bool(payload.get("complete", False)),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise CheckpointError(f"malformed checkpoint payload: {error}") from error
+
+
+class CheckpointManager:
+    """Owns one checkpoint directory: atomic saves, validated loads.
+
+    Parameters
+    ----------
+    directory:
+        Where ``checkpoint.json`` (and the disk store's adopted spill
+        directory, see :attr:`spill_directory`) live.  Created if
+        absent.
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.path = self.directory / _CHECKPOINT_NAME
+        self.saves = 0
+
+    @property
+    def spill_directory(self) -> Path:
+        """Spill directory checkpointed disk stores share with resume."""
+        path = self.directory / "spill"
+        path.mkdir(parents=True, exist_ok=True)
+        return path
+
+    def save(self, state: CheckpointState) -> None:
+        """Write the state atomically (write-then-rename, fsynced).
+
+        A crash at any instant leaves either the previous checkpoint
+        or the new one — never a torn file.
+        """
+        payload = json.dumps(state.to_payload(), separators=(",", ":"))
+        descriptor, tmp_name = tempfile.mkstemp(
+            prefix=_CHECKPOINT_NAME + ".", suffix=".tmp", dir=self.directory
+        )
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+            faults.check("checkpoint.save")
+            os.replace(tmp_name, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.saves += 1
+
+    def load(self) -> CheckpointState | None:
+        """Read and validate the checkpoint; ``None`` when absent."""
+        try:
+            raw = self.path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return None
+        except OSError as error:
+            raise CheckpointError(
+                f"cannot read checkpoint {self.path}: {error}"
+            ) from error
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as error:
+            raise CheckpointError(
+                f"corrupt checkpoint {self.path}: {error}"
+            ) from error
+        if not isinstance(payload, dict):
+            raise CheckpointError(
+                f"corrupt checkpoint {self.path}: expected a JSON object"
+            )
+        return CheckpointState.from_payload(payload)
+
+    def clear(self) -> None:
+        """Delete the checkpoint file (idempotent)."""
+        self.path.unlink(missing_ok=True)
+
+
+def load_checkpoint(directory: str | Path) -> CheckpointState | None:
+    """Inspect the checkpoint in ``directory`` (``None`` when absent)."""
+    return CheckpointManager(directory).load()

@@ -98,6 +98,21 @@ class SearchStatistics:
     shm_bytes_shipped: int = 0
     """Bytes of CSR buffers exported to shared memory for workers."""
 
+    chunk_retries: int = 0
+    """Chunks re-submitted to the pool after an in-worker exception."""
+
+    pool_respawns: int = 0
+    """Worker pools recreated after a worker died abruptly (SIGKILL,
+    OOM); 0 for undisturbed runs."""
+
+    serial_chunk_fallbacks: int = 0
+    """Chunks that exhausted their pool retries and ran serially in
+    the driver process."""
+
+    executor_degraded: bool = False
+    """True when repeated pool deaths demoted the remainder of the run
+    to serial execution (results are identical either way)."""
+
     @classmethod
     def from_metrics(cls, metrics: "MetricsRegistry", measure: str = "g3") -> "SearchStatistics":
         """Derive the statistics view from a run's metrics registry.
@@ -133,6 +148,12 @@ class SearchStatistics:
         self.worker_chunks = usage.chunks
         self.worker_busy_seconds = usage.busy_seconds
         self.shm_bytes_shipped = usage.shm_bytes
+        # getattr: custom LevelExecutor implementations may carry a
+        # minimal usage object without the resilience counters.
+        self.chunk_retries = getattr(usage, "chunk_retries", 0)
+        self.pool_respawns = getattr(usage, "pool_respawns", 0)
+        self.serial_chunk_fallbacks = getattr(usage, "serial_fallbacks", 0)
+        self.executor_degraded = bool(getattr(usage, "degraded", False))
 
     @property
     def total_sets(self) -> int:

@@ -36,12 +36,14 @@ from __future__ import annotations
 import time
 from collections.abc import Callable
 from dataclasses import dataclass, replace
+from pathlib import Path
 from typing import Any
 
 from repro import _bitset
+from repro.core.checkpoint import CheckpointManager, CheckpointState
 from repro.core.lattice import generate_next_level
 from repro.core.results import DiscoveryResult, SearchStatistics
-from repro.exceptions import ConfigurationError
+from repro.exceptions import CheckpointError, ConfigurationError
 from repro.model.fd import FDSet, FunctionalDependency
 from repro.model.relation import Relation
 from repro.obs import trace as obs
@@ -51,6 +53,7 @@ from repro.parallel.executor import LevelExecutor, make_executor
 from repro.parallel.validity import ValidityCriteria, ValidityOutcome
 from repro.partition.store import DiskPartitionStore, PartitionStore, make_store
 from repro.partition.vectorized import CsrPartition, PartitionWorkspace
+from repro.testing import faults
 
 _MEASURES = ("g3", "g1", "g2")
 _EXECUTORS = ("auto", "serial", "process")
@@ -162,6 +165,22 @@ class TaneConfig:
     its ``trace`` handle.  ``None`` (the default) disables tracing —
     the no-op path adds no measurable overhead."""
 
+    checkpoint_dir: str | Path | None = None
+    """Directory for level-granular checkpoints.  When set, the loop
+    state is written atomically after every completed level (see
+    :mod:`repro.core.checkpoint`), so a crashed or killed run can be
+    resumed with ``resume=True`` and finish with dependencies, keys,
+    and counters identical to an uninterrupted run.  With the disk
+    store, the spill directory defaults into the checkpoint directory
+    so resume can adopt spill files instead of recomputing
+    partitions."""
+
+    resume: bool = False
+    """Continue from the checkpoint in :attr:`checkpoint_dir`.  A
+    missing checkpoint starts a fresh (checkpointed) run; a checkpoint
+    whose relation or configuration fingerprint does not match raises
+    :class:`~repro.exceptions.CheckpointError`."""
+
     def __post_init__(self) -> None:
         if not 0.0 <= self.epsilon <= 1.0:
             raise ConfigurationError(f"epsilon must be in [0, 1], got {self.epsilon}")
@@ -181,6 +200,8 @@ class TaneConfig:
             )
         if self.workers < 0:
             raise ConfigurationError(f"workers must be >= 0, got {self.workers}")
+        if self.resume and self.checkpoint_dir is None:
+            raise ConfigurationError("resume=True requires checkpoint_dir")
 
 
 def _with_overrides(
@@ -254,8 +275,23 @@ class _TaneRun:
         # Maximum rows removable for an approximate dependency to count
         # as valid: g3 <= epsilon  <=>  removed <= floor(epsilon * |r|).
         self.epsilon_count = int(config.epsilon * self.num_rows + 1e-9)
+        self.checkpoint: CheckpointManager | None = (
+            CheckpointManager(config.checkpoint_dir)
+            if config.checkpoint_dir is not None
+            else None
+        )
         if isinstance(config.store, str):
-            self.store: PartitionStore = make_store(config.store, **dict(config.store_options))
+            store_options = dict(config.store_options)
+            if (
+                self.checkpoint is not None
+                and config.store == "disk"
+                and "directory" not in store_options
+            ):
+                # Route spills into the checkpoint directory: a failed
+                # run's spill files are then exactly what resume adopts
+                # instead of recomputing partitions from singletons.
+                store_options["directory"] = self.checkpoint.spill_directory
+            self.store: PartitionStore = make_store(config.store, **store_options)
             self._owns_store = True
         else:
             self.store = config.store
@@ -313,17 +349,33 @@ class _TaneRun:
                         self._search()
             else:
                 self._search()
+        except BaseException:
+            # A failed checkpointed run keeps its spill files: they are
+            # the partitions resume would otherwise recompute.
+            if self.checkpoint is not None and isinstance(self.store, DiskPartitionStore):
+                self.store.preserve_spill_files = True
+            raise
         finally:
             self._collect_store_stats()
             if self._owns_store:
-                self.store.close()
+                # Close under the activated tracer so the store's final
+                # gauge updates (resident_bytes -> 0) reach the run's
+                # registry like every other store emission.
+                if self.tracer is not None:
+                    with obs.activated(self.tracer):
+                        self.store.close()
+                else:
+                    self.store.close()
             if self._owns_executor:
                 self.executor.close()
+            if self.tracer is not None:
+                # Flush in the crash path too — a trace matters most
+                # when the search died; dropping buffered spans on an
+                # exception loses exactly the evidence needed.
+                self.tracer.flush()
         stats = SearchStatistics.from_metrics(self.metrics, measure=self.config.measure)
         stats.merge_executor_usage(executor_name, usage)
         stats.elapsed_seconds = time.perf_counter() - start
-        if self.tracer is not None:
-            self.tracer.flush()
         return DiscoveryResult(
             dependencies=self.dependencies,
             keys=self.keys,
@@ -351,8 +403,20 @@ class _TaneRun:
         cplus_prev: dict[int, int] = {0: self.full_mask}
         previous_level_masks: list[int] = [0]
         level_number = 1
+        if self.config.resume and self.checkpoint is not None:
+            state = self.checkpoint.load()
+            if state is not None:
+                self._validate_fingerprint(state)
+                with obs.span("checkpoint.restore", level=state.level_number) as span:
+                    self._restore_state(state)
+                    span.set("masks_restored", len(state.level) + len(state.previous_level_masks))
+                level = state.level
+                cplus_prev = state.cplus_prev
+                previous_level_masks = state.previous_level_masks
+                level_number = state.level_number
         search_start = time.perf_counter()
         while level and level_number <= max_level:
+            faults.check("tane.level.start")
             self._level_sizes.append(len(level))
             if self.config.progress is not None:
                 self.config.progress(
@@ -402,6 +466,122 @@ class _TaneRun:
             cplus_prev = cplus
             level = next_level
             level_number += 1
+            if self.checkpoint is not None:
+                self._save_checkpoint(
+                    level_number, level, previous_level_masks, cplus_prev,
+                    complete=False,
+                )
+        if self.checkpoint is not None:
+            # Mark the run complete: resuming a finished checkpoint
+            # replays no levels and returns the recorded results.
+            self._save_checkpoint(
+                level_number, [], previous_level_masks, cplus_prev, complete=True
+            )
+
+    # ------------------------------------------------------------------
+    # Checkpoint / resume
+    # ------------------------------------------------------------------
+
+    _CHECKPOINT_COUNTERS = (
+        "tane.validity_tests",
+        "tane.partition_products",
+        "tane.error_computations",
+        "tane.g3_bound_rejections",
+        "tane.keys_found",
+    )
+    _CHECKPOINT_SERIES = ("tane.level_sizes", "tane.pruned_level_sizes")
+
+    def _fingerprint(self) -> dict[str, Any]:
+        """Identity of (relation, search-shaping config) for a checkpoint."""
+        config = self.config
+        return {
+            "num_rows": self.num_rows,
+            "attributes": list(self.relation.schema.attribute_names),
+            "epsilon": config.epsilon,
+            "measure": config.measure,
+            "max_lhs_size": config.max_lhs_size,
+            "use_rule8": config.use_rule8,
+            "use_key_pruning": config.use_key_pruning,
+            "use_g3_bounds": config.use_g3_bounds,
+            "partition_strategy": config.partition_strategy,
+        }
+
+    def _validate_fingerprint(self, state: CheckpointState) -> None:
+        expected = self._fingerprint()
+        if state.fingerprint != expected:
+            mismatched = sorted(
+                key
+                for key in set(expected) | set(state.fingerprint)
+                if expected.get(key) != state.fingerprint.get(key)
+            )
+            raise CheckpointError(
+                "checkpoint does not match this run "
+                f"(differs in: {', '.join(mismatched)}); refusing to resume"
+            )
+
+    def _save_checkpoint(
+        self,
+        level_number: int,
+        level: list[int],
+        previous_level_masks: list[int],
+        cplus_prev: dict[int, int],
+        *,
+        complete: bool,
+    ) -> None:
+        assert self.checkpoint is not None
+        state = CheckpointState(
+            fingerprint=self._fingerprint(),
+            level_number=level_number,
+            level=list(level),
+            previous_level_masks=list(previous_level_masks),
+            cplus_prev=dict(cplus_prev),
+            dependencies=[
+                (fd.lhs, fd.rhs, fd.error) for fd in self.dependencies
+            ],
+            keys=list(self.keys),
+            counters={
+                name: self.metrics.counter_value(name)
+                for name in self._CHECKPOINT_COUNTERS
+            },
+            series={
+                name: [int(v) for v in self.metrics.series_values(name)]
+                for name in self._CHECKPOINT_SERIES
+            },
+            complete=complete,
+        )
+        with obs.span("checkpoint.save", level=level_number, complete=complete):
+            self.checkpoint.save(state)
+
+    def _restore_state(self, state: CheckpointState) -> None:
+        """Rebuild the run's mutable state from a checkpoint.
+
+        Results and counters are restored verbatim; the partitions of
+        the checkpointed boundary (the completed level — the validity
+        tests' left-hand sides — and the next level) are adopted from
+        the disk store's spill files when present, otherwise recomputed
+        from the singleton partitions (Lemma 3), without perturbing the
+        deterministic counters.
+        """
+        for lhs, rhs, error in state.dependencies:
+            self._add_dependency(FunctionalDependency(lhs, rhs, error))
+        self.keys.extend(state.keys)
+        for name, value in state.counters.items():
+            self.metrics.counter(name).inc(value)
+        for name, values in state.series.items():
+            self.metrics.series(name).extend(values)
+        for mask in state.previous_level_masks:
+            self._restore_partition(mask)
+        for mask in state.level:
+            self._restore_partition(mask)
+
+    def _restore_partition(self, mask: int) -> None:
+        if _bitset.popcount(mask) <= 1:
+            return  # π_∅ and singletons are rebuilt by the bootstrap
+        if isinstance(self.store, DiskPartitionStore) and self.store.adopt_spilled(
+            mask, self.num_rows
+        ):
+            return
+        self.store.put(mask, self._product_from_singletons(mask, count=False))
 
     # ------------------------------------------------------------------
     # COMPUTE-DEPENDENCIES
@@ -604,39 +784,51 @@ class _TaneRun:
                 next_level.append(candidate)
             return next_level
 
+        products = self.executor.products(triples, self.store.get, self.workspace)
+
         def stream():
             # The store consumes the executor's result stream directly:
             # products become resident (and may spill) while later
             # shards are still computing in the pool.
-            for candidate, product in self.executor.products(
-                triples, self.store.get, self.workspace
-            ):
+            for candidate, product in products:
+                faults.check("tane.products.consume")
                 self._c_products.inc()
                 next_level.append(candidate)
                 yield candidate, product
 
-        put_many = getattr(self.store, "put_many", None)
-        if put_many is not None:
-            put_many(stream())
-        else:  # minimal PartitionStore implementations
-            for candidate, product in stream():
-                self.store.put(candidate, product)
+        try:
+            put_many = getattr(self.store, "put_many", None)
+            if put_many is not None:
+                put_many(stream())
+            else:  # minimal PartitionStore implementations
+                for candidate, product in stream():
+                    self.store.put(candidate, product)
+        finally:
+            # Deterministic cleanup: if the store raised between yields
+            # the executor's generator would otherwise only finalize at
+            # GC, leaking its shared-memory block until then.
+            close = getattr(products, "close", None)
+            if close is not None:
+                close()
         return next_level
 
-    def _product_from_singletons(self, candidate: int) -> CsrPartition:
+    def _product_from_singletons(self, candidate: int, *, count: bool = True) -> CsrPartition:
         """Recompute ``π_candidate`` from the single-attribute partitions.
 
         This is the paper's model of Schlimmer's decision-tree
         approach (Section 6): "roughly equivalent to computing each
         partition from partitions with respect to singletons ...
         slower by a factor O(|R|) than using partitions the way we
-        do."  Used only by the ablation benchmark.
+        do."  Used by the ablation benchmark and — with ``count=False``
+        so restored counters stay identical to an uninterrupted run —
+        by checkpoint resume.
         """
         indices = _bitset.to_indices(candidate)
         product = self._singleton_partitions[indices[0]]
         for index in indices[1:]:
             product = product.product(self._singleton_partitions[index], self.workspace)
-            self._c_products.inc()
+            if count:
+                self._c_products.inc()
         return product
 
     # ------------------------------------------------------------------

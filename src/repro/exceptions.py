@@ -42,3 +42,22 @@ class ConfigurationError(ReproError):
     Raised for out-of-range error thresholds, unknown store names,
     non-positive size limits, and similar parameter errors.
     """
+
+
+class PartitionMissingError(DataError, KeyError):
+    """A partition store was asked for a mask it does not hold.
+
+    Subclasses both :class:`DataError` (the library contract: crash
+    paths surface as ``ReproError`` naming what went wrong) and
+    ``KeyError`` (the historical behaviour of ``store.get``), so
+    existing ``except KeyError`` callers keep working.
+    """
+
+
+class CheckpointError(ReproError):
+    """A discovery checkpoint could not be written, read, or applied.
+
+    Raised for corrupt or unreadable checkpoint files and for resume
+    attempts whose relation or configuration fingerprint does not
+    match the checkpointed run.
+    """

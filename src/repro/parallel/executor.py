@@ -11,32 +11,62 @@ lattice level on behalf of the TANE driver:
 Both backends produce *identical* outputs for identical inputs: the
 serial backend performs exactly the operations the pre-executor driver
 performed, in the same order; the process backend shards the task list
-across a ``multiprocessing`` pool (inputs shipped zero-copy via
+across a process pool (inputs shipped zero-copy via
 :mod:`repro.parallel.shm`) and merges results back in deterministic
 task order.  Exact-mode validity tests (``epsilon == 0``) are O(1)
 rank comparisons on precomputed counters, so the process backend runs
 them in-process rather than paying shipping costs for no work.
 
+Fault tolerance
+---------------
+The process backend survives worker failures.  Pools are
+:class:`concurrent.futures.ProcessPoolExecutor` instances, whose
+management thread *detects* abruptly dead workers (an OOM-killed or
+SIGKILLed worker breaks the pool with ``BrokenProcessPool`` instead of
+hanging the result queue the way ``multiprocessing.Pool.imap`` does).
+On a broken pool the executor respawns a fresh pool with exponential
+backoff and resubmits every unconsumed chunk; a chunk that raises
+without killing its worker is retried a bounded number of times and
+then executed serially in the driver process.  After
+``max_pool_respawns`` pool deaths the executor *degrades*: all
+remaining work in the run executes serially in-process.  Chunks are
+pure functions of their inputs, so retries and fallbacks reproduce
+byte-identical results — dependencies, keys, and counters match an
+undisturbed run exactly.  Retries, respawns, fallbacks, and
+degradation are counted in :class:`ExecutorUsage` and emitted as
+``executor.retry`` / ``executor.respawn`` / ``executor.degrade`` spans
+into an active trace.
+
 When a tracer is active (:mod:`repro.obs.trace`) the process backend
-emits one ``worker.chunk`` span per receipt — carrying the worker pid,
-busy seconds, and task count, merged into the main trace as results
-arrive — plus a ``shm.ship`` span per shared-memory block export, so a
-trace separates pool overhead from shipping from genuine compute.
+also emits one ``worker.chunk`` span per receipt — carrying the worker
+pid, busy seconds, and task count, merged into the main trace as
+results arrive — plus a ``shm.ship`` span per shared-memory block
+export, so a trace separates pool overhead from shipping from genuine
+compute.
+
+Shared-memory lifetime is deterministic: every shipped block is
+tracked by the executor until its level phase releases it, and
+:meth:`ProcessLevelExecutor.close` releases any block a partially
+consumed ``products`` stream left behind (the TANE driver additionally
+closes the stream itself on its error paths).
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import signal
+import time
 from abc import ABC, abstractmethod
 from collections.abc import Callable, Iterator, Sequence
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.exceptions import ConfigurationError
 from repro.obs import trace as obs
 from repro.parallel.shm import SharedPartitionBlock
 from repro.parallel.validity import ValidityCriteria, ValidityOutcome, evaluate_validity
-from repro.parallel.worker import ProductChunk, ValidityChunk, init_worker, run_chunk
+from repro.parallel.worker import ChunkReceipt, ProductChunk, ValidityChunk, init_worker, run_chunk
 from repro.partition.vectorized import CsrPartition, PartitionWorkspace
 
 __all__ = [
@@ -61,6 +91,14 @@ class ExecutorUsage:
     busy_seconds: float = 0.0
     shm_bytes: int = 0
     pids: set[int] = field(default_factory=set)
+    chunk_retries: int = 0
+    """Chunk executions re-submitted after an in-worker exception."""
+    pool_respawns: int = 0
+    """Pools recreated after a worker died abruptly (SIGKILL, OOM)."""
+    serial_fallbacks: int = 0
+    """Chunks that exhausted their retries and ran in the driver."""
+    degraded: bool = False
+    """True once repeated pool deaths demoted the run to serial."""
 
 
 class LevelExecutor(ABC):
@@ -125,7 +163,7 @@ class SerialLevelExecutor(LevelExecutor):
 
 
 class ProcessLevelExecutor(LevelExecutor):
-    """Shard level tasks across a ``multiprocessing`` pool.
+    """Shard level tasks across a process pool, surviving worker deaths.
 
     Parameters
     ----------
@@ -138,6 +176,16 @@ class ProcessLevelExecutor(LevelExecutor):
     start_method:
         ``multiprocessing`` start method; defaults to ``fork`` where
         available (cheap on Linux) and the platform default elsewhere.
+    max_chunk_retries:
+        Pool re-submissions of a chunk whose execution raised before
+        the chunk falls back to running serially in the driver.
+    max_pool_respawns:
+        Fresh pools created after abrupt worker deaths before the
+        executor degrades to serial execution for the rest of the run.
+    retry_backoff_seconds:
+        Base sleep before a retry or respawn; doubles per consecutive
+        respawn (bounded), so a crash-looping environment is not
+        hammered.
     """
 
     name = "process"
@@ -147,6 +195,9 @@ class ProcessLevelExecutor(LevelExecutor):
         workers: int | None = None,
         chunks_per_worker: int = 4,
         start_method: str | None = None,
+        max_chunk_retries: int = 2,
+        max_pool_respawns: int = 2,
+        retry_backoff_seconds: float = 0.05,
     ) -> None:
         resolved = workers if workers else os.cpu_count() or 1
         if resolved < 1:
@@ -155,32 +206,225 @@ class ProcessLevelExecutor(LevelExecutor):
             raise ConfigurationError(
                 f"chunks_per_worker must be >= 1, got {chunks_per_worker}"
             )
+        if max_chunk_retries < 0 or max_pool_respawns < 0:
+            raise ConfigurationError("retry/respawn limits must be >= 0")
+        if retry_backoff_seconds < 0:
+            raise ConfigurationError(
+                f"retry_backoff_seconds must be >= 0, got {retry_backoff_seconds}"
+            )
         self.workers = resolved
         self._chunks_per_worker = chunks_per_worker
+        self._max_chunk_retries = max_chunk_retries
+        self._max_pool_respawns = max_pool_respawns
+        self._retry_backoff_seconds = retry_backoff_seconds
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else methods[0]
         self._context = multiprocessing.get_context(start_method)
-        self._pool = None
+        self._pool: ProcessPoolExecutor | None = None
+        self._degraded = False
+        self._open_blocks: set[SharedPartitionBlock] = set()
         self.usage = ExecutorUsage()
 
     # -- pool management -------------------------------------------------
 
-    def _ensure_pool(self):
+    def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
-            self._pool = self._context.Pool(
-                processes=self.workers, initializer=init_worker
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=self._context,
+                initializer=init_worker,
             )
         return self._pool
 
+    @staticmethod
+    def _shutdown_pool(pool: ProcessPoolExecutor) -> None:
+        # Terminate rather than drain: on a normal run every result has
+        # been consumed by now; on an interrupted or broken run waiting
+        # would block on shards that no longer matter.  Capture the
+        # pool internals first — shutdown() drops these references.
+        processes = list((getattr(pool, "_processes", None) or {}).values())
+        thread = getattr(pool, "_executor_manager_thread", None)
+        result_queue = getattr(pool, "_result_queue", None)
+        pool.shutdown(wait=False, cancel_futures=True)
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+        for process in processes:
+            process.join(timeout=1.0)
+        for process in processes:
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=1.0)
+        # A worker terminated *mid-result* leaves a partial pickle in
+        # the result pipe.  The pool's management thread then blocks in
+        # read() on that pipe forever — the parent still holds a write
+        # end, so no EOF arrives — and the interpreter's non-daemon
+        # thread join at exit hangs the whole process (observed on
+        # Ctrl-C of a parallel run).  Closing the reader would not
+        # help: close() does not wake a thread already blocked in
+        # read().  Closing the parent's *write* end does: with every
+        # worker dead, the read returns EOF, recv() raises inside the
+        # management thread's try block, and it exits via its
+        # broken-pool path.
+        if thread is None or not thread.is_alive():
+            return
+        thread.join(timeout=1.0)
+        if not thread.is_alive():
+            return
+        try:
+            result_queue._writer.close()
+        except (AttributeError, OSError):
+            pass
+        thread.join(timeout=5.0)
+
     def close(self) -> None:
-        # terminate(), not close()+join(): on a normal run every result
-        # has been consumed by now, and on an interrupted run joining
-        # would block on shards that no longer matter.
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+        # A terminal Ctrl-C signals the whole process group, and some
+        # drivers (GNU timeout among them) signal the child directly
+        # *and* via the group — so a second KeyboardInterrupt can land
+        # while this teardown is running, abandoning the pool's
+        # management thread mid-shutdown or leaking shared-memory
+        # blocks.  The teardown is bounded, so shield it: ignore
+        # SIGINT for its duration (main thread only) and retry once if
+        # an interrupt slipped in before the shield was up.
+        try:
+            restore = signal.signal(signal.SIGINT, signal.SIG_IGN)
+        except ValueError:  # not the main thread; signals go elsewhere
+            restore = None
+        pool, self._pool = self._pool, None
+        try:
+            for _ in range(2):
+                try:
+                    if pool is not None:
+                        self._shutdown_pool(pool)
+                        pool = None
+                    # Deterministic shm cleanup: release any block a
+                    # partially consumed products stream left open
+                    # (e.g. the driver's store raised between yields).
+                    while self._open_blocks:
+                        self._open_blocks.pop().close()
+                    break
+                except KeyboardInterrupt:
+                    continue
+        finally:
+            if restore is not None:
+                signal.signal(signal.SIGINT, restore)
+
+    # -- failure handling ------------------------------------------------
+
+    def _note_pool_break(self, kind: str) -> None:
+        """A worker died abruptly: retire the pool, maybe degrade."""
+        assert self.usage is not None
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            self._shutdown_pool(pool)
+        self.usage.pool_respawns += 1
+        if self.usage.pool_respawns > self._max_pool_respawns:
+            self._degraded = True
+            self.usage.degraded = True
+            obs.emit(
+                "executor.degrade",
+                0.0,
+                kind=kind,
+                respawns=self.usage.pool_respawns,
+            )
+            return
+        obs.emit(
+            "executor.respawn", 0.0, kind=kind, respawns=self.usage.pool_respawns
+        )
+        if self._retry_backoff_seconds:
+            time.sleep(
+                min(
+                    self._retry_backoff_seconds * (2 ** (self.usage.pool_respawns - 1)),
+                    2.0,
+                )
+            )
+
+    def _run_inline(self, chunk: ProductChunk | ValidityChunk) -> ChunkReceipt:
+        """Execute one chunk in the driver process (the serial fallback).
+
+        Chunks attach the shared-memory block by name exactly like a
+        worker would, so the payload is byte-identical to a pool
+        execution; the fault harness guards the driver pid, so armed
+        worker faults never fire here.
+        """
+        return run_chunk(chunk)
+
+    def _retry_chunk(
+        self, chunk: ProductChunk | ValidityChunk, kind: str
+    ) -> ChunkReceipt | None:
+        """Re-run a chunk whose execution raised, bounded, then serially.
+
+        Returns ``None`` when a retry broke the pool (the caller
+        resubmits from its current position on a fresh pool); raises
+        only when the serial fallback itself fails — a deterministic
+        error in the chunk, not a worker fault.
+        """
+        assert self.usage is not None
+        for attempt in range(1, self._max_chunk_retries + 1):
+            self.usage.chunk_retries += 1
+            obs.emit("executor.retry", 0.0, kind=kind, attempt=attempt)
+            if self._retry_backoff_seconds:
+                time.sleep(self._retry_backoff_seconds)
+            try:
+                return self._ensure_pool().submit(run_chunk, chunk).result()
+            except BrokenExecutor:
+                self._note_pool_break(kind)
+                return None
+            except Exception:
+                continue
+        self.usage.serial_fallbacks += 1
+        obs.emit("executor.serial_fallback", 0.0, kind=kind)
+        return self._run_inline(chunk)
+
+    def _dispatch(
+        self, chunks: Sequence[ProductChunk | ValidityChunk], kind: str
+    ) -> Iterator[ChunkReceipt]:
+        """Yield every chunk's receipt in order, surviving failures.
+
+        Receipts stream back as chunks finish but are consumed in
+        submission order, so downstream merging stays deterministic
+        regardless of retries or respawns.
+        """
+        position = 0
+        while position < len(chunks):
+            if self._degraded:
+                for index in range(position, len(chunks)):
+                    yield self._run_inline(chunks[index])
+                return
+            pool = self._ensure_pool()
+            base = position
+            try:
+                futures = [pool.submit(run_chunk, chunk) for chunk in chunks[base:]]
+            except (BrokenExecutor, RuntimeError):
+                # The pool broke between levels (submit on a broken
+                # executor raises immediately).
+                self._note_pool_break(kind)
+                continue
+            resubmit = False
+            for offset, future in enumerate(futures):
+                index = base + offset
+                try:
+                    receipt = future.result()
+                except BrokenExecutor:
+                    self._note_pool_break(kind)
+                    resubmit = True
+                    break
+                except Exception:
+                    # The chunk raised without killing its worker; the
+                    # pool is still healthy, later futures keep running.
+                    receipt = self._retry_chunk(chunks[index], kind)
+                    if receipt is None:
+                        resubmit = True
+                        break
+                yield receipt
+                position = index + 1
+            if not resubmit:
+                for future in futures:
+                    future.cancel()
+                if position < len(chunks):  # defensive; loop above covers all
+                    continue
+                return
 
     # -- sharding --------------------------------------------------------
 
@@ -189,7 +433,7 @@ class ProcessLevelExecutor(LevelExecutor):
         bounds = [len(tasks) * i // count for i in range(count + 1)]
         return [tasks[bounds[i]:bounds[i + 1]] for i in range(count)]
 
-    def _record(self, receipt, kind: str) -> list:
+    def _record(self, receipt: ChunkReceipt, kind: str) -> list:
         assert self.usage is not None
         self.usage.chunks += 1
         self.usage.busy_seconds += receipt.seconds
@@ -206,6 +450,20 @@ class ProcessLevelExecutor(LevelExecutor):
         )
         return receipt.payload
 
+    def _ship(self, partitions: dict, kind: str) -> SharedPartitionBlock:
+        with obs.span("shm.ship", kind=kind) as ship:
+            block = SharedPartitionBlock(partitions)
+            ship.set("bytes", block.nbytes)
+            ship.set("partitions", len(partitions))
+        assert self.usage is not None
+        self.usage.shm_bytes += block.nbytes
+        self._open_blocks.add(block)
+        return block
+
+    def _release(self, block: SharedPartitionBlock) -> None:
+        self._open_blocks.discard(block)
+        block.close()
+
     # -- LevelExecutor interface -----------------------------------------
 
     def products(self, triples, fetch, workspace):
@@ -214,11 +472,7 @@ class ProcessLevelExecutor(LevelExecutor):
         factor_masks = {mask for _, x, y in triples for mask in (x, y)}
         partitions = {mask: fetch(mask) for mask in sorted(factor_masks)}
         num_rows = next(iter(partitions.values())).num_rows
-        with obs.span("shm.ship", kind="products") as ship:
-            block = SharedPartitionBlock(partitions)
-            ship.set("bytes", block.nbytes)
-            ship.set("partitions", len(partitions))
-        self.usage.shm_bytes += block.nbytes
+        block = self._ship(partitions, "products")
         try:
             chunks = [
                 ProductChunk(
@@ -231,13 +485,11 @@ class ProcessLevelExecutor(LevelExecutor):
                 )
                 for shard in self._shards(triples)
             ]
-            # Ordered imap: results stream back as workers finish, but
-            # arrive merged in candidate order — determinism for free.
-            for receipt in self._ensure_pool().imap(run_chunk, chunks):
+            for receipt in self._dispatch(chunks, "products"):
                 for candidate, indices, offsets in self._record(receipt, "products"):
                     yield candidate, CsrPartition(indices, offsets, num_rows)
         finally:
-            block.close()
+            self._release(block)
 
     def validity_tests(self, groups, fetch, criteria, workspace):
         tasks = [
@@ -251,11 +503,7 @@ class ProcessLevelExecutor(LevelExecutor):
             return _serial_validity(groups, fetch, criteria, workspace)
         masks = {mask for task in tasks for mask in task}
         partitions = {mask: fetch(mask) for mask in sorted(masks)}
-        with obs.span("shm.ship", kind="validity") as ship:
-            block = SharedPartitionBlock(partitions)
-            ship.set("bytes", block.nbytes)
-            ship.set("partitions", len(partitions))
-        self.usage.shm_bytes += block.nbytes
+        block = self._ship(partitions, "validity")
         try:
             chunks = [
                 ValidityChunk(
@@ -267,11 +515,11 @@ class ProcessLevelExecutor(LevelExecutor):
                 for shard in self._shards(tasks)
             ]
             outcomes: list[ValidityOutcome] = []
-            for receipt in self._ensure_pool().imap(run_chunk, chunks):
+            for receipt in self._dispatch(chunks, "validity"):
                 outcomes.extend(self._record(receipt, "validity"))
             return outcomes
         finally:
-            block.close()
+            self._release(block)
 
 
 def make_executor(executor: str | LevelExecutor, workers: int) -> LevelExecutor:

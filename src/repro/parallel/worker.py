@@ -28,6 +28,7 @@ import numpy as np
 from repro.parallel.shm import BlockEntry, attached_partition
 from repro.parallel.validity import ValidityCriteria, ValidityOutcome, evaluate_validity
 from repro.partition.vectorized import PartitionWorkspace
+from repro.testing import faults
 
 __all__ = ["ProductChunk", "ValidityChunk", "ChunkReceipt", "init_worker", "run_chunk"]
 
@@ -116,7 +117,14 @@ def _run_validity(chunk: ValidityChunk) -> list[ValidityOutcome]:
 
 
 def run_chunk(chunk: ProductChunk | ValidityChunk) -> ChunkReceipt:
-    """Pool entry point: dispatch one chunk and time it."""
+    """Pool entry point: dispatch one chunk and time it.
+
+    The fault hook lets the resilience suite SIGKILL or poison a
+    worker mid-chunk; it is one environment lookup when disarmed, and
+    it never fires in the driver process, so the executor's serial
+    fallback runs the same chunks safely in-process.
+    """
+    faults.maybe_fire_worker_fault()
     start = time.perf_counter()
     if isinstance(chunk, ProductChunk):
         payload: list = _run_products(chunk)

@@ -9,9 +9,15 @@ stored.
 
 The disk store is a write-back LRU cache: partitions are spilled to
 flat binary files in a private temporary directory once the resident
-budget is exceeded, and transparently reloaded on access.  Counters for
-spills and reloads are exposed so benchmarks can report I/O behaviour
-the way the paper reports disk accesses.
+budget is exceeded, and transparently reloaded on access.  Partitions
+are immutable, so a reload keeps the spill file: the resident copy is
+*clean* and evicting it again is free (no rewrite).  Counters for
+spills (actual writes), reloads, and clean evictions are exposed so
+benchmarks can report I/O behaviour the way the paper reports disk
+accesses; ``spill_count`` counts bytes-hitting-disk events only, never
+the free re-evictions.  Clean spill files are also what checkpoint
+resume (:mod:`repro.core.checkpoint`) adopts to avoid recomputing a
+level's partitions from singletons.
 
 When a tracer is active (see :mod:`repro.obs.trace`) every spill and
 reload additionally emits a span carrying the mask and byte count, and
@@ -32,9 +38,10 @@ from typing import Protocol
 
 import numpy as np
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, DataError, PartitionMissingError
 from repro.obs import trace as obs
 from repro.partition.vectorized import CsrPartition
+from repro.testing import faults
 
 # Spill file layout: little-endian header (indices count, offsets
 # count) followed by the two raw int64 arrays.  A flat binary format:
@@ -53,7 +60,13 @@ class PartitionStore(Protocol):
         """Store the partition of attribute set ``mask``."""
 
     def get(self, mask: int) -> CsrPartition:
-        """Return the partition of ``mask`` (KeyError if absent)."""
+        """Return the partition of ``mask``.
+
+        Absent masks raise
+        :class:`~repro.exceptions.PartitionMissingError` (a
+        ``DataError`` subclass that is also a ``KeyError`` for
+        backward compatibility).
+        """
 
     def discard(self, mask: int) -> None:
         """Drop the partition of ``mask`` if present."""
@@ -90,14 +103,23 @@ class MemoryPartitionStore:
             obs.set_gauge("store.resident_bytes", self._resident_bytes)
 
     def get(self, mask: int) -> CsrPartition:
-        """Return the partition of ``mask``; KeyError if absent."""
-        return self._partitions[mask]
+        """Return the partition of ``mask``.
+
+        Raises :class:`~repro.exceptions.PartitionMissingError` (a
+        ``DataError`` that is also a ``KeyError``) when absent.
+        """
+        partition = self._partitions.get(mask)
+        if partition is None:
+            raise PartitionMissingError(f"no partition stored for mask {mask:#x}")
+        return partition
 
     def discard(self, mask: int) -> None:
         """Drop the partition of ``mask`` if present (idempotent)."""
         partition = self._partitions.pop(mask, None)
         if partition is not None:
             self._resident_bytes -= partition.nbytes()
+            if obs.enabled():
+                obs.set_gauge("store.resident_bytes", self._resident_bytes)
 
     def put_many(self, items: Iterable[tuple[int, CsrPartition]]) -> None:
         """Store a stream of ``(mask, partition)`` pairs as it arrives."""
@@ -108,6 +130,8 @@ class MemoryPartitionStore:
         """Release all held partitions."""
         self._partitions.clear()
         self._resident_bytes = 0
+        if obs.enabled():
+            obs.set_gauge("store.resident_bytes", 0)
 
     def __len__(self) -> int:
         return len(self._partitions)
@@ -158,12 +182,26 @@ class DiskPartitionStore:
         self._small: OrderedDict[int, CsrPartition] = OrderedDict()
         self._large: OrderedDict[int, CsrPartition] = OrderedDict()
         self._resident_bytes = 0
-        self._on_disk: dict[int, tuple[Path, int]] = {}  # mask -> (file, num_rows)
+        # mask -> (file, num_rows).  A mask may be here *and* resident:
+        # partitions are immutable, so after a reload the resident copy
+        # is clean and its spill file stays valid — evicting it again
+        # costs nothing (see _spill_lru).
+        self._on_disk: dict[int, tuple[Path, int]] = {}
         self.spill_count = 0
+        """Partitions actually written to disk.  Free re-evictions of
+        clean partitions are counted in :attr:`clean_evictions`, not
+        here."""
         self.load_count = 0
+        self.clean_evictions = 0
+        """Evictions satisfied by an existing clean spill file (no
+        write performed)."""
         self.peak_resident_bytes = 0
         self.peak_disk_bytes = 0
         self._disk_bytes = 0
+        self.preserve_spill_files = False
+        """When true, :meth:`close` keeps the spill files on disk (the
+        TANE driver sets this when a checkpointed run fails, so resume
+        can adopt the files instead of recomputing partitions)."""
 
     # -- internal -------------------------------------------------------
 
@@ -174,7 +212,15 @@ class DiskPartitionStore:
         while self._resident_bytes > self._budget and self._large:
             mask, partition = self._large.popitem(last=False)
             self._resident_bytes -= partition.nbytes()
+            if mask in self._on_disk:
+                # Clean: partitions are immutable and put() invalidates
+                # the disk copy on replacement, so an entry present in
+                # _on_disk is byte-identical to the resident one —
+                # dropping the memory copy is the whole eviction.
+                self.clean_evictions += 1
+                continue
             path = self._path_for(mask)
+            faults.check("store.spill")
             with obs.span("store.spill", mask=mask) as span:
                 indices = np.ascontiguousarray(partition.indices, dtype=np.int64)
                 offsets = np.ascontiguousarray(partition.offsets, dtype=np.int64)
@@ -192,11 +238,8 @@ class DiskPartitionStore:
         if obs.enabled():
             obs.set_gauge("store.resident_bytes", self._resident_bytes)
 
-    # -- PartitionStore interface ----------------------------------------
-
-    def put(self, mask: int, partition: CsrPartition) -> None:
-        """Store the partition resident; spill LRU entries over budget."""
-        self.discard(mask)
+    def _insert_resident(self, mask: int, partition: CsrPartition) -> None:
+        """Make ``partition`` resident without touching its disk copy."""
         if partition.nbytes() >= self._min_spill_bytes:
             self._large[mask] = partition
         else:
@@ -205,8 +248,75 @@ class DiskPartitionStore:
         self.peak_resident_bytes = max(self.peak_resident_bytes, self._resident_bytes)
         self._spill_lru()
 
+    def _read_spill(self, path: Path, mask: int, num_rows: int) -> CsrPartition:
+        """Load one spill file, surfacing damage as :class:`DataError`.
+
+        A truncated or corrupted file names the file and mask instead
+        of leaking a raw ``struct.error`` or a short-read numpy shape
+        mismatch from deep inside the loader.
+        """
+        try:
+            with path.open("rb") as handle:
+                raw_header = handle.read(_SPILL_HEADER.size)
+                if len(raw_header) != _SPILL_HEADER.size:
+                    raise DataError(
+                        f"corrupt spill file {path} for mask {mask:#x}: "
+                        f"truncated header ({len(raw_header)} of "
+                        f"{_SPILL_HEADER.size} bytes)"
+                    )
+                indices_count, offsets_count = _SPILL_HEADER.unpack(raw_header)
+                if indices_count < 0 or offsets_count < 1:
+                    raise DataError(
+                        f"corrupt spill file {path} for mask {mask:#x}: "
+                        f"implausible header (indices={indices_count}, "
+                        f"offsets={offsets_count})"
+                    )
+                expected = (indices_count + offsets_count) * 8
+                raw_payload = handle.read(expected)
+                if len(raw_payload) != expected:
+                    raise DataError(
+                        f"corrupt spill file {path} for mask {mask:#x}: "
+                        f"truncated payload ({len(raw_payload)} of {expected} bytes)"
+                    )
+        except OSError as error:
+            raise DataError(
+                f"cannot read spill file {path} for mask {mask:#x}: {error}"
+            ) from error
+        indices = np.frombuffer(raw_payload, dtype=np.int64, count=indices_count)
+        offsets = np.frombuffer(raw_payload, dtype=np.int64, offset=indices_count * 8)
+        if (
+            offsets[0] != 0
+            or offsets[-1] != indices_count
+            or np.any(np.diff(offsets) < 0)
+        ):
+            raise DataError(
+                f"corrupt spill file {path} for mask {mask:#x}: "
+                "offsets are not a monotone 0..len(indices) sequence"
+            )
+        return CsrPartition(indices, offsets, num_rows)
+
+    # -- PartitionStore interface ----------------------------------------
+
+    def put(self, mask: int, partition: CsrPartition) -> None:
+        """Store the partition resident; spill LRU entries over budget.
+
+        Replacing a mask invalidates any disk copy of the old
+        partition (the clean-spill optimization relies on a disk entry
+        always matching the resident bytes).
+        """
+        self.discard(mask)
+        self._insert_resident(mask, partition)
+
     def get(self, mask: int) -> CsrPartition:
-        """Return the partition, reloading from disk when spilled."""
+        """Return the partition, reloading from disk when spilled.
+
+        The spill file is *kept* on reload: partitions are immutable,
+        so the resident copy stays clean and evicting it again later
+        is free.  Raises
+        :class:`~repro.exceptions.PartitionMissingError` when the mask
+        is unknown and :class:`~repro.exceptions.DataError` when its
+        spill file is truncated or corrupt.
+        """
         partition = self._small.get(mask)
         if partition is not None:
             self._small.move_to_end(mask)
@@ -215,29 +325,52 @@ class DiskPartitionStore:
         if partition is not None:
             self._large.move_to_end(mask)
             return partition
-        path, num_rows = self._on_disk.pop(mask)  # KeyError if truly absent
+        entry = self._on_disk.get(mask)
+        if entry is None:
+            raise PartitionMissingError(f"no partition stored for mask {mask:#x}")
+        path, num_rows = entry
+        faults.check("store.load")
         with obs.span("store.load", mask=mask) as span:
-            with path.open("rb") as handle:
-                raw_header = handle.read(_SPILL_HEADER.size)
-                indices_count, offsets_count = _SPILL_HEADER.unpack(raw_header)
-                indices = np.frombuffer(handle.read(indices_count * 8), dtype=np.int64)
-                offsets = np.frombuffer(handle.read(offsets_count * 8), dtype=np.int64)
-            span.set("bytes", _SPILL_HEADER.size + indices.nbytes + offsets.nbytes)
-        partition = CsrPartition(indices, offsets, num_rows)
-        self._disk_bytes -= _SPILL_HEADER.size + indices.nbytes + offsets.nbytes
-        path.unlink(missing_ok=True)
+            partition = self._read_spill(path, mask, num_rows)
+            span.set("bytes", _SPILL_HEADER.size + partition.nbytes())
         self.load_count += 1
-        self.put(mask, partition)
+        self._insert_resident(mask, partition)
         return partition
 
+    def adopt_spilled(self, mask: int, num_rows: int) -> bool:
+        """Register a pre-existing spill file for ``mask`` if one exists.
+
+        Checkpoint resume calls this to reuse the spill files a
+        crashed run left behind instead of recomputing partitions from
+        singletons.  Returns ``True`` when the store now holds the
+        mask (already present, or a spill file was adopted); the file
+        content is validated lazily on first :meth:`get`.
+        """
+        if mask in self._small or mask in self._large or mask in self._on_disk:
+            return True
+        path = self._path_for(mask)
+        try:
+            size = path.stat().st_size
+        except OSError:
+            return False
+        self._on_disk[mask] = (path, num_rows)
+        self._disk_bytes += size
+        self.peak_disk_bytes = max(self.peak_disk_bytes, self._disk_bytes)
+        return True
+
     def discard(self, mask: int) -> None:
-        """Drop the partition wherever it lives (idempotent)."""
+        """Drop the partition wherever it lives (idempotent).
+
+        A reloaded partition lives both resident and on disk; both
+        copies are removed.
+        """
         partition = self._small.pop(mask, None)
         if partition is None:
             partition = self._large.pop(mask, None)
         if partition is not None:
             self._resident_bytes -= partition.nbytes()
-            return
+            if obs.enabled():
+                obs.set_gauge("store.resident_bytes", self._resident_bytes)
         entry = self._on_disk.pop(mask, None)
         if entry is not None:
             path, _ = entry
@@ -264,12 +397,16 @@ class DiskPartitionStore:
         tree is removed.  With a caller-supplied ``directory`` the
         directory itself is preserved but every spill file this store
         wrote is unlinked — otherwise ``partition-*.bin`` files would
-        leak across runs sharing a spill directory.
+        leak across runs sharing a spill directory.  With
+        :attr:`preserve_spill_files` set (a failed checkpointed run)
+        the files survive for resume to adopt.
         """
         self._small.clear()
         self._large.clear()
         self._resident_bytes = 0
-        if self._owns_directory:
+        if self.preserve_spill_files:
+            self._on_disk.clear()
+        elif self._owns_directory:
             self._on_disk.clear()
             shutil.rmtree(self._directory, ignore_errors=True)
         else:
@@ -277,6 +414,8 @@ class DiskPartitionStore:
                 path.unlink(missing_ok=True)
             self._on_disk.clear()
         self._disk_bytes = 0
+        if obs.enabled():
+            obs.set_gauge("store.resident_bytes", 0)
 
     def __len__(self) -> int:
         return len(self._small) + len(self._large) + len(self._on_disk)

@@ -1,0 +1,13 @@
+"""Test-support utilities shipped with the library.
+
+:mod:`repro.testing.faults` is the fault-injection harness used by the
+``tests/resilience`` suite: it arms crashes (exceptions, signals,
+worker SIGKILLs) at named points in the production code and provides
+file-corruption helpers.  Production modules call its ``check``/
+``maybe_fire_worker_fault`` hooks, which reduce to a dict/env lookup
+when nothing is armed.
+"""
+
+from repro.testing import faults
+
+__all__ = ["faults"]

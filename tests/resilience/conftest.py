@@ -1,0 +1,47 @@
+"""Shared fixtures for the resilience suite.
+
+The relation is small but structured: derived columns give the search
+real dependencies to find (and restore on resume), and the level-3
+interruption point sits strictly inside the lattice traversal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.model.relation import Relation
+
+
+@pytest.fixture(scope="module")
+def structured_relation() -> Relation:
+    rng = np.random.default_rng(11)
+    a = rng.integers(0, 6, size=150).astype(np.int64)
+    b = rng.integers(0, 5, size=150).astype(np.int64)
+    c = rng.integers(0, 4, size=150).astype(np.int64)
+    d = (a * 5 + b) % 9
+    e = (b + c) % 7
+    return Relation.from_codes([a, b, c, d, e], list("ABCDE"))
+
+
+def stats_fingerprint(result):
+    """The deterministic counters an identical rerun must reproduce."""
+    s = result.statistics
+    return (
+        s.level_sizes,
+        s.pruned_level_sizes,
+        s.validity_tests,
+        s.partition_products,
+        s.error_computations,
+        s.g3_bound_rejections,
+        s.keys_found,
+    )
+
+
+def assert_identical_results(actual, expected):
+    """Dependencies, keys, and deterministic counters must all match."""
+    assert sorted((fd.lhs, fd.rhs, fd.error) for fd in actual.dependencies) == sorted(
+        (fd.lhs, fd.rhs, fd.error) for fd in expected.dependencies
+    )
+    assert sorted(actual.keys) == sorted(expected.keys)
+    assert stats_fingerprint(actual) == stats_fingerprint(expected)

@@ -1,0 +1,207 @@
+"""Level-granular checkpoint / resume.
+
+The acceptance contract: a run interrupted at any level boundary and
+resumed from its checkpoint produces dependencies, keys, and every
+deterministic search counter identical to an uninterrupted run — for
+exact and approximate discovery, for the memory and the disk store,
+and for both polite interruptions (an exception unwinding the driver)
+and impolite ones (SIGKILL of the whole driver process).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+
+import pytest
+
+from repro.core.checkpoint import CheckpointManager, load_checkpoint
+from repro.core.tane import TaneConfig, discover
+from repro.exceptions import CheckpointError, ConfigurationError
+from repro.testing import faults
+
+from .conftest import assert_identical_results
+
+
+class Interrupt(Exception):
+    """Raised by a progress callback to abort the search mid-run."""
+
+
+def interrupt_at(level: int):
+    def progress(snapshot):
+        if snapshot.level == level:
+            raise Interrupt(f"level {level}")
+
+    return progress
+
+
+def run_interrupted(relation, checkpoint_dir, *, level=3, **config_kwargs):
+    with pytest.raises(Interrupt):
+        discover(
+            relation,
+            TaneConfig(
+                checkpoint_dir=checkpoint_dir,
+                progress=interrupt_at(level),
+                **config_kwargs,
+            ),
+        )
+
+
+class TestResumeParity:
+    @pytest.mark.parametrize("epsilon", [0.0, 0.04])
+    @pytest.mark.parametrize("level", [2, 3])
+    def test_interrupt_then_resume_identical(
+        self, structured_relation, tmp_path, epsilon, level
+    ):
+        baseline = discover(structured_relation, TaneConfig(epsilon=epsilon))
+        run_interrupted(structured_relation, tmp_path, level=level, epsilon=epsilon)
+        resumed = discover(
+            structured_relation,
+            TaneConfig(epsilon=epsilon, checkpoint_dir=tmp_path, resume=True),
+        )
+        assert_identical_results(resumed, baseline)
+
+    def test_interrupt_then_resume_disk_store(self, structured_relation, tmp_path):
+        baseline = discover(structured_relation, TaneConfig(store="disk"))
+        run_interrupted(structured_relation, tmp_path, store="disk")
+        resumed = discover(
+            structured_relation,
+            TaneConfig(store="disk", checkpoint_dir=tmp_path, resume=True),
+        )
+        assert_identical_results(resumed, baseline)
+
+    def test_resume_of_complete_run_is_a_no_op(self, structured_relation, tmp_path):
+        baseline = discover(structured_relation, TaneConfig(checkpoint_dir=tmp_path))
+        state = load_checkpoint(tmp_path)
+        assert state is not None and state.complete and state.level == []
+        resumed = discover(
+            structured_relation, TaneConfig(checkpoint_dir=tmp_path, resume=True)
+        )
+        assert_identical_results(resumed, baseline)
+
+    def test_resume_without_checkpoint_starts_fresh(
+        self, structured_relation, tmp_path
+    ):
+        baseline = discover(structured_relation, TaneConfig())
+        result = discover(
+            structured_relation, TaneConfig(checkpoint_dir=tmp_path, resume=True)
+        )
+        assert_identical_results(result, baseline)
+
+
+class TestDriverCrash:
+    """SIGKILL the whole driver process — no finally blocks run."""
+
+    @staticmethod
+    def _crash_child(relation, checkpoint_dir, config_kwargs):
+        def die(snapshot):
+            if snapshot.level == 3:
+                os.kill(os.getpid(), signal.SIGKILL)
+
+        discover(
+            relation,
+            TaneConfig(checkpoint_dir=checkpoint_dir, progress=die, **config_kwargs),
+        )
+
+    def _kill_mid_level(self, relation, checkpoint_dir, **config_kwargs):
+        context = multiprocessing.get_context("fork")
+        child = context.Process(
+            target=self._crash_child, args=(relation, checkpoint_dir, config_kwargs)
+        )
+        child.start()
+        child.join(timeout=120)
+        assert child.exitcode == -signal.SIGKILL
+
+    def test_sigkill_then_resume_memory_store(self, structured_relation, tmp_path):
+        baseline = discover(structured_relation, TaneConfig())
+        self._kill_mid_level(structured_relation, tmp_path)
+        resumed = discover(
+            structured_relation, TaneConfig(checkpoint_dir=tmp_path, resume=True)
+        )
+        assert_identical_results(resumed, baseline)
+
+    def test_sigkill_then_resume_reuses_spill_files(
+        self, structured_relation, tmp_path
+    ):
+        # A tiny budget with pinning disabled forces constant spilling,
+        # so the crash leaves spill files behind for resume to adopt.
+        options = (("resident_budget_bytes", 4096), ("min_spill_bytes", 0))
+        baseline = discover(
+            structured_relation, TaneConfig(store="disk", store_options=options)
+        )
+        self._kill_mid_level(
+            structured_relation, tmp_path, store="disk", store_options=options
+        )
+        leftover = list((tmp_path / "spill").glob("partition-*.bin"))
+        assert leftover, "crashed run should leave its spill files on disk"
+        resumed = discover(
+            structured_relation,
+            TaneConfig(
+                store="disk",
+                store_options=options,
+                checkpoint_dir=tmp_path,
+                resume=True,
+            ),
+        )
+        assert_identical_results(resumed, baseline)
+
+
+class TestCheckpointSafety:
+    def test_resume_requires_checkpoint_dir(self):
+        with pytest.raises(ConfigurationError):
+            TaneConfig(resume=True)
+
+    def test_fingerprint_mismatch_raises(self, structured_relation, tmp_path):
+        run_interrupted(structured_relation, tmp_path)
+        with pytest.raises(CheckpointError):
+            discover(
+                structured_relation,
+                TaneConfig(epsilon=0.2, checkpoint_dir=tmp_path, resume=True),
+            )
+
+    def test_corrupt_checkpoint_raises(self, structured_relation, tmp_path):
+        run_interrupted(structured_relation, tmp_path)
+        (tmp_path / "checkpoint.json").write_text("{not json", encoding="utf-8")
+        with pytest.raises(CheckpointError):
+            discover(
+                structured_relation,
+                TaneConfig(checkpoint_dir=tmp_path, resume=True),
+            )
+
+    def test_unsupported_version_raises(self, structured_relation, tmp_path):
+        run_interrupted(structured_relation, tmp_path)
+        (tmp_path / "checkpoint.json").write_text('{"version": 999}', encoding="utf-8")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(tmp_path)
+
+    def test_failed_save_keeps_previous_checkpoint(
+        self, structured_relation, tmp_path
+    ):
+        run_interrupted(structured_relation, tmp_path, level=2)
+        before = (tmp_path / "checkpoint.json").read_bytes()
+        with faults.inject("checkpoint.save", OSError("disk full")):
+            with pytest.raises(OSError):
+                discover(
+                    structured_relation,
+                    TaneConfig(checkpoint_dir=tmp_path, resume=True),
+                )
+        # The atomic write never replaced the good checkpoint, and no
+        # temp files leaked next to it.
+        assert (tmp_path / "checkpoint.json").read_bytes() == before
+        assert not list(tmp_path.glob("checkpoint.json.*.tmp"))
+        # The surviving checkpoint still resumes to the right answer.
+        baseline = discover(structured_relation, TaneConfig())
+        resumed = discover(
+            structured_relation, TaneConfig(checkpoint_dir=tmp_path, resume=True)
+        )
+        assert_identical_results(resumed, baseline)
+
+    def test_save_is_atomic_per_level(self, structured_relation, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        run_interrupted(structured_relation, tmp_path, level=3)
+        state = manager.load()
+        assert state is not None
+        assert state.level_number == 3
+        assert not state.complete
+        assert state.level, "a mid-run checkpoint carries the next level"

@@ -1,0 +1,76 @@
+"""Deterministic shared-memory cleanup on the error paths.
+
+A ``products`` stream owns a shared-memory block for the duration of
+the level.  Historically the block's release rode on the generator's
+``finally``, which for an *abandoned* generator only runs at garbage
+collection; now the driver closes the stream on its error paths and
+the executor tracks every shipped block so :meth:`close` releases
+stragglers immediately.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.tane import TaneConfig, discover
+from repro.parallel.executor import ProcessLevelExecutor
+from repro.partition.vectorized import CsrPartition, PartitionWorkspace
+from repro.testing import faults
+
+
+@pytest.fixture
+def executor():
+    executor = ProcessLevelExecutor(workers=1, retry_backoff_seconds=0.0)
+    yield executor
+    executor.close()
+
+
+def toy_inputs(num_rows=40):
+    codes_a = np.arange(num_rows, dtype=np.int64) % 4
+    codes_b = np.arange(num_rows, dtype=np.int64) % 5
+    partitions = {
+        1: CsrPartition.from_column(codes_a, num_rows),
+        2: CsrPartition.from_column(codes_b, num_rows),
+    }
+    triples = [(3, 1, 2)]
+    return partitions, triples, PartitionWorkspace(num_rows)
+
+
+def test_consumed_stream_releases_block(executor):
+    partitions, triples, workspace = toy_inputs()
+    list(executor.products(triples, partitions.__getitem__, workspace))
+    assert not executor._open_blocks
+
+
+def test_explicit_close_releases_block_immediately(executor):
+    partitions, triples, workspace = toy_inputs()
+    stream = executor.products(triples, partitions.__getitem__, workspace)
+    next(stream)
+    assert executor._open_blocks, "a live stream holds its block"
+    stream.close()
+    assert not executor._open_blocks
+
+
+def test_executor_close_releases_abandoned_stream(executor):
+    partitions, triples, workspace = toy_inputs()
+    stream = executor.products(triples, partitions.__getitem__, workspace)
+    next(stream)
+    assert executor._open_blocks
+    # Abandon the generator without closing it; the executor still
+    # tracks the block and close() must release it deterministically.
+    del stream
+    executor.close()
+    assert not executor._open_blocks
+
+
+def test_driver_closes_stream_when_consumption_raises(structured_relation, executor):
+    # A failure while the driver consumes products (the store's put
+    # path) unwinds `_generate_next_level` with the stream partially
+    # consumed; the driver's finally must close it, leaving no block
+    # behind even though the caller-owned executor stays open.
+    with faults.inject("tane.products.consume", RuntimeError("injected put failure")):
+        with pytest.raises(RuntimeError, match="injected put failure"):
+            discover(structured_relation, TaneConfig(executor=executor))
+    assert executor.usage.shm_bytes > 0, "a block was shipped before the fault"
+    assert not executor._open_blocks

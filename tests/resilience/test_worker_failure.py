@@ -1,0 +1,101 @@
+"""Worker-failure recovery in the process executor.
+
+Faults are armed through token files (:mod:`repro.testing.faults`),
+so they survive the fork into pool workers; the driver pid is guarded,
+so the executor's serial fallback re-runs the same chunks safely
+in-process.  Every scenario must end with results identical to the
+serial baseline — recovery may cost retries and respawns, never
+correctness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.tane import TaneConfig, discover
+from repro.parallel.executor import ProcessLevelExecutor
+from repro.testing import faults
+
+from .conftest import assert_identical_results
+
+# epsilon > 0 keeps validity tests partition-hungry enough that both
+# chunk kinds (products and validity) flow through the pool.
+EPSILON = 0.03
+
+
+@pytest.fixture(autouse=True)
+def disarm():
+    yield
+    faults.disarm_worker_faults()
+
+
+@pytest.fixture(scope="module")
+def baseline(structured_relation):
+    return discover(structured_relation, TaneConfig(epsilon=EPSILON))
+
+
+def test_worker_sigkill_recovers(structured_relation, baseline, tmp_path):
+    faults.arm_worker_faults(tmp_path, kills=1)
+    result = discover(structured_relation, TaneConfig(epsilon=EPSILON, workers=2))
+    assert not faults.pending_worker_faults(), "the kill fault should have fired"
+    assert_identical_results(result, baseline)
+    stats = result.statistics
+    assert stats.pool_respawns >= 1
+    assert not stats.executor_degraded
+
+
+def test_poisoned_worker_chunk_is_retried(structured_relation, baseline, tmp_path):
+    faults.arm_worker_faults(tmp_path, raises=2)
+    result = discover(structured_relation, TaneConfig(epsilon=EPSILON, workers=2))
+    assert not faults.pending_worker_faults()
+    assert_identical_results(result, baseline)
+    stats = result.statistics
+    assert stats.chunk_retries + stats.serial_chunk_fallbacks >= 1
+
+
+def test_repeated_kills_degrade_to_serial(structured_relation, baseline, tmp_path):
+    executor = ProcessLevelExecutor(
+        workers=2, max_pool_respawns=1, retry_backoff_seconds=0.01
+    )
+    try:
+        faults.arm_worker_faults(tmp_path, kills=4)
+        result = discover(
+            structured_relation, TaneConfig(epsilon=EPSILON, executor=executor)
+        )
+    finally:
+        faults.disarm_worker_faults()
+        executor.close()
+    assert_identical_results(result, baseline)
+    stats = result.statistics
+    assert stats.executor_degraded
+    assert stats.pool_respawns >= 1
+
+
+def test_chunk_retry_exhaustion_falls_back_to_serial(
+    structured_relation, baseline, tmp_path
+):
+    # More poisoned chunks than the retry budget: at least one chunk
+    # must be executed in the driver process instead.
+    executor = ProcessLevelExecutor(
+        workers=2, max_chunk_retries=0, retry_backoff_seconds=0.01
+    )
+    try:
+        faults.arm_worker_faults(tmp_path, raises=3)
+        result = discover(
+            structured_relation, TaneConfig(epsilon=EPSILON, executor=executor)
+        )
+    finally:
+        faults.disarm_worker_faults()
+        executor.close()
+    assert_identical_results(result, baseline)
+    assert result.statistics.serial_chunk_fallbacks >= 1
+
+
+def test_undisturbed_run_reports_no_recovery(structured_relation, baseline):
+    result = discover(structured_relation, TaneConfig(epsilon=EPSILON, workers=2))
+    assert_identical_results(result, baseline)
+    stats = result.statistics
+    assert stats.chunk_retries == 0
+    assert stats.pool_respawns == 0
+    assert stats.serial_chunk_fallbacks == 0
+    assert not stats.executor_degraded
