@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install check test test-fast trace-smoke fault-smoke bench bench-full examples clean
+.PHONY: install check test test-fast trace-smoke fault-smoke verify-smoke bench bench-full examples clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -14,6 +14,7 @@ check:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 	$(MAKE) trace-smoke
 	$(MAKE) fault-smoke
+	$(MAKE) verify-smoke
 
 # End-to-end observability smoke: record a trace (serial and parallel),
 # assert it is non-empty, and render the report from it.
@@ -36,6 +37,13 @@ fault-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.cli discover examples/data/orders.csv --checkpoint-dir /tmp/repro-ckpt --resume | sed 's/, [0-9.]*s>/>/' > /tmp/repro-ckpt-second.out
 	diff /tmp/repro-ckpt-first.out /tmp/repro-ckpt-second.out
 	rm -rf /tmp/repro-ckpt /tmp/repro-ckpt-first.out /tmp/repro-ckpt-second.out
+
+# Differential/metamorphic verification smoke: the harness's smoke-marked
+# end-to-end tests, then a real fuzz campaign over the serial matrix.
+# Mismatches write minimized repro cases to .verify-failures/.
+verify-smoke:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/verify -m smoke -q
+	PYTHONPATH=src $(PYTHON) -m repro.cli verify --seeds 25 --matrix smoke
 
 test:
 	$(PYTHON) -m pytest tests/

@@ -16,6 +16,12 @@ Subcommands
 ``trace-report``
     Render a ``--trace`` JSONL file as per-level phase timings, store
     I/O, and worker utilization.
+``verify``
+    Fuzz the configuration matrix: run seeded synthetic relations
+    through every executor/engine/store/checkpoint cell, diff the
+    results cell-by-cell and against independent oracles, apply
+    metamorphic transformations, and serialize shrunk repro cases for
+    any mismatch.
 """
 
 from __future__ import annotations
@@ -57,6 +63,11 @@ def build_parser() -> argparse.ArgumentParser:
                                  help="left-hand-side size limit |X|")
     discover_parser.add_argument("--store", choices=["memory", "disk"], default="memory",
                                  help="partition store: memory (TANE/MEM) or disk (TANE)")
+    discover_parser.add_argument("--engine", choices=["vectorized", "pure"],
+                                 default="vectorized",
+                                 help="partition engine: vectorized CSR arrays "
+                                      "(default) or the pure reference "
+                                      "implementation")
     discover_parser.add_argument("--workers", type=int, default=0,
                                  help="shard each lattice level across N worker "
                                       "processes (0 = serial)")
@@ -117,6 +128,30 @@ def build_parser() -> argparse.ArgumentParser:
              "store I/O, worker utilization",
     )
     trace_parser.add_argument("trace", help="JSONL trace written by 'discover --trace'")
+
+    verify_parser = subparsers.add_parser(
+        "verify",
+        help="fuzz the config matrix: differential + metamorphic + oracle "
+             "checks over seeded synthetic relations",
+    )
+    verify_parser.add_argument("--seeds", type=int, default=25,
+                               help="number of consecutive fuzz seeds (default 25)")
+    verify_parser.add_argument("--seed-base", type=int, default=0,
+                               help="first seed (shard campaigns by offsetting this)")
+    verify_parser.add_argument("--matrix", choices=["smoke", "full"], default="smoke",
+                               help="config-cell set: smoke (serial cells) or "
+                                    "full (adds process-executor cells)")
+    verify_parser.add_argument("--workers", type=int, default=2,
+                               help="pool size for the full matrix's process cells")
+    verify_parser.add_argument("--failure-dir", metavar="DIR", default=".verify-failures",
+                               help="directory for minimized failure cases "
+                                    "(default .verify-failures)")
+    verify_parser.add_argument("--no-metamorphic", action="store_true",
+                               help="skip the metamorphic layer (differential + "
+                                    "oracles only)")
+    verify_parser.add_argument("--replay", metavar="CASE", default=None,
+                               help="re-run a serialized failure case directory "
+                                    "instead of fuzzing")
     return parser
 
 
@@ -147,6 +182,7 @@ def _cmd_discover(args: argparse.Namespace) -> int:
         epsilon=args.epsilon,
         max_lhs_size=args.max_lhs,
         store=args.store,
+        engine=args.engine,
         measure=args.measure,
         workers=args.workers,
         tracer=tracer,
@@ -245,6 +281,41 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from repro.verify import format_fuzz_report, format_mismatch, fuzz, replay_case
+
+    with tempfile.TemporaryDirectory(prefix="repro-verify-") as workdir:
+        if args.replay is not None:
+            mismatches = replay_case(args.replay, workdir=workdir)
+            for mismatch in mismatches:
+                print(format_mismatch(mismatch))
+            if mismatches:
+                print(f"case still reproduces ({len(mismatches)} mismatches)")
+                return 1
+            print("case no longer reproduces")
+            return 0
+
+        def progress(seed, failure):
+            if failure is not None:
+                print(f"seed {seed}: MISMATCH [{failure.target.cell}] "
+                      f"{failure.target.dimension}", file=sys.stderr)
+
+        report = fuzz(
+            args.seeds,
+            matrix=args.matrix,
+            seed_base=args.seed_base,
+            workdir=workdir,
+            failure_dir=args.failure_dir,
+            workers=args.workers,
+            metamorphic=not args.no_metamorphic,
+            progress=progress,
+        )
+    print(format_fuzz_report(report))
+    return 0 if report.ok else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -256,6 +327,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "bench": _cmd_bench,
         "dataset": _cmd_dataset,
         "trace-report": _cmd_trace_report,
+        "verify": _cmd_verify,
     }[args.command]
     try:
         return handler(args)

@@ -51,12 +51,14 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
 from repro.parallel.executor import LevelExecutor, make_executor
 from repro.parallel.validity import ValidityCriteria, ValidityOutcome
+from repro.partition.pure import PurePartition
 from repro.partition.store import DiskPartitionStore, PartitionStore, make_store
 from repro.partition.vectorized import CsrPartition, PartitionWorkspace
 from repro.testing import faults
 
 _MEASURES = ("g3", "g1", "g2")
 _EXECUTORS = ("auto", "serial", "process")
+_ENGINES = ("vectorized", "pure")
 
 # Sentinel distinguishing "argument not supplied" from an explicit
 # value in the convenience wrappers, so they never clobber fields the
@@ -129,6 +131,17 @@ class TaneConfig:
     non-increasing under lhs growth, so the levelwise minimality logic
     applies unchanged; only ``g3`` has the O(1) bound short-circuit."""
 
+    engine: str = "vectorized"
+    """Partition engine: ``"vectorized"`` (the CSR array engine — the
+    default and the one every benchmark measures) or ``"pure"`` (the
+    probe-table algorithms transcribed from the paper, list-of-lists
+    storage).  Both produce identical dependencies, keys, and
+    deterministic counters — the differential verification harness
+    (:mod:`repro.verify`) diffs them cell-by-cell.  The pure engine is
+    a reference implementation: it requires the serial executor (pool
+    workers ship CSR buffers via shared memory) and the memory store
+    (the disk store spills CSR binary)."""
+
     partition_strategy: str = "pairwise"
     """How GENERATE-NEXT-LEVEL obtains partitions: ``pairwise`` (the
     paper's product of two previous-level partitions) or
@@ -193,6 +206,21 @@ class TaneConfig:
                 f"unknown partition_strategy {self.partition_strategy!r}; "
                 "use 'pairwise' or 'from_singletons'"
             )
+        if self.engine not in _ENGINES:
+            raise ConfigurationError(
+                f"unknown engine {self.engine!r}; use one of {_ENGINES}"
+            )
+        if self.engine == "pure":
+            if self.executor == "process" or self.workers > 1:
+                raise ConfigurationError(
+                    "engine='pure' runs serially: the process executor ships "
+                    "CSR buffers via shared memory"
+                )
+            if self.store == "disk":
+                raise ConfigurationError(
+                    "engine='pure' requires the memory store: the disk store "
+                    "spills CSR binary"
+                )
         if isinstance(self.executor, str) and self.executor not in _EXECUTORS:
             raise ConfigurationError(
                 f"unknown executor {self.executor!r}; use one of {_EXECUTORS} "
@@ -298,6 +326,7 @@ class _TaneRun:
             self._owns_store = False
         self.executor = make_executor(config.executor, config.workers)
         self._owns_executor = not isinstance(config.executor, LevelExecutor)
+        self.partition_cls = CsrPartition if config.engine == "vectorized" else PurePartition
         self.workspace = PartitionWorkspace(self.num_rows)
         self.criteria = ValidityCriteria(
             epsilon=config.epsilon,
@@ -392,10 +421,10 @@ class _TaneRun:
             else min(self.num_attributes, self.config.max_lhs_size + 1)
         )
         # π_∅ is needed to test the level-1 dependencies ∅ -> A.
-        self.store.put(0, CsrPartition.single_class(self.num_rows))
+        self.store.put(0, self.partition_cls.single_class(self.num_rows))
         level = [_bitset.bit(i) for i in range(self.num_attributes)]
         self._singleton_partitions = [
-            CsrPartition.from_column(self.relation.column_codes(i), self.num_rows)
+            self.partition_cls.from_column(self.relation.column_codes(i), self.num_rows)
             for i in range(self.num_attributes)
         ]
         for i, partition in enumerate(self._singleton_partitions):
@@ -625,7 +654,9 @@ class _TaneRun:
         position = 0
         for mask, pairs in groups:
             for rhs_index, lhs_mask in pairs:
-                outcome = outcomes[position]
+                # Silent-corruption fault point: repro.verify's own tests
+                # arm it to prove the harness catches a lying engine.
+                outcome = faults.mutate("tane.validity.outcome", outcomes[position])
                 position += 1
                 self._c_tests.inc()
                 self._record_test_counters(outcome)
@@ -812,7 +843,7 @@ class _TaneRun:
                 close()
         return next_level
 
-    def _product_from_singletons(self, candidate: int, *, count: bool = True) -> CsrPartition:
+    def _product_from_singletons(self, candidate: int, *, count: bool = True):
         """Recompute ``π_candidate`` from the single-attribute partitions.
 
         This is the paper's model of Schlimmer's decision-tree

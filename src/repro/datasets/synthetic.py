@@ -34,6 +34,8 @@ __all__ = [
     "correlated_relation",
     "planted_fd_relation",
     "constant_relation",
+    "DEGENERATE_KINDS",
+    "degenerate_relation",
 ]
 
 
@@ -181,3 +183,34 @@ def constant_relation(num_rows: int, num_columns: int) -> Relation:
     """Every column constant: all ``∅ -> A`` dependencies hold."""
     columns = [np.zeros(num_rows, dtype=np.int64) for _ in range(num_columns)]
     return Relation.from_codes(columns, _names(num_columns))
+
+
+DEGENERATE_KINDS = ("empty", "single-row", "single-column", "constant")
+"""The shapes :func:`degenerate_relation` can produce."""
+
+
+def degenerate_relation(
+    kind: str,
+    num_rows: int = 10,
+    num_columns: int = 3,
+    domain_size: int = 4,
+    seed: int = 0,
+) -> Relation:
+    """One of the degenerate shapes partition code gets wrong first.
+
+    ``kind`` selects the shape: ``"empty"`` (zero rows), ``"single-row"``
+    (one row), ``"single-column"`` (one attribute), or ``"constant"``
+    (every column one value).  The non-degenerate dimensions come from
+    :func:`random_relation` / :func:`constant_relation`, so the same
+    seed reproduces the same relation.  Used by the verification
+    harness's fuzz generator pool and the degenerate-oracle tests.
+    """
+    if kind == "empty":
+        return random_relation(0, num_columns, domain_size, seed=seed)
+    if kind == "single-row":
+        return random_relation(1, num_columns, domain_size, seed=seed)
+    if kind == "single-column":
+        return random_relation(num_rows, 1, domain_size, seed=seed)
+    if kind == "constant":
+        return constant_relation(num_rows, num_columns)
+    raise ValueError(f"unknown degenerate kind {kind!r}; use one of {DEGENERATE_KINDS}")

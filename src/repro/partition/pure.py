@@ -79,7 +79,7 @@ class PurePartition(PartitionBase):
         for c in self._classes:
             yield tuple(c)
 
-    def product(self, other: "PartitionBase") -> "PurePartition":
+    def product(self, other: "PartitionBase", workspace=None) -> "PurePartition":
         """``STRIPPED_PRODUCT`` from the extended version of the paper.
 
         A probe table ``T`` maps each row covered by a class of
@@ -88,6 +88,11 @@ class PurePartition(PartitionBase):
         into buckets ``S[i]``; buckets of size >= 2 become classes of
         the product.  The table is reset between classes so the whole
         procedure is ``O(||π̂'|| + ||π̂''||)``.
+
+        ``workspace`` is accepted (and ignored) for signature
+        compatibility with :class:`~repro.partition.vectorized.CsrPartition`,
+        so the TANE driver can run either engine through the same
+        serial executor path (``TaneConfig(engine="pure")``).
         """
         if not isinstance(other, PurePartition):
             raise TypeError("PurePartition can only be multiplied with PurePartition")
@@ -113,14 +118,15 @@ class PurePartition(PartitionBase):
                 buckets[index] = []
         return PurePartition(result, self._num_rows)
 
-    def g3_error_count(self, refined: "PartitionBase") -> int:
+    def g3_error_count(self, refined: "PartitionBase", workspace=None) -> int:
         """Number of rows to remove for the tested dependency to hold.
 
         ``self`` is ``π_X`` and ``refined`` is ``π_{X∪{A}}``.  For each
         class ``c`` of ``π_X``, all rows except those of its largest
         sub-class in ``π_{X∪{A}}`` must go (Section 2 of the paper);
         sub-classes stripped from ``refined`` are singletons, hence the
-        default size 1.
+        default size 1.  ``workspace`` is accepted (and ignored) for
+        signature compatibility with the vectorized engine.
         """
         if not isinstance(refined, PurePartition):
             raise TypeError("PurePartition can only be compared with PurePartition")
@@ -139,6 +145,11 @@ class PurePartition(PartitionBase):
                     largest = size
             removed += len(cls_rows) - largest
         return removed
+
+    def nbytes(self) -> int:
+        """Approximate payload size (8 bytes per stored row id), for the
+        partition stores' resident-byte accounting."""
+        return 8 * self.stripped_size
 
     # ------------------------------------------------------------------
     # Extras used by tests

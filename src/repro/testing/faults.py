@@ -10,6 +10,15 @@ is reached.  Production code marks its crash-prone points with
 :func:`check`; when nothing is armed the call is a single falsy-dict
 test, so the hooks are free in normal runs.
 
+**Result corruption** — :func:`inject_mutation` arms a *mutation
+point* (``"tane.validity.outcome"``) with a transform applied to the
+value flowing through :func:`mutate`.  Where :func:`check` models a
+component that *crashes*, :func:`mutate` models one that *silently
+computes the wrong answer* — the failure mode the differential
+verification harness (:mod:`repro.verify`) exists to catch, and the
+one its own tests use to prove the harness detects, shrinks, and
+serializes real engine bugs.
+
 **Cross-process worker faults** — pool workers are separate processes,
 so arming must survive the fork.  :func:`arm_worker_faults` drops
 *token files* into a directory and exports its path (plus the driver's
@@ -40,6 +49,8 @@ __all__ = [
     "WorkerFaultError",
     "check",
     "inject",
+    "mutate",
+    "inject_mutation",
     "armed_points",
     "arm_worker_faults",
     "disarm_worker_faults",
@@ -128,6 +139,60 @@ def inject(
 def armed_points() -> dict[str, int]:
     """Remaining fire counts per armed point (diagnostics in tests)."""
     return {point: armed.remaining for point, armed in _PLAN.items() if armed.remaining > 0}
+
+
+class _ArmedMutator:
+    """One armed result-corrupting mutation point."""
+
+    __slots__ = ("remaining", "transform")
+
+    def __init__(self, remaining: int, transform: Callable[[object], object]) -> None:
+        self.remaining = remaining
+        self.transform = transform
+
+
+_MUTATIONS: dict[str, _ArmedMutator] = {}
+
+
+def mutate(point: str, value):
+    """Pass ``value`` through the mutation armed at ``point``, if any.
+
+    The production hook for *silent-corruption* faults: values flow
+    through unchanged (one falsy-dict test) unless a test armed the
+    point with :func:`inject_mutation`, in which case the armed
+    transform rewrites the value for its next ``times`` passages.
+    """
+    if not _MUTATIONS:
+        return value
+    armed = _MUTATIONS.get(point)
+    if armed is None or armed.remaining <= 0:
+        return value
+    armed.remaining -= 1
+    return armed.transform(value)
+
+
+@contextmanager
+def inject_mutation(
+    point: str,
+    transform: Callable[[object], object],
+    *,
+    times: int = 1,
+) -> Iterator[None]:
+    """Arm ``point`` to corrupt the next ``times`` values it sees.
+
+    ``transform`` receives the value passed to :func:`mutate` and
+    returns its corrupted replacement — e.g. flipping a validity
+    outcome to fake a buggy engine.  Always disarms on exit.
+    """
+    previous = _MUTATIONS.get(point)
+    _MUTATIONS[point] = _ArmedMutator(times, transform)
+    try:
+        yield
+    finally:
+        if previous is None:
+            _MUTATIONS.pop(point, None)
+        else:
+            _MUTATIONS[point] = previous
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,80 @@
+"""Hypothesis strategies for property-based tests.
+
+Promoted out of the test tree so every suite — the repo's own property
+tests, the verification harness's tests, and downstream users writing
+their own — draws relations from one vetted pool instead of ad-hoc
+copies.  Importing this module requires `hypothesis
+<https://hypothesis.readthedocs.io>`_ (a test-only dependency);
+:mod:`repro.testing` deliberately does not import it eagerly, so the
+production fault hooks in :mod:`repro.testing.faults` stay
+dependency-free.
+
+The defaults are tuned for dependency discovery: relations small
+enough that the exhaustive bruteforce oracle stays cheap, domains
+small enough that equalities (and hence dependencies) actually occur.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.model.relation import Relation
+
+__all__ = ["relations", "code_columns"]
+
+
+def relations(
+    min_rows: int = 0,
+    max_rows: int = 30,
+    min_columns: int = 1,
+    max_columns: int = 5,
+    max_domain: int = 4,
+) -> "st.SearchStrategy[Relation]":
+    """Strategy generating small random relations.
+
+    Shapes are drawn first (rows × columns within the given bounds),
+    then one integer code per cell from ``[0, max_domain)``; shrinking
+    therefore reduces shape before values, which is what makes failing
+    relations minimize well.
+    """
+
+    def build(data: tuple[int, int, list[int]]) -> Relation:
+        num_rows, num_columns, values = data
+        columns = [
+            np.asarray(values[c * num_rows:(c + 1) * num_rows], dtype=np.int64)
+            for c in range(num_columns)
+        ]
+        return Relation.from_codes(columns, [f"c{i}" for i in range(num_columns)])
+
+    def shapes(pair: tuple[int, int]) -> "st.SearchStrategy[tuple[int, int, list[int]]]":
+        num_rows, num_columns = pair
+        return st.tuples(
+            st.just(num_rows),
+            st.just(num_columns),
+            st.lists(
+                st.integers(min_value=0, max_value=max_domain - 1),
+                min_size=num_rows * num_columns,
+                max_size=num_rows * num_columns,
+            ),
+        )
+
+    return (
+        st.tuples(
+            st.integers(min_value=min_rows, max_value=max_rows),
+            st.integers(min_value=min_columns, max_value=max_columns),
+        )
+        .flatmap(shapes)
+        .map(build)
+    )
+
+
+def code_columns(
+    min_rows: int = 0, max_rows: int = 40, max_domain: int = 5
+) -> "st.SearchStrategy[list[int]]":
+    """Strategy for one integer-coded column (for partition tests)."""
+    return st.lists(
+        st.integers(min_value=0, max_value=max_domain - 1),
+        min_size=min_rows,
+        max_size=max_rows,
+    )

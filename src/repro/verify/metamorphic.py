@@ -1,0 +1,212 @@
+"""Metamorphic checks: transformations with provable result relations.
+
+Differential testing catches configurations disagreeing with each
+other; it cannot catch a bug shared by every configuration *and* both
+oracles' blind spots.  Metamorphic testing attacks from a third angle:
+transform the *input* in a way whose effect on the *output* is known
+exactly, and check the relation holds.
+
+Five transformations, each with its invariant (and proof sketch):
+
+* **Row shuffle** — partitions are sets of row-index sets, so every
+  class, every product, every error, every counter is invariant.  The
+  full signature must match.
+* **Row duplication ×k** — every equivalence class scales by exactly
+  ``k``, so every error fraction is preserved *as an IEEE double*
+  (``(k·c)/(k·n)`` and ``c/n`` round the same real number) and the
+  minimal cover is byte-identical.  Keys are destroyed (no row is
+  unique any more) and the search's counters legitimately change, so
+  only cover and errors are compared.
+* **Column permutation** — the lattice is generated set-wise, so the
+  search is isomorphic under attribute renaming: cover, errors, and
+  keys must match *after mapping indices back through the
+  permutation*, and the deterministic counters must match directly.
+* **Row deletion** — the ``g3`` *removal count* (not the fraction!) of
+  any fixed dependency is monotone non-increasing: deleting rows can
+  only shrink the set of rows that must go.  Checked for every
+  dependency of the original cover with counts recomputed from first
+  principles via the pure partition engine.
+* **Planted-dependency recovery** — a relation constructed around
+  known dependencies
+  (:func:`~repro.datasets.synthetic.planted_fd_relation`) must yield a
+  cover in which every planted dependency is entailed by some minimal
+  discovered one (same rhs, lhs a subset of the planted lhs).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro import _bitset
+from repro.datasets.synthetic import planted_fd_relation
+from repro.model.relation import Relation
+from repro.partition.pure import PurePartition
+from repro.verify.matrix import REFERENCE_CELL
+from repro.verify.runner import Mismatch, RunSignature, Scenario, run_cell
+
+__all__ = [
+    "shuffle_rows",
+    "duplicate_rows",
+    "permute_columns",
+    "delete_rows",
+    "run_metamorphic",
+    "check_planted_recovery",
+]
+
+_FULL = frozenset({"fds", "errors", "keys", "counters"})
+_COVER = frozenset({"fds", "errors"})
+
+
+def shuffle_rows(relation: Relation, seed: int) -> Relation:
+    """Reorder the rows of ``relation`` by a seeded permutation."""
+    order = np.random.default_rng(seed).permutation(relation.num_rows)
+    return relation.take(order)
+
+
+def duplicate_rows(relation: Relation, k: int) -> Relation:
+    """Repeat every row of ``relation`` ``k`` times."""
+    return relation.take(np.repeat(np.arange(relation.num_rows), k))
+
+
+def permute_columns(relation: Relation, seed: int) -> tuple[Relation, list[int]]:
+    """Reorder the columns by a seeded permutation.
+
+    Returns the permuted relation and the permutation ``perm`` such
+    that attribute ``i`` of the result is attribute ``perm[i]`` of the
+    input — exactly what :func:`_unpermute_mask` needs to map result
+    bitmasks back to the original attribute numbering.
+    """
+    perm = [int(i) for i in np.random.default_rng(seed).permutation(relation.num_attributes)]
+    return relation.project(perm), perm
+
+
+def delete_rows(relation: Relation, seed: int, fraction: float = 0.3) -> Relation:
+    """Drop a seeded random ``fraction`` of the rows (order preserved)."""
+    rng = np.random.default_rng(seed)
+    keep = rng.random(relation.num_rows) >= fraction
+    return relation.take(np.flatnonzero(keep))
+
+
+def _unpermute_mask(mask: int, perm: list[int]) -> int:
+    """Map an attribute bitmask of a column-permuted relation back to
+    the original relation's attribute numbering."""
+    return _bitset.from_indices(perm[i] for i in _bitset.iter_bits(mask))
+
+
+def _unpermute_signature(signature: RunSignature, perm: list[int]) -> RunSignature:
+    """Rewrite a permuted run's signature in original attribute numbers."""
+    return RunSignature(
+        fds=tuple(sorted(
+            (_unpermute_mask(lhs, perm), perm[rhs]) for lhs, rhs in signature.fds
+        )),
+        errors=tuple(sorted(
+            (_unpermute_mask(lhs, perm), perm[rhs], error)
+            for lhs, rhs, error in signature.errors
+        )),
+        keys=tuple(sorted(_unpermute_mask(key, perm) for key in signature.keys)),
+        counters=signature.counters,
+    )
+
+
+def _g3_removal_count(relation: Relation, lhs_mask: int, rhs: int) -> int:
+    """``g3`` removal *count* of ``X -> A``, recomputed from first
+    principles with the pure partition engine."""
+    n = relation.num_rows
+    if n == 0:
+        return 0
+    pi = PurePartition.single_class(n)
+    for index in _bitset.iter_bits(lhs_mask):
+        pi = pi.product(PurePartition.from_column(relation.column_codes(index), n))
+    refined = pi.product(PurePartition.from_column(relation.column_codes(rhs), n))
+    return pi.g3_error_count(refined)
+
+
+def run_metamorphic(
+    relation: Relation,
+    scenario: Scenario,
+    *,
+    seed: int,
+    workdir: str | Path,
+    reference: RunSignature | None = None,
+) -> list[Mismatch]:
+    """Run all four transformation checks on one relation.
+
+    ``reference`` is the original relation's reference-cell signature;
+    passing it saves a run when the differential layer already computed
+    it.  Every transformed relation is executed under the reference
+    cell only — the transformed runs exist to test the invariants, not
+    to re-test the matrix.
+    """
+    if reference is None:
+        reference = run_cell(relation, scenario, REFERENCE_CELL, workdir=workdir).signature
+    found: list[Mismatch] = []
+
+    shuffled = run_cell(
+        relation=shuffle_rows(relation, seed),
+        scenario=scenario, cell=REFERENCE_CELL, workdir=workdir,
+    ).signature
+    found.extend(reference.diff(shuffled, _FULL, "metamorphic:shuffle"))
+
+    duplicated = run_cell(
+        relation=duplicate_rows(relation, 2),
+        scenario=scenario, cell=REFERENCE_CELL, workdir=workdir,
+    ).signature
+    found.extend(reference.diff(duplicated, _COVER, "metamorphic:duplicate"))
+
+    permuted_relation, perm = permute_columns(relation, seed)
+    permuted = run_cell(
+        relation=permuted_relation,
+        scenario=scenario, cell=REFERENCE_CELL, workdir=workdir,
+    ).signature
+    found.extend(
+        reference.diff(_unpermute_signature(permuted, perm), _FULL, "metamorphic:permute")
+    )
+
+    reduced = delete_rows(relation, seed)
+    for lhs, rhs in reference.fds:
+        full_count = _g3_removal_count(relation, lhs, rhs)
+        sub_count = _g3_removal_count(reduced, lhs, rhs)
+        if sub_count > full_count:
+            found.append(Mismatch(
+                "metamorphic:delete", "errors",
+                f"g3 removal count of ({lhs:#x} -> {rhs}) grew from "
+                f"{full_count} to {sub_count} after deleting rows",
+            ))
+    return found
+
+
+def check_planted_recovery(
+    seed: int,
+    *,
+    num_rows: int = 40,
+    determinant_columns: int = 2,
+    dependent_columns: int = 2,
+    workdir: str | Path,
+) -> list[Mismatch]:
+    """Plant known dependencies, rediscover, and demand entailment.
+
+    The planted dependencies hold by construction, so the exact minimal
+    cover must entail each of them: some discovered dependency with the
+    same rhs and a lhs contained in the planted lhs.
+    """
+    relation, planted = planted_fd_relation(
+        num_rows, determinant_columns, dependent_columns, seed=seed
+    )
+    signature = run_cell(
+        relation, Scenario(epsilon=0.0), REFERENCE_CELL, workdir=workdir
+    ).signature
+    found: list[Mismatch] = []
+    for fd in planted:
+        entailed = any(
+            rhs == fd.rhs and _bitset.is_subset(lhs, fd.lhs)
+            for lhs, rhs in signature.fds
+        )
+        if not entailed:
+            found.append(Mismatch(
+                "metamorphic:planted", "fds",
+                f"planted dependency ({fd.lhs:#x} -> {fd.rhs}) not entailed "
+                f"by the discovered cover {list(signature.fds)!r}",
+            ))
+    return found

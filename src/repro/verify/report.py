@@ -1,0 +1,103 @@
+"""Human-readable rendering of verification outcomes.
+
+The differential layer produces structured
+:class:`~repro.verify.runner.Mismatch` values; this module turns them
+into the text the CLI prints.  When the matrix included traced cells
+(a :class:`~repro.obs.trace.Tracer` with an in-memory sink attached),
+a mismatching verification appends a per-level trace digest — which
+level did how much work, phase by phase — so a counter mismatch can be
+localized to the level that diverged without re-running anything.
+"""
+
+from __future__ import annotations
+
+from repro.obs.sinks import InMemorySink
+from repro.verify.fuzz import FuzzReport
+from repro.verify.runner import VerificationReport
+
+__all__ = [
+    "format_mismatch",
+    "format_trace_digest",
+    "format_report",
+    "format_fuzz_report",
+]
+
+
+def format_mismatch(mismatch) -> str:
+    """One mismatch as a single report line."""
+    return f"  MISMATCH [{mismatch.cell}] {mismatch.dimension}: {mismatch.detail}"
+
+
+def _sink_spans(tracer):
+    """The spans collected by the tracer's first in-memory sink."""
+    for sink in getattr(tracer, "sinks", ()):
+        if isinstance(sink, InMemorySink):
+            return sink.spans
+    return []
+
+
+def format_trace_digest(tracer, *, max_levels: int = 12) -> list[str]:
+    """Per-level work digest of a traced run, one line per level.
+
+    Renders each ``level`` span with its duration and attributes, plus
+    the durations of its three phase child spans — enough to see which
+    level a diverging counter came from.
+    """
+    spans = _sink_spans(tracer)
+    lines: list[str] = []
+    levels = [s for s in spans if s.name == "level"]
+    for span in levels[:max_levels]:
+        phases = ", ".join(
+            f"{child.name} {child.duration * 1e3:.1f}ms"
+            for child in spans
+            if child.parent_id == span.span_id and child.name != "level"
+        )
+        attrs = ", ".join(f"{k}={v}" for k, v in sorted(span.attributes.items()))
+        lines.append(
+            f"    level span: {attrs} ({span.duration * 1e3:.1f}ms; {phases})"
+        )
+    if len(levels) > max_levels:
+        lines.append(f"    ... {len(levels) - max_levels} more levels")
+    other = len(spans) - len(levels)
+    if other:
+        lines.append(f"    ({other} non-level spans collected)")
+    return lines
+
+
+def format_report(report: VerificationReport, *, label: str = "") -> str:
+    """Render one :class:`VerificationReport` as multi-line text.
+
+    Clean reports render a single OK line; mismatching ones list every
+    mismatch and, when traced cells ran, the trace digest of each
+    traced cell so the divergence can be localized per level.
+    """
+    scenario = report.scenario
+    head = (
+        f"{label + ': ' if label else ''}"
+        f"epsilon={scenario.epsilon} measure={scenario.measure} "
+        f"max_lhs={scenario.max_lhs_size} cells={len(report.cell_names)}"
+    )
+    if report.ok:
+        return f"OK    {head}"
+    lines = [f"FAIL  {head}"]
+    lines.extend(format_mismatch(m) for m in report.mismatches)
+    for cell_name, tracer in report.traces.items():
+        lines.append(f"  trace digest of cell {cell_name!r}:")
+        lines.extend(format_trace_digest(tracer))
+    return "\n".join(lines)
+
+
+def format_fuzz_report(report: FuzzReport) -> str:
+    """Render a whole fuzz campaign: per-failure detail plus a tally."""
+    lines: list[str] = []
+    for failure in report.failures:
+        lines.append(
+            f"FAIL  seed={failure.seed} generator={failure.generator} "
+            f"target=[{failure.target.cell}] {failure.target.dimension}"
+        )
+        lines.extend(format_mismatch(m) for m in failure.mismatches)
+        if failure.case_dir is not None:
+            lines.append(f"  minimized case: {failure.case_dir}")
+    verdict = "clean" if report.ok else f"{len(report.failures)} failing"
+    lines.append(f"{len(report.seeds)} seeds verified: {verdict}")
+    return "\n".join(lines)

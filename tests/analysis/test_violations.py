@@ -12,7 +12,7 @@ from repro.analysis.violations import (
 from repro.baselines.bruteforce import dependency_g3, dependency_holds
 from repro.model.fd import FunctionalDependency
 from repro.model.relation import Relation
-from tests.conftest import relations
+from repro.testing.strategies import relations
 
 
 @pytest.fixture

@@ -7,7 +7,7 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.assoc.rules import mine_association_rules
-from tests.conftest import relations
+from repro.testing.strategies import relations
 
 RELATIONS = relations(min_rows=0, max_rows=25, max_columns=3, max_domain=3)
 SLOW = settings(max_examples=50, deadline=None, suppress_health_check=[HealthCheck.too_slow])

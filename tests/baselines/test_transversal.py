@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 from repro import _bitset
 from repro.baselines.bruteforce import discover_fds_bruteforce
 from repro.baselines.transversal import discover_fds_transversal, minimal_hitting_sets
-from tests.conftest import relations
+from repro.testing.strategies import relations
 
 SLOW = settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
 

@@ -1,12 +1,26 @@
-"""Shared fixtures and hypothesis strategies for the test suite."""
+"""Shared fixtures, strategy re-exports, and collection hooks.
+
+The hypothesis strategies live in :mod:`repro.testing.strategies`
+(promoted out of this file so the library ships them); the re-exports
+here keep ``from tests.conftest import relations`` / plain
+``conftest.relations`` imports working across the suite.
+
+The collection hook auto-skips ``multicore``-marked tests on single-CPU
+hosts — those tests assert *genuine* multi-process behaviour (worker
+parity, worker-failure recovery) that a one-core box cannot exhibit.
+Set ``REPRO_FORCE_MULTICORE=1`` to run them anyway.
+"""
 
 from __future__ import annotations
 
-import numpy as np
+import os
+
 import pytest
-from hypothesis import strategies as st
 
 from repro.model.relation import Relation
+from repro.testing.strategies import code_columns, relations
+
+__all__ = ["relations", "code_columns", "figure1_relation"]
 
 
 @pytest.fixture
@@ -25,51 +39,16 @@ def figure1_relation() -> Relation:
     return Relation.from_rows(rows, ["A", "B", "C", "D"])
 
 
-def relations(
-    min_rows: int = 0,
-    max_rows: int = 30,
-    min_columns: int = 1,
-    max_columns: int = 5,
-    max_domain: int = 4,
-) -> st.SearchStrategy[Relation]:
-    """Hypothesis strategy generating small random relations."""
-
-    def build(data: tuple[int, int, list[int]]) -> Relation:
-        num_rows, num_columns, values = data
-        columns = [
-            np.asarray(values[c * num_rows:(c + 1) * num_rows], dtype=np.int64)
-            for c in range(num_columns)
-        ]
-        return Relation.from_codes(columns, [f"c{i}" for i in range(num_columns)])
-
-    def shapes(pair: tuple[int, int]) -> st.SearchStrategy[tuple[int, int, list[int]]]:
-        num_rows, num_columns = pair
-        return st.tuples(
-            st.just(num_rows),
-            st.just(num_columns),
-            st.lists(
-                st.integers(min_value=0, max_value=max_domain - 1),
-                min_size=num_rows * num_columns,
-                max_size=num_rows * num_columns,
-            ),
-        )
-
-    return (
-        st.tuples(
-            st.integers(min_value=min_rows, max_value=max_rows),
-            st.integers(min_value=min_columns, max_value=max_columns),
-        )
-        .flatmap(shapes)
-        .map(build)
+def pytest_collection_modifyitems(config, items):
+    """Skip ``multicore`` tests when the host has a single CPU."""
+    if os.environ.get("REPRO_FORCE_MULTICORE") == "1":
+        return
+    cpus = os.cpu_count() or 1
+    if cpus >= 2:
+        return
+    skip = pytest.mark.skip(
+        reason=f"needs >= 2 CPUs, host has {cpus} (set REPRO_FORCE_MULTICORE=1 to force)"
     )
-
-
-def code_columns(
-    min_rows: int = 0, max_rows: int = 40, max_domain: int = 5
-) -> st.SearchStrategy[list[int]]:
-    """Strategy for one integer-coded column (for partition tests)."""
-    return st.lists(
-        st.integers(min_value=0, max_value=max_domain - 1),
-        min_size=min_rows,
-        max_size=max_rows,
-    )
+    for item in items:
+        if "multicore" in item.keywords:
+            item.add_marker(skip)

@@ -13,7 +13,7 @@ from repro.baselines.bruteforce import (
 from repro.core.tane import TaneConfig, discover
 from repro.exceptions import ConfigurationError
 from repro.model.relation import Relation
-from tests.conftest import relations
+from repro.testing.strategies import relations
 
 RELATIONS = relations(max_rows=18, max_columns=4, max_domain=3)
 SLOW = settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])

@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 from repro import _bitset
 from repro.baselines.bruteforce import dependency_error, dependency_g3
 from repro.core.tane import TaneConfig, discover
-from tests.conftest import relations
+from repro.testing.strategies import relations
 
 RELATIONS = relations(max_rows=18, max_columns=4, max_domain=3)
 SLOW = settings(max_examples=50, deadline=None, suppress_health_check=[HealthCheck.too_slow])

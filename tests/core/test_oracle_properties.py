@@ -13,7 +13,7 @@ from repro.baselines.bruteforce import discover_fds_bruteforce
 from repro.baselines.fdep import discover_fds_fdep
 from repro.core.tane import TaneConfig, discover
 from repro.theory.closure import attribute_closure
-from tests.conftest import relations
+from repro.testing.strategies import relations
 
 RELATIONS = relations(max_rows=20, max_columns=4, max_domain=3)
 SLOW = settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])

@@ -11,7 +11,7 @@ from repro.core.tane import discover_fds
 from repro.core.uccs import discover_uccs
 from repro.exceptions import ConfigurationError
 from repro.model.relation import Relation
-from tests.conftest import relations
+from repro.testing.strategies import relations
 
 
 def bruteforce_uccs(relation, epsilon=0.0, max_size=None):

@@ -13,6 +13,8 @@ from repro.core.tane import TaneConfig, discover
 from repro.model.relation import Relation
 from repro.parallel.executor import ProcessLevelExecutor
 
+pytestmark = pytest.mark.multicore
+
 
 @pytest.fixture(scope="module")
 def pool_executor():

@@ -9,7 +9,7 @@ from hypothesis import strategies as st
 
 from repro.partition.pure import PurePartition
 from repro.partition.vectorized import CsrPartition
-from tests.conftest import code_columns
+from repro.testing.strategies import code_columns
 
 
 def pair_of_columns(max_rows: int = 40):

@@ -18,6 +18,8 @@ from repro.testing import faults
 
 from .conftest import assert_identical_results
 
+pytestmark = pytest.mark.multicore
+
 # epsilon > 0 keeps validity tests partition-hungry enough that both
 # chunk kinds (products and validity) flow through the pool.
 EPSILON = 0.03

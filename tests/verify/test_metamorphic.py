@@ -1,0 +1,123 @@
+"""The metamorphic layer: transformations and their invariants.
+
+Each transformation is checked structurally (it does what it claims to
+the relation), the invariants are checked clean on structured and
+property-generated relations, and a deliberately corrupted engine is
+shown to be caught by the transformation diffs.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.datasets.synthetic import correlated_relation, planted_fd_relation, random_relation
+from repro.testing import faults
+from repro.testing.strategies import relations
+from repro.verify.matrix import REFERENCE_CELL
+from repro.verify.metamorphic import (
+    check_planted_recovery,
+    delete_rows,
+    duplicate_rows,
+    permute_columns,
+    run_metamorphic,
+    shuffle_rows,
+)
+from repro.verify.runner import Scenario, run_cell
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return correlated_relation(50, 4, num_factors=2, noise=0.1, seed=9)
+
+
+class TestTransformations:
+    def test_shuffle_preserves_row_multiset(self, relation):
+        shuffled = shuffle_rows(relation, seed=1)
+        assert sorted(shuffled.iter_rows()) == sorted(relation.iter_rows())
+        assert shuffled.num_rows == relation.num_rows
+
+    def test_duplicate_multiplies_rows(self, relation):
+        doubled = duplicate_rows(relation, 3)
+        assert doubled.num_rows == 3 * relation.num_rows
+        assert sorted(set(doubled.iter_rows())) == sorted(set(relation.iter_rows()))
+
+    def test_permute_columns_returns_consistent_permutation(self, relation):
+        permuted, perm = permute_columns(relation, seed=2)
+        assert sorted(perm) == list(range(relation.num_attributes))
+        for new_index, old_index in enumerate(perm):
+            assert list(permuted.column_codes(new_index)) == list(
+                relation.column_codes(old_index)
+            )
+
+    def test_delete_rows_is_a_subsequence(self, relation):
+        reduced = delete_rows(relation, seed=3)
+        assert reduced.num_rows < relation.num_rows
+        original = list(relation.iter_rows())
+        position = 0
+        for row in reduced.iter_rows():
+            position = original.index(row, position) + 1
+
+    def test_transformations_handle_empty_relation(self):
+        empty = random_relation(0, 3, 4, seed=0)
+        assert shuffle_rows(empty, 1).num_rows == 0
+        assert duplicate_rows(empty, 2).num_rows == 0
+        assert delete_rows(empty, 1).num_rows == 0
+        permuted, _ = permute_columns(empty, 1)
+        assert permuted.num_attributes == 3
+
+
+class TestInvariants:
+    @pytest.mark.smoke
+    @pytest.mark.parametrize("epsilon,measure", [(0.0, "g3"), (0.1, "g3"), (0.1, "g1")])
+    def test_clean_on_structured_relation(self, relation, tmp_path, epsilon, measure):
+        found = run_metamorphic(
+            relation, Scenario(epsilon=epsilon, measure=measure),
+            seed=11, workdir=tmp_path,
+        )
+        assert found == []
+
+    def test_clean_on_planted_relation(self, tmp_path):
+        planted, _ = planted_fd_relation(40, 2, 2, seed=4)
+        assert run_metamorphic(planted, Scenario(), seed=4, workdir=tmp_path) == []
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow,
+                                     HealthCheck.function_scoped_fixture])
+    @given(relation=relations(max_rows=15, max_columns=4, max_domain=3))
+    def test_clean_on_generated_relations(self, relation, tmp_path):
+        assert run_metamorphic(relation, Scenario(), seed=5, workdir=tmp_path) == []
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_planted_recovery(self, seed, tmp_path):
+        assert check_planted_recovery(seed, workdir=tmp_path) == []
+
+
+class TestDetection:
+    def test_transform_diffs_catch_corrupted_engine(self, relation, tmp_path):
+        """A clean reference vs. corrupted transformed runs must mismatch."""
+        clean = run_cell(relation, Scenario(), REFERENCE_CELL, workdir=tmp_path).signature
+        assert clean.fds, "fixture relation must have dependencies"
+
+        def corrupt(outcome):
+            if outcome.valid:
+                return outcome._replace(valid=False, exactly_valid=False)
+            return outcome
+
+        with faults.inject_mutation("tane.validity.outcome", corrupt, times=10**9):
+            found = run_metamorphic(
+                relation, Scenario(), seed=11, workdir=tmp_path, reference=clean
+            )
+        assert found, "corrupted transformed runs escaped every invariant"
+        assert {m.cell for m in found} >= {"metamorphic:shuffle"}
+
+    def test_planted_recovery_catches_corrupted_engine(self, tmp_path):
+        def corrupt(outcome):
+            if outcome.valid:
+                return outcome._replace(valid=False, exactly_valid=False)
+            return outcome
+
+        with faults.inject_mutation("tane.validity.outcome", corrupt, times=10**9):
+            found = check_planted_recovery(3, workdir=tmp_path)
+        assert found
+        assert all(m.cell == "metamorphic:planted" for m in found)
