@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install check test test-fast trace-smoke fault-smoke verify-smoke bench bench-full examples clean
+.PHONY: install check layers test test-fast trace-smoke fault-smoke verify-smoke bench bench-full examples clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -11,10 +11,16 @@ install:
 # round-trip on a bundled example dataset and the fault-tolerance smoke.
 check:
 	$(PYTHON) -m compileall -q src
+	$(MAKE) layers
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 	$(MAKE) trace-smoke
 	$(MAKE) fault-smoke
 	$(MAKE) verify-smoke
+
+# Import-layering gate: repro.search must not reach up into the
+# plugin layers (repro.parallel / repro.obs / repro.core.checkpoint).
+layers:
+	$(PYTHON) tools/check_layers.py
 
 # End-to-end observability smoke: record a trace (serial and parallel),
 # assert it is non-empty, and render the report from it.

@@ -1,0 +1,126 @@
+"""Measure the wall-time cost of the repro.search decomposition.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_refactor_overhead.py
+        [--target-rows 30000] [--repeats 5]
+
+Runs the default serial exact discovery on the wisconsin shape
+replicated to ``target-rows`` (the recipe the pre-refactor baseline
+was measured with) and writes
+``benchmarks/results/BENCH_refactor_overhead.json`` comparing the
+median against the recorded pre-refactor numbers.
+
+The pre-refactor record embedded below was measured on the monolithic
+``_TaneRun`` (commit 9eb7143) with exactly this workload and repeat
+count.  The seams the refactor introduced — strategy/hook dispatch,
+the PartitionManager indirection, per-boundary notifications — must
+stay within ``THRESHOLD_PCT`` of it.  Medians over 5 runs on a small
+box carry a few percent of noise; the JSON records every sample so a
+flagged regression can be re-examined rather than re-measured blind.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+from repro.core.tane import TaneConfig, discover
+from repro.datasets.replicate import replicate_with_unique_suffix
+from repro.datasets.uci import make_wisconsin_like
+
+RESULTS = Path(__file__).parent / "results"
+THRESHOLD_PCT = 5.0
+
+PRE_REFACTOR = {
+    "commit": "9eb7143",
+    "rows": 30057,
+    "attributes": 11,
+    "runs_s": [1.8109, 1.6251, 1.7141, 1.4747, 1.4005],
+    "median_s": 1.6250819399992906,
+    "dependencies": 286,
+}
+"""Baseline measured on the pre-refactor monolith with this script's
+exact workload (wisconsin, unique-suffix replication to >= 30000 rows,
+default serial TaneConfig, 5 runs, median)."""
+
+
+def build_relation(target_rows: int):
+    base = make_wisconsin_like(seed=0)
+    copies = -(-target_rows // base.num_rows)  # ceil division
+    return replicate_with_unique_suffix(base, copies)
+
+
+def measure(relation, repeats: int) -> tuple[list[float], int]:
+    samples = []
+    dependencies = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = discover(relation, TaneConfig())
+        samples.append(time.perf_counter() - start)
+        dependencies = len(result.dependencies)
+    return samples, dependencies
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--target-rows", type=int, default=30000)
+    parser.add_argument("--repeats", type=int, default=5)
+    args = parser.parse_args(argv)
+
+    relation = build_relation(args.target_rows)
+    print(f"workload: {relation.num_rows} rows x {relation.num_attributes} attrs")
+    samples, dependencies = measure(relation, args.repeats)
+    median = statistics.median(samples)
+    overhead_pct = (median / PRE_REFACTOR["median_s"] - 1.0) * 100.0
+
+    payload = {
+        "benchmark": "refactor_overhead",
+        "created": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "hardware": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "workload": {
+            "dataset": "wisconsin, unique-suffix replicated",
+            "rows": relation.num_rows,
+            "attributes": relation.num_attributes,
+            "repeats": args.repeats,
+            "config": "TaneConfig() (serial, exact, memory store)",
+        },
+        "pre": PRE_REFACTOR,
+        "post": {
+            "runs_s": [round(s, 4) for s in samples],
+            "median_s": median,
+            "dependencies": dependencies,
+        },
+        "overhead_pct": round(overhead_pct, 2),
+        "threshold_pct": THRESHOLD_PCT,
+        "within_threshold": overhead_pct <= THRESHOLD_PCT,
+    }
+    RESULTS.mkdir(exist_ok=True)
+    out = RESULTS / "BENCH_refactor_overhead.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    print(f"pre-refactor median:  {PRE_REFACTOR['median_s']:.4f}s")
+    print(f"post-refactor median: {median:.4f}s ({overhead_pct:+.2f}%)")
+    print(f"dependencies: {dependencies} "
+          f"(pre-refactor: {PRE_REFACTOR['dependencies']})")
+    print(f"written: {out}")
+    if dependencies != PRE_REFACTOR["dependencies"]:
+        print("FAIL: dependency count drifted — not a perf question", file=sys.stderr)
+        return 1
+    if overhead_pct > THRESHOLD_PCT:
+        print(f"FAIL: overhead {overhead_pct:.2f}% > {THRESHOLD_PCT}%", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

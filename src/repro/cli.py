@@ -68,6 +68,15 @@ def build_parser() -> argparse.ArgumentParser:
                                  help="partition engine: vectorized CSR arrays "
                                       "(default) or the pure reference "
                                       "implementation")
+    discover_parser.add_argument("--strategy", choices=["levelwise", "topk"],
+                                 default="levelwise",
+                                 help="lattice traversal: the full levelwise "
+                                      "walk (default) or top-k, which stops "
+                                      "early and returns only the k "
+                                      "lowest-error minimal dependencies")
+    discover_parser.add_argument("-k", "--top-k", type=int, default=0,
+                                 help="number of dependencies to keep with "
+                                      "--strategy topk")
     discover_parser.add_argument("--workers", type=int, default=0,
                                  help="shard each lattice level across N worker "
                                       "processes (0 = serial)")
@@ -185,6 +194,8 @@ def _cmd_discover(args: argparse.Namespace) -> int:
         engine=args.engine,
         measure=args.measure,
         workers=args.workers,
+        strategy=args.strategy,
+        top_k=args.top_k,
         tracer=tracer,
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,

@@ -1,0 +1,126 @@
+"""Checkpoint/resume as a search-driver plugin.
+
+:class:`CheckpointHooks` attaches level-granular checkpointing to a
+:class:`~repro.search.driver.SearchDriver` through the
+:class:`~repro.search.hooks.SearchHooks` seam:
+
+* ``on_boundary`` — after every completed level (and once more on
+  completion) the loop state, results, and deterministic counters are
+  written atomically through the :class:`CheckpointManager`;
+* ``resume_state`` — a matching checkpoint restores results, counters,
+  and the boundary's partitions (spill files adopted when present,
+  otherwise recomputed from singletons without perturbing counters)
+  and hands the driver the loop state to continue from;
+* ``on_failure`` — a crashing checkpointed run keeps its spill files:
+  they are the partitions resume would otherwise recompute.
+
+The *fingerprint* — identity of (relation, search-shaping config,
+traversal strategy) — is computed by the composition root and passed
+in; a checkpoint whose fingerprint does not match raises
+:class:`~repro.exceptions.CheckpointError` instead of resuming into a
+different search.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.checkpoint import CheckpointManager, CheckpointState
+from repro.exceptions import CheckpointError
+from repro.obs import trace as obs
+from repro.search.hooks import ResumePoint, SearchHooks
+
+__all__ = ["CheckpointHooks"]
+
+_CHECKPOINT_COUNTERS = (
+    "tane.validity_tests",
+    "tane.partition_products",
+    "tane.error_computations",
+    "tane.g3_bound_rejections",
+    "tane.keys_found",
+)
+_CHECKPOINT_SERIES = ("tane.level_sizes", "tane.pruned_level_sizes")
+
+
+class CheckpointHooks(SearchHooks):
+    """Persist and restore search state at level boundaries."""
+
+    def __init__(
+        self,
+        manager: CheckpointManager,
+        fingerprint: dict[str, Any],
+        *,
+        resume: bool = False,
+    ) -> None:
+        self.manager = manager
+        self.fingerprint = fingerprint
+        self.resume = resume
+
+    # ------------------------------------------------------------------
+
+    def resume_state(self, driver) -> ResumePoint | None:
+        if not self.resume:
+            return None
+        state = self.manager.load()
+        if state is None:
+            return None
+        self._validate_fingerprint(state)
+        with obs.span("checkpoint.restore", level=state.level_number) as span:
+            driver.restore_results(state.dependencies, state.keys)
+            driver.restore_metrics(state.counters, state.series)
+            for mask in state.previous_level_masks:
+                driver.partitions.restore(mask)
+            for mask in state.level:
+                driver.partitions.restore(mask)
+            span.set(
+                "masks_restored", len(state.level) + len(state.previous_level_masks)
+            )
+        return ResumePoint(
+            level_number=state.level_number,
+            level=state.level,
+            previous_level_masks=state.previous_level_masks,
+            cplus_prev=state.cplus_prev,
+        )
+
+    def _validate_fingerprint(self, state: CheckpointState) -> None:
+        if state.fingerprint != self.fingerprint:
+            mismatched = sorted(
+                key
+                for key in set(self.fingerprint) | set(state.fingerprint)
+                if self.fingerprint.get(key) != state.fingerprint.get(key)
+            )
+            raise CheckpointError(
+                "checkpoint does not match this run "
+                f"(differs in: {', '.join(mismatched)}); refusing to resume"
+            )
+
+    # ------------------------------------------------------------------
+
+    def on_boundary(self, driver, boundary) -> None:
+        state = CheckpointState(
+            fingerprint=self.fingerprint,
+            level_number=boundary.level_number,
+            level=list(boundary.level),
+            previous_level_masks=list(boundary.previous_level_masks),
+            cplus_prev=dict(boundary.cplus_prev),
+            dependencies=[
+                (fd.lhs, fd.rhs, fd.error) for fd in driver.tracker.dependencies
+            ],
+            keys=list(driver.tracker.keys),
+            counters={
+                name: driver.metrics.counter_value(name)
+                for name in _CHECKPOINT_COUNTERS
+            },
+            series={
+                name: [int(v) for v in driver.metrics.series_values(name)]
+                for name in _CHECKPOINT_SERIES
+            },
+            complete=boundary.complete,
+        )
+        with obs.span(
+            "checkpoint.save", level=boundary.level_number, complete=boundary.complete
+        ):
+            self.manager.save(state)
+
+    def on_failure(self, driver) -> None:
+        driver.partitions.preserve_spill_files()

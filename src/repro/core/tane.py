@@ -1,6 +1,6 @@
-"""The TANE algorithm (Section 5 of the paper).
+"""The TANE algorithm (Section 5 of the paper), as a composition root.
 
-The driver runs the levelwise loop::
+The levelwise loop::
 
     L1 := singletons; C+(∅) := R
     while L_ℓ nonempty:
@@ -8,10 +8,14 @@ The driver runs the levelwise loop::
         PRUNE(L_ℓ)
         L_{ℓ+1} := GENERATE-NEXT-LEVEL(L_ℓ)
 
-with the paper's two pruning rules (empty ``C+`` and key pruning), the
-rhs+ candidate sets of Section 4, and validity testing by rank
-comparison (Lemma 2) or by the ``g3`` error for the approximate variant
-(lines 5' and 8'/9' of the paper).
+lives in the :mod:`repro.search` package as a
+:class:`~repro.search.driver.SearchDriver` orchestrating narrow
+components — candidate tracking, partition lifecycle, traversal
+strategy, execution backend, plugin hooks.  This module is the
+*composition root*: :class:`TaneConfig` names a configuration, and
+:func:`discover` assembles the matching components (store, executor,
+engine, strategy, tracing and checkpointing plugins), runs the driver,
+and shapes the result.
 
 Configuration flags expose the paper's variants for the ablation
 benchmarks:
@@ -29,6 +33,10 @@ benchmarks:
   ``executor="process"`` (or ``workers=N``) shards them across a
   ``multiprocessing`` pool (see :mod:`repro.parallel`); the default
   serial executor performs exactly the historical single-core loop.
+* ``strategy="topk"`` with ``top_k=N`` returns only the N best
+  dependencies by error (see
+  :class:`~repro.search.strategy.TopKStrategy`), cutting the walk off
+  once no undiscovered dependency can displace them.
 """
 
 from __future__ import annotations
@@ -39,26 +47,30 @@ from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any
 
-from repro import _bitset
-from repro.core.checkpoint import CheckpointManager, CheckpointState
-from repro.core.lattice import generate_next_level
+from repro.core.checkpoint import CheckpointManager
+from repro.core.checkpoint_hooks import CheckpointHooks
 from repro.core.results import DiscoveryResult, SearchStatistics
-from repro.exceptions import CheckpointError, ConfigurationError
-from repro.model.fd import FDSet, FunctionalDependency
+from repro.exceptions import ConfigurationError
 from repro.model.relation import Relation
 from repro.obs import trace as obs
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.search_hooks import TracingHooks
 from repro.obs.trace import Tracer
 from repro.parallel.executor import LevelExecutor, make_executor
-from repro.parallel.validity import ValidityCriteria, ValidityOutcome
 from repro.partition.pure import PurePartition
-from repro.partition.store import DiskPartitionStore, PartitionStore, make_store
+from repro.partition.store import PartitionStore, make_store
 from repro.partition.vectorized import CsrPartition, PartitionWorkspace
-from repro.testing import faults
+from repro.search.driver import LevelProgress, SearchDriver
+from repro.search.measures import MEASURES, ValidityCriteria
+from repro.search.partitions import PartitionManager
+from repro.search.strategy import STRATEGIES, make_strategy
+from repro.search.tracker import CandidateTracker
 
-_MEASURES = ("g3", "g1", "g2")
+_MEASURES = tuple(MEASURES)
 _EXECUTORS = ("auto", "serial", "process")
 _ENGINES = ("vectorized", "pure")
+_STRATEGIES = STRATEGIES
+_PARTITION_STRATEGIES = ("pairwise", "from_singletons")
 
 # Sentinel distinguishing "argument not supplied" from an explicit
 # value in the convenience wrappers, so they never clobber fields the
@@ -74,21 +86,9 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
-class LevelProgress:
-    """Snapshot handed to :attr:`TaneConfig.progress` once per level."""
-
-    level: int
-    """Level number (left-hand sides of size ``level - 1`` are tested)."""
-
-    level_size: int
-    """Attribute sets in this level before pruning."""
-
-    dependencies_found: int
-    """Minimal dependencies emitted so far (all levels)."""
-
-    elapsed_seconds: float
-    """Wall-clock time since the search started."""
+def _choices(values) -> str:
+    """Render a choice tuple for a configuration error message."""
+    return ", ".join(repr(value) for value in values)
 
 
 @dataclass(frozen=True)
@@ -151,6 +151,16 @@ class TaneConfig:
     benchmark).  ``from_singletons`` always runs serially — it exists
     to measure the strategy, not to scale it."""
 
+    strategy: str = "levelwise"
+    """Traversal strategy: ``"levelwise"`` (the paper's full walk,
+    every minimal dependency) or ``"topk"`` (the same walk cut off by
+    a monotone bound once the ``top_k`` best dependencies by error are
+    provably found — see :class:`~repro.search.strategy.TopKStrategy`)."""
+
+    top_k: int = 0
+    """Result size for ``strategy="topk"`` (must be >= 1 there);
+    meaningless — and rejected — with any other strategy."""
+
     executor: str | LevelExecutor = "auto"
     """Level executor: ``"serial"`` (the classic loop), ``"process"``
     (shard each level across a ``multiprocessing`` pool), ``"auto"``
@@ -200,15 +210,36 @@ class TaneConfig:
         if self.max_lhs_size is not None and self.max_lhs_size < 1:
             raise ConfigurationError(f"max_lhs_size must be >= 1, got {self.max_lhs_size}")
         if self.measure not in _MEASURES:
-            raise ConfigurationError(f"unknown measure {self.measure!r}; use one of {_MEASURES}")
-        if self.partition_strategy not in ("pairwise", "from_singletons"):
+            raise ConfigurationError(
+                f"unknown measure {self.measure!r}; "
+                f"valid choices: {_choices(_MEASURES)}"
+            )
+        if self.partition_strategy not in _PARTITION_STRATEGIES:
             raise ConfigurationError(
                 f"unknown partition_strategy {self.partition_strategy!r}; "
-                "use 'pairwise' or 'from_singletons'"
+                f"valid choices: {_choices(_PARTITION_STRATEGIES)}"
             )
         if self.engine not in _ENGINES:
             raise ConfigurationError(
-                f"unknown engine {self.engine!r}; use one of {_ENGINES}"
+                f"unknown engine {self.engine!r}; "
+                f"valid choices: {_choices(_ENGINES)}"
+            )
+        if self.strategy not in _STRATEGIES:
+            raise ConfigurationError(
+                f"unknown strategy {self.strategy!r}; "
+                f"valid choices: {_choices(_STRATEGIES)}"
+            )
+        if self.top_k < 0:
+            raise ConfigurationError(f"top_k must be >= 0, got {self.top_k}")
+        if self.strategy == "topk" and self.top_k < 1:
+            raise ConfigurationError(
+                "strategy='topk' requires top_k >= 1 "
+                f"(got top_k={self.top_k})"
+            )
+        if self.strategy != "topk" and self.top_k:
+            raise ConfigurationError(
+                f"top_k={self.top_k} is only meaningful with strategy='topk' "
+                f"(got strategy={self.strategy!r})"
             )
         if self.engine == "pure":
             if self.executor == "process" or self.workers > 1:
@@ -223,8 +254,9 @@ class TaneConfig:
                 )
         if isinstance(self.executor, str) and self.executor not in _EXECUTORS:
             raise ConfigurationError(
-                f"unknown executor {self.executor!r}; use one of {_EXECUTORS} "
-                "or pass a LevelExecutor instance"
+                f"unknown executor {self.executor!r}; "
+                f"valid choices: {_choices(_EXECUTORS)} "
+                "(or pass a LevelExecutor instance)"
             )
         if self.workers < 0:
             raise ConfigurationError(f"workers must be >= 0, got {self.workers}")
@@ -292,14 +324,19 @@ def discover(relation: Relation, config: TaneConfig | None = None) -> DiscoveryR
 
 
 class _TaneRun:
-    """One TANE execution; holds the per-run mutable state."""
+    """One TANE execution: component assembly plus lifecycle.
+
+    The search itself is :class:`~repro.search.driver.SearchDriver`;
+    this class builds the components a :class:`TaneConfig` names,
+    attaches the tracing and checkpointing plugins, and owns the
+    resources (store, executor, tracer flush) around the driver run.
+    """
 
     def __init__(self, relation: Relation, config: TaneConfig) -> None:
         self.relation = relation
         self.config = config
         self.num_rows = relation.num_rows
         self.num_attributes = relation.num_attributes
-        self.full_mask = relation.schema.full_mask()
         # Maximum rows removable for an approximate dependency to count
         # as valid: g3 <= epsilon  <=>  removed <= floor(epsilon * |r|).
         self.epsilon_count = int(config.epsilon * self.num_rows + 1e-9)
@@ -326,8 +363,8 @@ class _TaneRun:
             self._owns_store = False
         self.executor = make_executor(config.executor, config.workers)
         self._owns_executor = not isinstance(config.executor, LevelExecutor)
-        self.partition_cls = CsrPartition if config.engine == "vectorized" else PurePartition
-        self.workspace = PartitionWorkspace(self.num_rows)
+        partition_cls = CsrPartition if config.engine == "vectorized" else PurePartition
+        workspace = PartitionWorkspace(self.num_rows)
         self.criteria = ValidityCriteria(
             epsilon=config.epsilon,
             epsilon_count=self.epsilon_count,
@@ -338,25 +375,67 @@ class _TaneRun:
         # Counters live in a metrics registry — shared with the tracer
         # when one is attached, private otherwise — and the public
         # SearchStatistics view is derived from it at the end of the
-        # run.  Instruments are cached here so the hot loops pay one
-        # attribute increment per event, exactly like the old direct
-        # dataclass-field bumps.
+        # run.
         self.tracer = config.tracer
         self.metrics: MetricsRegistry = (
             config.tracer.metrics if config.tracer is not None else MetricsRegistry()
         )
-        self._c_tests = self.metrics.counter("tane.validity_tests")
-        self._c_products = self.metrics.counter("tane.partition_products")
-        self._c_errors = self.metrics.counter("tane.error_computations")
-        self._c_bounds = self.metrics.counter("tane.g3_bound_rejections")
-        self._c_keys = self.metrics.counter("tane.keys_found")
-        self._level_sizes = self.metrics.series("tane.level_sizes")
-        self._pruned_level_sizes = self.metrics.series("tane.pruned_level_sizes")
-        self.dependencies = FDSet()
-        self.keys: list[int] = []
-        # Minimal-dependency lhs masks per rhs, for lazy C+ membership
-        # evaluation in the key-pruning rule (see _lazy_cplus_member).
-        self._lhs_by_rhs: dict[int, list[int]] = {}
+        self.strategy = make_strategy(config.strategy, top_k=config.top_k)
+        self.tracker = CandidateTracker(
+            relation.schema.full_mask(),
+            epsilon=config.epsilon,
+            use_rule8=config.use_rule8,
+            use_key_pruning=config.use_key_pruning,
+            max_lhs_size=config.max_lhs_size,
+        )
+        self.partitions = PartitionManager(
+            relation,
+            partition_cls,
+            self.store,
+            workspace,
+            self.executor,
+            products_counter=self.metrics.counter("tane.partition_products"),
+            partition_strategy=config.partition_strategy,
+        )
+        hooks: list = [TracingHooks()]
+        if self.checkpoint is not None:
+            hooks.append(
+                CheckpointHooks(
+                    self.checkpoint,
+                    self._fingerprint(),
+                    resume=config.resume,
+                )
+            )
+        self.driver = SearchDriver(
+            relation,
+            tracker=self.tracker,
+            strategy=self.strategy,
+            partitions=self.partitions,
+            executor=self.executor,
+            criteria=self.criteria,
+            workspace=workspace,
+            metrics=self.metrics,
+            hooks=hooks,
+            progress=config.progress,
+            max_lhs_size=config.max_lhs_size,
+        )
+
+    def _fingerprint(self) -> dict[str, Any]:
+        """Identity of (relation, search-shaping config) for a checkpoint."""
+        config = self.config
+        fingerprint: dict[str, Any] = {
+            "num_rows": self.num_rows,
+            "attributes": list(self.relation.schema.attribute_names),
+            "epsilon": config.epsilon,
+            "measure": config.measure,
+            "max_lhs_size": config.max_lhs_size,
+            "use_rule8": config.use_rule8,
+            "use_key_pruning": config.use_key_pruning,
+            "use_g3_bounds": config.use_g3_bounds,
+            "partition_strategy": config.partition_strategy,
+        }
+        fingerprint.update(self.strategy.fingerprint())
+        return fingerprint
 
     # ------------------------------------------------------------------
 
@@ -375,17 +454,11 @@ class _TaneRun:
                         measure=self.config.measure,
                         executor=executor_name,
                     ):
-                        self._search()
+                        dependencies = self.driver.run()
             else:
-                self._search()
-        except BaseException:
-            # A failed checkpointed run keeps its spill files: they are
-            # the partitions resume would otherwise recompute.
-            if self.checkpoint is not None and isinstance(self.store, DiskPartitionStore):
-                self.store.preserve_spill_files = True
-            raise
+                dependencies = self.driver.run()
         finally:
-            self._collect_store_stats()
+            self.partitions.collect_stats(self.metrics)
             if self._owns_store:
                 # Close under the activated tracer so the store's final
                 # gauge updates (resident_bytes -> 0) reach the run's
@@ -406,468 +479,10 @@ class _TaneRun:
         stats.merge_executor_usage(executor_name, usage)
         stats.elapsed_seconds = time.perf_counter() - start
         return DiscoveryResult(
-            dependencies=self.dependencies,
-            keys=self.keys,
+            dependencies=dependencies,
+            keys=self.tracker.keys,
             schema=self.relation.schema,
             epsilon=self.config.epsilon,
             statistics=stats,
             trace=self.tracer,
         )
-
-    def _search(self) -> None:
-        max_level = (
-            self.num_attributes
-            if self.config.max_lhs_size is None
-            else min(self.num_attributes, self.config.max_lhs_size + 1)
-        )
-        # π_∅ is needed to test the level-1 dependencies ∅ -> A.
-        self.store.put(0, self.partition_cls.single_class(self.num_rows))
-        level = [_bitset.bit(i) for i in range(self.num_attributes)]
-        self._singleton_partitions = [
-            self.partition_cls.from_column(self.relation.column_codes(i), self.num_rows)
-            for i in range(self.num_attributes)
-        ]
-        for i, partition in enumerate(self._singleton_partitions):
-            self.store.put(_bitset.bit(i), partition)
-        cplus_prev: dict[int, int] = {0: self.full_mask}
-        previous_level_masks: list[int] = [0]
-        level_number = 1
-        if self.config.resume and self.checkpoint is not None:
-            state = self.checkpoint.load()
-            if state is not None:
-                self._validate_fingerprint(state)
-                with obs.span("checkpoint.restore", level=state.level_number) as span:
-                    self._restore_state(state)
-                    span.set("masks_restored", len(state.level) + len(state.previous_level_masks))
-                level = state.level
-                cplus_prev = state.cplus_prev
-                previous_level_masks = state.previous_level_masks
-                level_number = state.level_number
-        search_start = time.perf_counter()
-        while level and level_number <= max_level:
-            faults.check("tane.level.start")
-            self._level_sizes.append(len(level))
-            if self.config.progress is not None:
-                self.config.progress(
-                    LevelProgress(
-                        level=level_number,
-                        level_size=len(level),
-                        dependencies_found=len(self.dependencies),
-                        elapsed_seconds=time.perf_counter() - search_start,
-                    )
-                )
-            # One span per level, child spans per phase.  Attribute
-            # values are deltas of the always-on counters, so the
-            # trace and SearchStatistics agree by construction; with
-            # tracing disabled the spans are the shared no-op and the
-            # delta bookkeeping is a handful of int reads per level.
-            with obs.span("level", level=level_number) as level_span:
-                level_span.set("s_l", len(level))
-                tests_before = self._c_tests.value
-                errors_before = self._c_errors.value
-                bounds_before = self._c_bounds.value
-                deps_before = len(self.dependencies)
-                with obs.span("compute_dependencies") as phase:
-                    cplus = self._compute_dependencies(level, cplus_prev, level_number)
-                    phase.set("tests", self._c_tests.value - tests_before)
-                    phase.set("error_computations", self._c_errors.value - errors_before)
-                    phase.set("bound_rejections", self._c_bounds.value - bounds_before)
-                    phase.set("dependencies_found", len(self.dependencies) - deps_before)
-                keys_before = self._c_keys.value
-                with obs.span("prune") as phase:
-                    surviving = self._prune(level, cplus, level_number)
-                    phase.set("keys_found", self._c_keys.value - keys_before)
-                    phase.set("surviving", len(surviving))
-                self._pruned_level_sizes.append(len(surviving))
-                products_before = self._c_products.value
-                with obs.span("generate_next_level") as phase:
-                    if level_number < max_level:
-                        next_level = self._generate_next_level(surviving)
-                    else:
-                        next_level = []
-                    phase.set("products", self._c_products.value - products_before)
-                    phase.set("next_size", len(next_level))
-                level_span.set("surviving", len(surviving))
-                level_span.set("dependencies_total", len(self.dependencies))
-            for mask in previous_level_masks:
-                self.store.discard(mask)
-            previous_level_masks = level
-            cplus_prev = cplus
-            level = next_level
-            level_number += 1
-            if self.checkpoint is not None:
-                self._save_checkpoint(
-                    level_number, level, previous_level_masks, cplus_prev,
-                    complete=False,
-                )
-        if self.checkpoint is not None:
-            # Mark the run complete: resuming a finished checkpoint
-            # replays no levels and returns the recorded results.
-            self._save_checkpoint(
-                level_number, [], previous_level_masks, cplus_prev, complete=True
-            )
-
-    # ------------------------------------------------------------------
-    # Checkpoint / resume
-    # ------------------------------------------------------------------
-
-    _CHECKPOINT_COUNTERS = (
-        "tane.validity_tests",
-        "tane.partition_products",
-        "tane.error_computations",
-        "tane.g3_bound_rejections",
-        "tane.keys_found",
-    )
-    _CHECKPOINT_SERIES = ("tane.level_sizes", "tane.pruned_level_sizes")
-
-    def _fingerprint(self) -> dict[str, Any]:
-        """Identity of (relation, search-shaping config) for a checkpoint."""
-        config = self.config
-        return {
-            "num_rows": self.num_rows,
-            "attributes": list(self.relation.schema.attribute_names),
-            "epsilon": config.epsilon,
-            "measure": config.measure,
-            "max_lhs_size": config.max_lhs_size,
-            "use_rule8": config.use_rule8,
-            "use_key_pruning": config.use_key_pruning,
-            "use_g3_bounds": config.use_g3_bounds,
-            "partition_strategy": config.partition_strategy,
-        }
-
-    def _validate_fingerprint(self, state: CheckpointState) -> None:
-        expected = self._fingerprint()
-        if state.fingerprint != expected:
-            mismatched = sorted(
-                key
-                for key in set(expected) | set(state.fingerprint)
-                if expected.get(key) != state.fingerprint.get(key)
-            )
-            raise CheckpointError(
-                "checkpoint does not match this run "
-                f"(differs in: {', '.join(mismatched)}); refusing to resume"
-            )
-
-    def _save_checkpoint(
-        self,
-        level_number: int,
-        level: list[int],
-        previous_level_masks: list[int],
-        cplus_prev: dict[int, int],
-        *,
-        complete: bool,
-    ) -> None:
-        assert self.checkpoint is not None
-        state = CheckpointState(
-            fingerprint=self._fingerprint(),
-            level_number=level_number,
-            level=list(level),
-            previous_level_masks=list(previous_level_masks),
-            cplus_prev=dict(cplus_prev),
-            dependencies=[
-                (fd.lhs, fd.rhs, fd.error) for fd in self.dependencies
-            ],
-            keys=list(self.keys),
-            counters={
-                name: self.metrics.counter_value(name)
-                for name in self._CHECKPOINT_COUNTERS
-            },
-            series={
-                name: [int(v) for v in self.metrics.series_values(name)]
-                for name in self._CHECKPOINT_SERIES
-            },
-            complete=complete,
-        )
-        with obs.span("checkpoint.save", level=level_number, complete=complete):
-            self.checkpoint.save(state)
-
-    def _restore_state(self, state: CheckpointState) -> None:
-        """Rebuild the run's mutable state from a checkpoint.
-
-        Results and counters are restored verbatim; the partitions of
-        the checkpointed boundary (the completed level — the validity
-        tests' left-hand sides — and the next level) are adopted from
-        the disk store's spill files when present, otherwise recomputed
-        from the singleton partitions (Lemma 3), without perturbing the
-        deterministic counters.
-        """
-        for lhs, rhs, error in state.dependencies:
-            self._add_dependency(FunctionalDependency(lhs, rhs, error))
-        self.keys.extend(state.keys)
-        for name, value in state.counters.items():
-            self.metrics.counter(name).inc(value)
-        for name, values in state.series.items():
-            self.metrics.series(name).extend(values)
-        for mask in state.previous_level_masks:
-            self._restore_partition(mask)
-        for mask in state.level:
-            self._restore_partition(mask)
-
-    def _restore_partition(self, mask: int) -> None:
-        if _bitset.popcount(mask) <= 1:
-            return  # π_∅ and singletons are rebuilt by the bootstrap
-        if isinstance(self.store, DiskPartitionStore) and self.store.adopt_spilled(
-            mask, self.num_rows
-        ):
-            return
-        self.store.put(mask, self._product_from_singletons(mask, count=False))
-
-    # ------------------------------------------------------------------
-    # COMPUTE-DEPENDENCIES
-    # ------------------------------------------------------------------
-
-    def _compute_dependencies(
-        self,
-        level: list[int],
-        cplus_prev: dict[int, int],
-        level_number: int,
-    ) -> dict[int, int]:
-        cplus: dict[int, int] = {}
-        for mask in level:
-            candidates = self.full_mask
-            for _, subset in _bitset.iter_subsets_one_smaller(mask):
-                candidates &= cplus_prev.get(subset, 0)
-                if candidates == 0:
-                    break
-            cplus[mask] = candidates
-        # The validity tests of one level are mutually independent: the
-        # testable rhs set of each mask is fixed by ``cplus`` *before*
-        # any test runs, and test results only mutate that mask's own
-        # ``cplus`` entry.  The executor may therefore shard them
-        # freely; outcomes are applied here in level order, so the
-        # dependency stream (and every counter) is deterministic and
-        # identical across backends.
-        groups: list[tuple[int, list[tuple[int, int]]]] = []
-        for mask in level:
-            testable = mask & cplus[mask]
-            if testable == 0:
-                continue
-            pairs = [
-                (rhs_index, lhs_mask)
-                for rhs_index, lhs_mask in _bitset.iter_subsets_one_smaller(mask)
-                if _bitset.contains(testable, rhs_index)
-            ]
-            groups.append((mask, pairs))
-        outcomes = self.executor.validity_tests(
-            groups, self.store.get, self.criteria, self.workspace
-        )
-        position = 0
-        for mask, pairs in groups:
-            for rhs_index, lhs_mask in pairs:
-                # Silent-corruption fault point: repro.verify's own tests
-                # arm it to prove the harness catches a lying engine.
-                outcome = faults.mutate("tane.validity.outcome", outcomes[position])
-                position += 1
-                self._c_tests.inc()
-                self._record_test_counters(outcome)
-                if outcome.valid:
-                    self._add_dependency(
-                        FunctionalDependency(lhs_mask, rhs_index, outcome.error)
-                    )
-                    cplus[mask] &= ~_bitset.bit(rhs_index)
-                    # Line 8 (exact) / lines 8'-9' (approximate): remove
-                    # all attributes outside X, but only when the
-                    # dependency holds *exactly*.
-                    if self.config.use_rule8 and outcome.exactly_valid:
-                        cplus[mask] &= mask
-        return cplus
-
-    def _record_test_counters(self, outcome: ValidityOutcome) -> None:
-        """Fold one test's counter flags into the metrics registry.
-
-        ``error_computations`` counts exact O(|r|) error computations
-        under any measure; the legacy ``g3_exact_computations`` field
-        is no longer counted separately — it is derived as a g3-only
-        alias of this counter when the statistics view is built (see
-        :meth:`SearchStatistics.from_metrics`), so the bound ablation
-        never misattributes g1/g2 work to g3.
-        """
-        if outcome.bound_rejected:
-            self._c_bounds.inc()
-        if outcome.error_computed:
-            self._c_errors.inc()
-
-    # ------------------------------------------------------------------
-    # PRUNE
-    # ------------------------------------------------------------------
-
-    def _prune(self, level: list[int], cplus: dict[int, int], level_number: int) -> list[int]:
-        """PRUNE (Section 5): empty-``C+`` pruning and key pruning.
-
-        Key pruning — deleting a key ``X`` after emitting its
-        dependencies — is only applied to *exact* discovery.  Its
-        safety proof needs exact validity: a dependency ``Y → A``
-        normally tested at a pruned superset of the key is exactly
-        valid only if ``Y`` is itself a superkey, and is then emitted
-        by the key rule.  With ``epsilon > 0`` that implication fails
-        (``Y → A`` can be approximately valid and minimal with ``Y``
-        not a superkey), so deleting keys would lose dependencies; in
-        approximate mode keys are recorded but the search continues
-        through them.
-        """
-        exact = self.config.epsilon == 0.0
-        surviving: list[int] = []
-        emit_key_rule_deps = (
-            self.config.max_lhs_size is None or level_number <= self.config.max_lhs_size
-        )
-        for mask in level:
-            if self.config.use_key_pruning and self.store.get(mask).is_superkey():
-                if exact:
-                    # In exact mode any superkey reaching a level is a
-                    # minimal key: its superkey subsets would have been
-                    # deleted, preventing its generation.
-                    self.keys.append(mask)
-                    self._c_keys.inc()
-                    if cplus[mask] and emit_key_rule_deps:
-                        self._emit_key_rule_dependencies(mask, cplus)
-                    continue
-                # Approximate mode: record the key if it is minimal
-                # (no immediate subset is a superkey), but keep it.
-                if self._is_minimal_key(mask):
-                    self.keys.append(mask)
-                    self._c_keys.inc()
-            if cplus[mask] == 0:
-                continue
-            surviving.append(mask)
-        return surviving
-
-    def _is_minimal_key(self, mask: int) -> bool:
-        """True if ``mask`` is a superkey and no immediate subset is.
-
-        Only needed in approximate mode, where superkeys are not
-        deleted and can therefore reappear inside larger sets.
-        """
-        for _, subset in _bitset.iter_subsets_one_smaller(mask):
-            if self.store.get(subset).is_superkey():
-                return False
-        return True
-
-    def _emit_key_rule_dependencies(self, key_mask: int, cplus: dict[int, int]) -> None:
-        """Lines 5-7 of PRUNE: output ``X -> A`` for a (super)key ``X``.
-
-        ``X -> A`` is emitted for each rhs+ candidate ``A`` outside
-        ``X`` that belongs to the rhs+ set of every same-level set
-        ``X ∪ {A} \\ {B}``.  Such a sibling set may never have been
-        *generated* (one of its subsets was key-pruned at a lower
-        level); its mathematical ``C+`` membership is then evaluated
-        lazily from the minimal dependencies discovered so far, which
-        are complete for all left-hand sides smaller than the current
-        level.
-        """
-        outside = cplus[key_mask] & ~key_mask
-        for rhs_index in _bitset.iter_bits(outside):
-            rhs_bit = _bitset.bit(rhs_index)
-            minimal = True
-            for lhs_attr in _bitset.iter_bits(key_mask):
-                sibling = (key_mask | rhs_bit) ^ _bitset.bit(lhs_attr)
-                stored = cplus.get(sibling)
-                if stored is not None:
-                    member = _bitset.contains(stored, rhs_index)
-                else:
-                    member = self._lazy_cplus_member(sibling, rhs_index)
-                if not member:
-                    minimal = False
-                    break
-            if minimal:
-                self._add_dependency(FunctionalDependency(key_mask, rhs_index, 0.0))
-
-    def _lazy_cplus_member(self, set_mask: int, attribute: int) -> bool:
-        """Evaluate ``attribute ∈ C+(set_mask)`` from the definition.
-
-        ``C+(Y) = {A ∈ R | for all B ∈ Y, Y∖{A,B} → B does not hold}``
-        (Section 4).  The validity of ``Y∖{A,B} → B`` is decided
-        against the minimal dependencies found so far: a dependency
-        holds iff some discovered minimal dependency with the same rhs
-        has its lhs contained in ``Y∖{A,B}``.  All the consulted
-        left-hand sides are smaller than the current level, for which
-        discovery is already complete, so the answer is exact.
-        """
-        a_bit = _bitset.bit(attribute)
-        for b_index in _bitset.iter_bits(set_mask):
-            lhs = set_mask & ~a_bit & ~_bitset.bit(b_index)
-            if self._holds_by_discovered(lhs, b_index):
-                return False
-        return True
-
-    def _holds_by_discovered(self, lhs_mask: int, rhs_index: int) -> bool:
-        """True iff ``lhs_mask -> rhs_index`` follows from a discovered
-        minimal dependency (some minimal lhs is contained in it)."""
-        for minimal_lhs in self._lhs_by_rhs.get(rhs_index, ()):
-            if minimal_lhs & ~lhs_mask == 0:
-                return True
-        return False
-
-    def _add_dependency(self, dependency: FunctionalDependency) -> None:
-        self.dependencies.add(dependency)
-        self._lhs_by_rhs.setdefault(dependency.rhs, []).append(dependency.lhs)
-
-    # ------------------------------------------------------------------
-    # GENERATE-NEXT-LEVEL
-    # ------------------------------------------------------------------
-
-    def _generate_next_level(self, surviving: list[int]) -> list[int]:
-        triples = generate_next_level(surviving)
-        next_level: list[int] = []
-        if self.config.partition_strategy != "pairwise":
-            # Ablation-only strategy; always serial (see TaneConfig).
-            for candidate, _factor_x, _factor_y in triples:
-                self.store.put(candidate, self._product_from_singletons(candidate))
-                next_level.append(candidate)
-            return next_level
-
-        products = self.executor.products(triples, self.store.get, self.workspace)
-
-        def stream():
-            # The store consumes the executor's result stream directly:
-            # products become resident (and may spill) while later
-            # shards are still computing in the pool.
-            for candidate, product in products:
-                faults.check("tane.products.consume")
-                self._c_products.inc()
-                next_level.append(candidate)
-                yield candidate, product
-
-        try:
-            put_many = getattr(self.store, "put_many", None)
-            if put_many is not None:
-                put_many(stream())
-            else:  # minimal PartitionStore implementations
-                for candidate, product in stream():
-                    self.store.put(candidate, product)
-        finally:
-            # Deterministic cleanup: if the store raised between yields
-            # the executor's generator would otherwise only finalize at
-            # GC, leaking its shared-memory block until then.
-            close = getattr(products, "close", None)
-            if close is not None:
-                close()
-        return next_level
-
-    def _product_from_singletons(self, candidate: int, *, count: bool = True):
-        """Recompute ``π_candidate`` from the single-attribute partitions.
-
-        This is the paper's model of Schlimmer's decision-tree
-        approach (Section 6): "roughly equivalent to computing each
-        partition from partitions with respect to singletons ...
-        slower by a factor O(|R|) than using partitions the way we
-        do."  Used by the ablation benchmark and — with ``count=False``
-        so restored counters stay identical to an uninterrupted run —
-        by checkpoint resume.
-        """
-        indices = _bitset.to_indices(candidate)
-        product = self._singleton_partitions[indices[0]]
-        for index in indices[1:]:
-            product = product.product(self._singleton_partitions[index], self.workspace)
-            if count:
-                self._c_products.inc()
-        return product
-
-    # ------------------------------------------------------------------
-
-    def _collect_store_stats(self) -> None:
-        store = self.store
-        if isinstance(store, DiskPartitionStore):
-            self.metrics.gauge("store.spill_count").set(store.spill_count)
-            self.metrics.gauge("store.load_count").set(store.load_count)
-        peak = getattr(store, "peak_resident_bytes", 0)
-        self.metrics.gauge("store.peak_resident_bytes").set(int(peak))

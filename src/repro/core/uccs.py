@@ -13,6 +13,13 @@ search with apriori generation over the *non-unique* sets yields
 exactly the minimal (approximate) UCCs, with no extra minimality
 bookkeeping: a candidate is generated only if every subset was
 non-unique.
+
+The walk itself is a thin composition of the search-core components:
+:class:`~repro.search.partitions.PartitionManager` owns partition
+bootstrap, products and reclamation, and the unique/non-unique split
+is :meth:`~repro.search.tracker.CandidateTracker.split_minimal_unique`
+— the same kernel TANE's key pruning uses, so the two minimality
+arguments can no longer drift apart.
 """
 
 from __future__ import annotations
@@ -20,12 +27,15 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from repro import _bitset
 from repro.core.lattice import generate_next_level
 from repro.exceptions import ConfigurationError
 from repro.model.relation import Relation
 from repro.model.schema import RelationSchema
+from repro.partition.store import MemoryPartitionStore
 from repro.partition.vectorized import CsrPartition, PartitionWorkspace
+from repro.search.execution import SerialExecution
+from repro.search.partitions import PartitionManager
+from repro.search.tracker import CandidateTracker
 
 __all__ = ["UccResult", "discover_uccs"]
 
@@ -102,39 +112,37 @@ def discover_uccs(
         raise ConfigurationError(f"max_size must be >= 1, got {max_size}")
     start = time.perf_counter()
     num_rows = relation.num_rows
-    num_attributes = relation.num_attributes
     threshold = int(epsilon * num_rows + 1e-9)
-    workspace = PartitionWorkspace(num_rows)
-    limit = num_attributes if max_size is None else min(max_size, num_attributes)
+    limit = (
+        relation.num_attributes
+        if max_size is None
+        else min(max_size, relation.num_attributes)
+    )
+    partitions = PartitionManager(
+        relation,
+        CsrPartition,
+        MemoryPartitionStore(),
+        PartitionWorkspace(num_rows),
+        SerialExecution(),
+    )
+    level = partitions.bootstrap(include_empty=False)
 
-    partitions: dict[int, CsrPartition] = {}
-    level: list[int] = []
-    for index in range(num_attributes):
-        mask = _bitset.bit(index)
-        partitions[mask] = CsrPartition.from_column(relation.column_codes(index), num_rows)
-        level.append(mask)
+    def is_unique(mask: int) -> bool:
+        return partitions.error_count(mask) <= threshold
 
     result = UccResult(uccs=[], errors=[], schema=relation.schema, epsilon=epsilon)
     level_number = 1
     while level and level_number <= limit:
         result.level_sizes.append(len(level))
-        survivors: list[int] = []
-        for mask in level:
-            error_count = partitions[mask].error_count
-            if error_count <= threshold:
-                result.uccs.append(mask)
-                result.errors.append(error_count / num_rows if num_rows else 0.0)
-            else:
-                survivors.append(mask)
+        unique, survivors = CandidateTracker.split_minimal_unique(level, is_unique)
+        for mask in unique:
+            error_count = partitions.error_count(mask)
+            result.uccs.append(mask)
+            result.errors.append(error_count / num_rows if num_rows else 0.0)
         next_level: list[int] = []
         if level_number < limit:
-            for candidate, factor_x, factor_y in generate_next_level(survivors):
-                partitions[candidate] = partitions[factor_x].product(
-                    partitions[factor_y], workspace
-                )
-                next_level.append(candidate)
-        for mask in level:
-            partitions.pop(mask, None)
+            next_level = partitions.materialize(generate_next_level(survivors))
+        partitions.reclaim(level)
         level = next_level
         level_number += 1
     result.elapsed_seconds = time.perf_counter() - start

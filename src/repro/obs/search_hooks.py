@@ -1,0 +1,27 @@
+"""Observability plugin for the search driver.
+
+:class:`TracingHooks` is the bridge between the search core's span
+seam (:meth:`repro.search.hooks.SearchHooks.span`) and the
+module-level tracer of :mod:`repro.obs.trace`: every driver phase span
+is forwarded to :func:`repro.obs.trace.span`, which returns the shared
+no-op span unless a tracer is activated — so the hook can be attached
+unconditionally at zero cost to untraced runs, and traced runs produce
+exactly the span tree previous releases emitted inline.
+
+This module depends on :mod:`repro.search`; the search core never
+imports :mod:`repro.obs` (enforced by ``make layers``).
+"""
+
+from __future__ import annotations
+
+from repro.obs import trace as obs
+from repro.search.hooks import SearchHooks
+
+__all__ = ["TracingHooks"]
+
+
+class TracingHooks(SearchHooks):
+    """Forward driver phase spans into the active tracer (if any)."""
+
+    def span(self, name: str, **attributes):
+        return obs.span(name, **attributes)

@@ -65,8 +65,9 @@ from dataclasses import dataclass, field
 from repro.exceptions import ConfigurationError
 from repro.obs import trace as obs
 from repro.parallel.shm import SharedPartitionBlock
-from repro.parallel.validity import ValidityCriteria, ValidityOutcome, evaluate_validity
+from repro.parallel.validity import ValidityCriteria, ValidityOutcome
 from repro.parallel.worker import ChunkReceipt, ProductChunk, ValidityChunk, init_worker, run_chunk
+from repro.search.execution import SerialExecution, serial_validity as _serial_validity
 from repro.partition.vectorized import CsrPartition, PartitionWorkspace
 
 __all__ = [
@@ -131,35 +132,14 @@ class LevelExecutor(ABC):
         """Release pool resources (no-op for in-process backends)."""
 
 
-def _serial_validity(
-    groups: ValidityGroups,
-    fetch: Fetch,
-    criteria: ValidityCriteria,
-    workspace: PartitionWorkspace,
-) -> list[ValidityOutcome]:
-    """The in-process test loop (store accesses in historical order)."""
-    outcomes: list[ValidityOutcome] = []
-    for whole_mask, pairs in groups:
-        pi_whole = fetch(whole_mask)
-        for _rhs, lhs_mask in pairs:
-            outcomes.append(
-                evaluate_validity(fetch(lhs_mask), pi_whole, criteria, workspace)
-            )
-    return outcomes
+class SerialLevelExecutor(SerialExecution, LevelExecutor):
+    """Run every task inline — the classic single-core TANE loop.
 
-
-class SerialLevelExecutor(LevelExecutor):
-    """Run every task inline — the classic single-core TANE loop."""
-
-    name = "serial"
-    workers = 1
-
-    def products(self, triples, fetch, workspace):
-        for candidate, factor_x, factor_y in triples:
-            yield candidate, fetch(factor_x).product(fetch(factor_y), workspace)
-
-    def validity_tests(self, groups, fetch, criteria, workspace):
-        return _serial_validity(groups, fetch, criteria, workspace)
+    The loop itself lives in the search core
+    (:class:`repro.search.execution.SerialExecution`); this subclass
+    merely stamps it as a :class:`LevelExecutor` so callers holding a
+    ready executor instance keep type-checking against the ABC.
+    """
 
 
 class ProcessLevelExecutor(LevelExecutor):

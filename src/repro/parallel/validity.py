@@ -1,99 +1,16 @@
-"""The validity test of COMPUTE-DEPENDENCIES as a pure function.
+"""Compatibility shim: the validity test moved into the search core.
 
-Lines 5/5' of the paper decide whether ``X \\ {A} -> A`` holds — by the
-O(1) rank comparison of Lemma 2 for exact discovery, or by comparing a
-``g3``/``g1``/``g2`` error against ``epsilon`` for the approximate
-variant.  The function lives here (rather than inside the TANE driver)
-so that pool workers and the in-process serial path execute *exactly*
-the same code: parity between the ``serial`` and ``process`` executors
-then follows by construction.
-
-Counter bookkeeping is returned as flags on the outcome instead of
-being applied to a stats object, so the driver can aggregate counts in
-deterministic task order regardless of which process did the work.
+The pure validity function and its criteria/outcome types now live in
+:mod:`repro.search.measures` — the search core owns the test so that
+pool workers, the in-process serial path, and the driver all execute
+exactly the same code (parity between the ``serial`` and ``process``
+executors follows by construction).  This module re-exports them so
+existing imports — including pickled :class:`ValidityCriteria` values
+shipped to pool workers — keep resolving.
 """
 
 from __future__ import annotations
 
-from typing import NamedTuple
-
-from repro.partition.errors import g1_error, g2_error
-from repro.partition.vectorized import CsrPartition, PartitionWorkspace
+from repro.search.measures import ValidityCriteria, ValidityOutcome, evaluate_validity
 
 __all__ = ["ValidityCriteria", "ValidityOutcome", "evaluate_validity"]
-
-
-class ValidityCriteria(NamedTuple):
-    """The configuration slice a validity test depends on (picklable)."""
-
-    epsilon: float
-    """Error threshold; ``0.0`` means exact discovery."""
-
-    epsilon_count: int
-    """``floor(epsilon * |r|)``: max removable rows for g3 validity."""
-
-    measure: str
-    """``"g3"``, ``"g1"`` or ``"g2"``."""
-
-    use_g3_bounds: bool
-    """Short-circuit g3 tests with the O(1) lower bound."""
-
-    num_rows: int
-    """``|r|`` of the relation under test."""
-
-
-class ValidityOutcome(NamedTuple):
-    """Result of one validity test plus its counter flags."""
-
-    valid: bool
-    """The dependency holds within ``epsilon``."""
-
-    exactly_valid: bool
-    """The dependency holds exactly (rank comparison, Lemma 2)."""
-
-    error: float
-    """The measured (or bounding) error fraction."""
-
-    bound_rejected: bool
-    """Resolved by the O(1) g3 lower bound alone."""
-
-    error_computed: bool
-    """An exact O(|r|) error computation was performed."""
-
-
-def evaluate_validity(
-    pi_lhs: CsrPartition,
-    pi_whole: CsrPartition,
-    criteria: ValidityCriteria,
-    workspace: PartitionWorkspace | None = None,
-) -> ValidityOutcome:
-    """Test ``X \\ {A} -> A`` given ``pi_lhs = π_{X∖{A}}`` and ``pi_whole = π_X``.
-
-    Exact validity is the O(1) rank comparison of Lemma 2.  For the
-    approximate variant under ``g3``, the O(1) lower bound can reject
-    without the O(|r|) exact computation (extended-version
-    optimization); ``g1``/``g2`` are always computed exactly.
-    """
-    exactly_valid = pi_lhs.error_count == pi_whole.error_count
-    if exactly_valid:
-        return ValidityOutcome(True, True, 0.0, False, False)
-    if criteria.epsilon == 0.0:
-        return ValidityOutcome(False, False, 0.0, False, False)
-    if criteria.measure == "g3":
-        if criteria.use_g3_bounds:
-            lower, _ = pi_lhs.g3_bound_counts(pi_whole)
-            if lower > criteria.epsilon_count:
-                return ValidityOutcome(
-                    False, False, lower / criteria.num_rows, True, False
-                )
-        error_count = pi_lhs.g3_error_count(pi_whole, workspace)
-        return ValidityOutcome(
-            error_count <= criteria.epsilon_count,
-            False,
-            error_count / criteria.num_rows,
-            False,
-            True,
-        )
-    measure = g1_error if criteria.measure == "g1" else g2_error
-    error = measure(pi_lhs, pi_whole)
-    return ValidityOutcome(error <= criteria.epsilon + 1e-12, False, error, False, True)

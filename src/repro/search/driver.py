@@ -1,0 +1,276 @@
+"""The levelwise search driver (Section 5 of the paper).
+
+:class:`SearchDriver` runs the loop::
+
+    L1 := singletons; C+(∅) := R
+    while L_ℓ nonempty:
+        COMPUTE-DEPENDENCIES(L_ℓ)
+        PRUNE(L_ℓ)
+        L_{ℓ+1} := GENERATE-NEXT-LEVEL(L_ℓ)
+
+but owns none of the policy: candidate bookkeeping lives in the
+:class:`~repro.search.tracker.CandidateTracker`, partition lifecycle
+in the :class:`~repro.search.partitions.PartitionManager`, traversal
+shape in the :class:`~repro.search.strategy.TraversalStrategy`, task
+execution in the injected backend, and cross-cutting capabilities
+(tracing, checkpointing) in :class:`~repro.search.hooks.SearchHooks`
+plugins.  The driver's own responsibilities are exactly the loop's
+invariants: phase ordering, deterministic counter accounting, the
+reclamation rule (a level's partitions outlive it by one level — the
+next level's superkey checks need them), and the boundary/resume
+protocol hooks observe.
+
+Every phase is wrapped in a span with attribute values computed as
+deltas of the always-on counters, so an attached trace and the final
+statistics agree by construction; with no span-providing hook the
+spans are a shared no-op and the delta bookkeeping is a handful of
+int reads per level.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.model.fd import FunctionalDependency
+from repro.model.relation import Relation
+from repro.search.hooks import LevelBoundary, resolve_span_provider
+from repro.search.instruments import SimpleMetrics
+from repro.search.measures import ValidityCriteria
+from repro.search.partitions import PartitionManager
+from repro.search.strategy import TraversalStrategy
+from repro.search.tracker import CandidateTracker
+from repro.testing import faults
+
+__all__ = ["LevelProgress", "SearchDriver"]
+
+
+@dataclass(frozen=True)
+class LevelProgress:
+    """Snapshot handed to the progress callback once per level."""
+
+    level: int
+    """Level number (left-hand sides of size ``level - 1`` are tested)."""
+
+    level_size: int
+    """Attribute sets in this level before pruning."""
+
+    dependencies_found: int
+    """Minimal dependencies emitted so far (all levels)."""
+
+    elapsed_seconds: float
+    """Wall-clock time since the search started."""
+
+
+class SearchDriver:
+    """One levelwise search over a relation's attribute-set lattice."""
+
+    def __init__(
+        self,
+        relation: Relation,
+        *,
+        tracker: CandidateTracker,
+        strategy: TraversalStrategy,
+        partitions: PartitionManager,
+        executor,
+        criteria: ValidityCriteria,
+        workspace,
+        metrics=None,
+        hooks=(),
+        progress: Callable[[LevelProgress], None] | None = None,
+        max_lhs_size: int | None = None,
+    ) -> None:
+        self.relation = relation
+        self.num_attributes = relation.num_attributes
+        self.full_mask = relation.schema.full_mask()
+        self.tracker = tracker
+        self.strategy = strategy
+        self.partitions = partitions
+        self.executor = executor
+        self.criteria = criteria
+        self.workspace = workspace
+        self.metrics = metrics if metrics is not None else SimpleMetrics()
+        self.progress = progress
+        self.max_lhs_size = max_lhs_size
+        self._hooks = tuple(hooks)
+        self._span = resolve_span_provider(self._hooks)
+        # Instruments are cached so the hot loops pay one attribute
+        # increment per event.
+        self._c_tests = self.metrics.counter("tane.validity_tests")
+        self._c_errors = self.metrics.counter("tane.error_computations")
+        self._c_bounds = self.metrics.counter("tane.g3_bound_rejections")
+        self._c_keys = self.metrics.counter("tane.keys_found")
+        self._c_products = self.metrics.counter("tane.partition_products")
+        self._level_sizes = self.metrics.series("tane.level_sizes")
+        self._pruned_level_sizes = self.metrics.series("tane.pruned_level_sizes")
+
+    # ------------------------------------------------------------------
+    # Restore surface for resume-capable hooks
+    # ------------------------------------------------------------------
+
+    def restore_results(self, dependencies, keys) -> None:
+        """Re-record saved ``(lhs, rhs, error)`` triples and key masks."""
+        for lhs, rhs, error in dependencies:
+            self.tracker.add_dependency(FunctionalDependency(lhs, rhs, error))
+        self.tracker.keys.extend(keys)
+
+    def restore_metrics(self, counters: dict, series: dict) -> None:
+        """Re-apply saved counter values and per-level series."""
+        for name, value in counters.items():
+            self.metrics.counter(name).inc(value)
+        for name, values in series.items():
+            self.metrics.series(name).extend(values)
+
+    # ------------------------------------------------------------------
+
+    def run(self):
+        """Execute the search; return the strategy-shaped dependencies.
+
+        The tracker keeps the raw discovered state (``keys`` and the
+        full dependency set) for the composition root's result
+        assembly; the return value is :meth:`TraversalStrategy.finalize`
+        applied to it.
+        """
+        try:
+            self._search()
+        except BaseException:
+            for hook in self._hooks:
+                hook.on_failure(self)
+            raise
+        return self.strategy.finalize(self.tracker)
+
+    def _search(self) -> None:
+        max_level = (
+            self.num_attributes
+            if self.max_lhs_size is None
+            else min(self.num_attributes, self.max_lhs_size + 1)
+        )
+        level = self.partitions.bootstrap()
+        cplus_prev: dict[int, int] = {0: self.full_mask}
+        previous_level_masks: list[int] = [0]
+        level_number = 1
+        for hook in self._hooks:
+            resumed = hook.resume_state(self)
+            if resumed is not None:
+                level = resumed.level
+                cplus_prev = resumed.cplus_prev
+                previous_level_masks = resumed.previous_level_masks
+                level_number = resumed.level_number
+                break
+        search_start = time.perf_counter()
+        while level and level_number <= max_level:
+            faults.check("tane.level.start")
+            self._level_sizes.append(len(level))
+            if self.progress is not None:
+                self.progress(
+                    LevelProgress(
+                        level=level_number,
+                        level_size=len(level),
+                        dependencies_found=len(self.tracker.dependencies),
+                        elapsed_seconds=time.perf_counter() - search_start,
+                    )
+                )
+            with self._span("level", level=level_number) as level_span:
+                level_span.set("s_l", len(level))
+                tests_before = self._c_tests.value
+                errors_before = self._c_errors.value
+                bounds_before = self._c_bounds.value
+                deps_before = len(self.tracker.dependencies)
+                with self._span("compute_dependencies") as phase:
+                    cplus = self._compute_dependencies(level, cplus_prev)
+                    phase.set("tests", self._c_tests.value - tests_before)
+                    phase.set("error_computations", self._c_errors.value - errors_before)
+                    phase.set("bound_rejections", self._c_bounds.value - bounds_before)
+                    phase.set(
+                        "dependencies_found",
+                        len(self.tracker.dependencies) - deps_before,
+                    )
+                keys_before = len(self.tracker.keys)
+                with self._span("prune") as phase:
+                    surviving = self.tracker.prune(
+                        level, cplus, level_number, self.partitions.is_superkey
+                    )
+                    keys_delta = len(self.tracker.keys) - keys_before
+                    if keys_delta:
+                        self._c_keys.inc(keys_delta)
+                    phase.set("keys_found", keys_delta)
+                    phase.set("surviving", len(surviving))
+                self._pruned_level_sizes.append(len(surviving))
+                products_before = self._c_products.value
+                with self._span("generate_next_level") as phase:
+                    if level_number < max_level and not self.strategy.should_stop(
+                        self.tracker, level_number + 1
+                    ):
+                        next_level = self.partitions.materialize(
+                            self.strategy.expand(surviving)
+                        )
+                    else:
+                        next_level = []
+                    phase.set("products", self._c_products.value - products_before)
+                    phase.set("next_size", len(next_level))
+                level_span.set("surviving", len(surviving))
+                level_span.set("dependencies_total", len(self.tracker.dependencies))
+            self.partitions.reclaim(previous_level_masks)
+            previous_level_masks = level
+            cplus_prev = cplus
+            level = next_level
+            level_number += 1
+            self._notify_boundary(
+                level_number, level, previous_level_masks, cplus_prev, complete=False
+            )
+        self._notify_boundary(
+            level_number, [], previous_level_masks, cplus_prev, complete=True
+        )
+
+    def _notify_boundary(
+        self,
+        level_number: int,
+        level: list[int],
+        previous_level_masks: list[int],
+        cplus_prev: dict[int, int],
+        *,
+        complete: bool,
+    ) -> None:
+        if not self._hooks:
+            return
+        boundary = LevelBoundary(
+            level_number=level_number,
+            level=level,
+            previous_level_masks=previous_level_masks,
+            cplus_prev=cplus_prev,
+            complete=complete,
+        )
+        for hook in self._hooks:
+            hook.on_boundary(self, boundary)
+
+    def _compute_dependencies(
+        self, level: list[int], cplus_prev: dict[int, int]
+    ) -> dict[int, int]:
+        """COMPUTE-DEPENDENCIES: rhs+ sets, validity tests, recording.
+
+        The executor may shard the tests freely (the groups are
+        mutually independent — see
+        :meth:`CandidateTracker.testable_groups`); outcomes are applied
+        here in level order, so the dependency stream and every counter
+        are deterministic and identical across backends.
+        """
+        cplus = self.tracker.compute_cplus(level, cplus_prev)
+        groups = self.tracker.testable_groups(level, cplus)
+        outcomes = self.executor.validity_tests(
+            groups, self.partitions.get, self.criteria, self.workspace
+        )
+        position = 0
+        for mask, pairs in groups:
+            for rhs_index, lhs_mask in pairs:
+                # Silent-corruption fault point: repro.verify's own tests
+                # arm it to prove the harness catches a lying engine.
+                outcome = faults.mutate("tane.validity.outcome", outcomes[position])
+                position += 1
+                self._c_tests.inc()
+                if outcome.bound_rejected:
+                    self._c_bounds.inc()
+                if outcome.error_computed:
+                    self._c_errors.inc()
+                self.tracker.apply_outcome(mask, rhs_index, lhs_mask, outcome, cplus)
+        return cplus

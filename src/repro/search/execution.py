@@ -1,0 +1,86 @@
+"""The execution-backend contract of the search core.
+
+One lattice level has two embarrassingly parallel loops: the partition
+products of GENERATE-NEXT-LEVEL and the validity tests of
+COMPUTE-DEPENDENCIES.  The search driver delegates both to an
+execution backend with this duck-typed surface:
+
+``products(triples, fetch, workspace)``
+    Yield ``(candidate, partition)`` per product triple, in candidate
+    order (the driver streams them into the partition store).
+``validity_tests(groups, fetch, criteria, workspace)``
+    Run every group's tests; outcomes flattened in group order.
+``close()``
+    Release backend resources.
+``name`` / ``workers`` / ``usage``
+    Identification and telemetry for the statistics view.
+
+:class:`SerialExecution` is the in-process backend — exactly the
+historical single-core TANE loop, and the reference every other
+backend must match byte-for-byte.  The process-pool backend lives in
+:mod:`repro.parallel` and plugs in through the same surface; it
+subclasses nothing from this module on purpose (plugins depend on the
+core, never the reverse).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator, Sequence
+
+from repro.partition.vectorized import CsrPartition, PartitionWorkspace
+from repro.search.measures import ValidityCriteria, ValidityOutcome, evaluate_validity
+
+__all__ = ["Fetch", "ValidityGroups", "SerialExecution", "serial_validity"]
+
+Fetch = Callable[[int], CsrPartition]
+# ``(whole_mask, [(rhs_index, lhs_mask), ...])`` in level order; the
+# rhs indices ride along for the driver's benefit and are ignored here.
+ValidityGroups = Sequence[tuple[int, Sequence[tuple[int, int]]]]
+
+
+def serial_validity(
+    groups: ValidityGroups,
+    fetch: Fetch,
+    criteria: ValidityCriteria,
+    workspace: PartitionWorkspace,
+) -> list[ValidityOutcome]:
+    """The in-process test loop (store accesses in historical order)."""
+    outcomes: list[ValidityOutcome] = []
+    for whole_mask, pairs in groups:
+        pi_whole = fetch(whole_mask)
+        for _rhs, lhs_mask in pairs:
+            outcomes.append(
+                evaluate_validity(fetch(lhs_mask), pi_whole, criteria, workspace)
+            )
+    return outcomes
+
+
+class SerialExecution:
+    """Run every task inline — the classic single-core TANE loop."""
+
+    name = "serial"
+    workers = 1
+    usage = None
+
+    def products(
+        self,
+        triples: Sequence[tuple[int, int, int]],
+        fetch: Fetch,
+        workspace: PartitionWorkspace,
+    ) -> Iterator[tuple[int, CsrPartition]]:
+        """Yield ``(candidate, partition)`` per product triple, in order."""
+        for candidate, factor_x, factor_y in triples:
+            yield candidate, fetch(factor_x).product(fetch(factor_y), workspace)
+
+    def validity_tests(
+        self,
+        groups: ValidityGroups,
+        fetch: Fetch,
+        criteria: ValidityCriteria,
+        workspace: PartitionWorkspace,
+    ) -> list[ValidityOutcome]:
+        """Run every group's tests; outcomes flattened in group order."""
+        return serial_validity(groups, fetch, criteria, workspace)
+
+    def close(self) -> None:
+        """Nothing to release for the in-process backend."""

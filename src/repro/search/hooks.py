@@ -1,0 +1,160 @@
+"""The plugin seam of the search driver.
+
+Capabilities that previous iterations wove inline into the discovery
+loop — tracing spans, checkpoint save/restore, crash-path spill
+preservation — attach through :class:`SearchHooks` instead.  A hook
+observes the driver at four points:
+
+``span(name, **attributes)``
+    Wrap a loop phase in a span-like context manager.  The driver
+    calls this for the ``level`` / ``compute_dependencies`` /
+    ``prune`` / ``generate_next_level`` spans; the default returns a
+    shared no-op, so an unobserved run pays a handful of attribute
+    reads per level and nothing else.
+``resume_state(driver)``
+    Offer saved loop state before the first level runs.  The first
+    hook returning a :class:`ResumePoint` wins; returning ``None``
+    declines.
+``on_boundary(driver, boundary)``
+    A level finished (or the search completed, ``boundary.complete``):
+    durable-state plugins persist here.
+``on_failure(driver)``
+    The search is unwinding with an exception; last-chance salvage
+    (e.g. keeping spill files for a later resume).
+
+Hooks receive the driver itself and may read its ``tracker``,
+``partitions`` and ``metrics`` — the dependency points *into* the
+search core, never out of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.search.driver import SearchDriver
+
+__all__ = ["NullSpan", "NULL_SPAN", "LevelBoundary", "ResumePoint", "SearchHooks"]
+
+
+class NullSpan:
+    """No-op span: context manager with an attribute sink."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+    def set(self, key: str, value) -> None:
+        """Discard the attribute."""
+
+
+NULL_SPAN = NullSpan()
+"""Shared no-op span returned by the default :meth:`SearchHooks.span`."""
+
+
+@dataclass(frozen=True)
+class LevelBoundary:
+    """Loop state at a level boundary, as handed to ``on_boundary``.
+
+    The fields are exactly what a resumed search needs to continue:
+    the next level to run, the completed level's masks (still resident
+    for the next level's superkey checks), and its rhs+ sets.
+    """
+
+    level_number: int
+    """Number of the *next* level (the one about to run)."""
+
+    level: list
+    """Masks of the next level (empty when the search is done)."""
+
+    previous_level_masks: list
+    """Masks of the just-completed level."""
+
+    cplus_prev: dict
+    """rhs+ candidate sets of the just-completed level."""
+
+    complete: bool
+    """True on the final boundary: the search has finished."""
+
+
+@dataclass(frozen=True)
+class ResumePoint:
+    """Saved loop state offered by :meth:`SearchHooks.resume_state`."""
+
+    level_number: int
+    level: list
+    previous_level_masks: list
+    cplus_prev: dict
+
+
+class SearchHooks:
+    """Base hook: every method is a no-op; subclass what you observe."""
+
+    def span(self, name: str, **attributes):
+        """Return a span-like context manager for a loop phase."""
+        return NULL_SPAN
+
+    def resume_state(self, driver: "SearchDriver") -> ResumePoint | None:
+        """Offer saved state to resume from, or ``None`` to decline."""
+        return None
+
+    def on_boundary(self, driver: "SearchDriver", boundary: LevelBoundary) -> None:
+        """A level (or the whole search) completed."""
+
+    def on_failure(self, driver: "SearchDriver") -> None:
+        """The search is unwinding with an exception."""
+
+
+def resolve_span_provider(hooks) -> "callable":
+    """Collapse the hooks' span methods into one callable.
+
+    Most runs have exactly one span-providing hook (tracing), so the
+    common cases — none or one — resolve to a direct call with no
+    per-span dispatch loop.
+    """
+    providers = [
+        hook.span for hook in hooks if type(hook).span is not SearchHooks.span
+    ]
+    if not providers:
+        return _null_span
+    if len(providers) == 1:
+        return providers[0]
+
+    def fan(name: str, **attributes):
+        return _FanSpan([provider(name, **attributes) for provider in providers])
+
+    return fan
+
+
+def _null_span(name: str, **attributes) -> NullSpan:
+    return NULL_SPAN
+
+
+class _FanSpan:
+    """Context manager fanning one phase out to several span providers."""
+
+    __slots__ = ("_spans", "_entered")
+
+    def __init__(self, spans) -> None:
+        self._spans = spans
+        self._entered = []
+
+    def __enter__(self) -> "_FanSpan":
+        for span in self._spans:
+            self._entered.append(span.__enter__())
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        suppressed = False
+        for span in reversed(self._spans):
+            suppressed = bool(span.__exit__(*exc_info)) or suppressed
+        return suppressed
+
+    def set(self, key: str, value) -> None:
+        for span in self._entered:
+            span.set(key, value)

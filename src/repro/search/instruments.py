@@ -1,0 +1,93 @@
+"""Minimal metrics instruments for a standalone search core.
+
+The driver records its deterministic counters through a duck-typed
+registry: ``counter(name)`` / ``series(name)`` / ``gauge(name)``
+returning instruments with ``inc``/``append``/``extend``/``set``, plus
+``counter_value`` / ``series_values`` / ``gauge_value`` accessors.
+:class:`~repro.obs.metrics.MetricsRegistry` satisfies the surface and
+is what the composition root injects in production (sharing the
+registry with an attached tracer); :class:`SimpleMetrics` here is the
+dependency-free implementation the search core defaults to, so the
+package stays runnable — and unit-testable — without the
+observability layer.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Counter", "Series", "Gauge", "SimpleMetrics"]
+
+
+class Counter:
+    """A monotone event counter."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (default 1) to the counter."""
+        self.value += amount
+
+
+class Series:
+    """An append-only sequence of per-level observations."""
+
+    __slots__ = ("values",)
+
+    def __init__(self) -> None:
+        self.values: list = []
+
+    def append(self, value) -> None:
+        """Record one observation."""
+        self.values.append(value)
+
+    def extend(self, values) -> None:
+        """Record a batch of observations (checkpoint restore)."""
+        self.values.extend(values)
+
+
+class Gauge:
+    """A last-value-wins measurement."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def set(self, value) -> None:
+        """Overwrite the gauge with the latest measurement."""
+        self.value = value
+
+
+class SimpleMetrics:
+    """The duck-typed metrics registry, with no observability coupling."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._series: dict[str, Series] = {}
+        self._gauges: dict[str, Gauge] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter registered under ``name`` (created on first use)."""
+        return self._counters.setdefault(name, Counter())
+
+    def series(self, name: str) -> Series:
+        """The series registered under ``name`` (created on first use)."""
+        return self._series.setdefault(name, Series())
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under ``name`` (created on first use)."""
+        return self._gauges.setdefault(name, Gauge())
+
+    def counter_value(self, name: str) -> int:
+        """Current value of a counter."""
+        return self.counter(name).value
+
+    def series_values(self, name: str) -> list:
+        """Copy of a series' observations."""
+        return list(self.series(name).values)
+
+    def gauge_value(self, name: str):
+        """Current value of a gauge."""
+        return self.gauge(name).value

@@ -1,0 +1,179 @@
+"""The validity test of COMPUTE-DEPENDENCIES as a pure function.
+
+Lines 5/5' of the paper decide whether ``X \\ {A} -> A`` holds — by the
+O(1) rank comparison of Lemma 2 for exact discovery, or by comparing a
+``g3``/``g1``/``g2`` error against ``epsilon`` for the approximate
+variant.  The function lives in the search core (rather than inside
+the driver loop) so that pool workers and the in-process serial path
+execute *exactly* the same code: parity between the ``serial`` and
+``process`` executors then follows by construction.
+
+The measure-specific branch is factored behind the :class:`Measure`
+protocol: each measure evaluates one approximate validity test given
+the two partitions and returns a :class:`ValidityOutcome`.  All three
+measures are monotone non-increasing under lhs growth, which is the
+property the levelwise minimality logic (and the top-k bound cutoff)
+relies on; only ``g3`` has the O(1) lower-bound short-circuit of the
+extended paper.
+
+Counter bookkeeping is returned as flags on the outcome instead of
+being applied to a stats object, so the driver can aggregate counts in
+deterministic task order regardless of which process did the work.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import NamedTuple
+
+from repro.partition.errors import g1_error, g2_error
+from repro.partition.vectorized import CsrPartition, PartitionWorkspace
+
+__all__ = [
+    "MEASURES",
+    "Measure",
+    "ValidityCriteria",
+    "ValidityOutcome",
+    "evaluate_validity",
+]
+
+
+class ValidityCriteria(NamedTuple):
+    """The configuration slice a validity test depends on (picklable)."""
+
+    epsilon: float
+    """Error threshold; ``0.0`` means exact discovery."""
+
+    epsilon_count: int
+    """``floor(epsilon * |r|)``: max removable rows for g3 validity."""
+
+    measure: str
+    """``"g3"``, ``"g1"`` or ``"g2"``."""
+
+    use_g3_bounds: bool
+    """Short-circuit g3 tests with the O(1) lower bound."""
+
+    num_rows: int
+    """``|r|`` of the relation under test."""
+
+
+class ValidityOutcome(NamedTuple):
+    """Result of one validity test plus its counter flags."""
+
+    valid: bool
+    """The dependency holds within ``epsilon``."""
+
+    exactly_valid: bool
+    """The dependency holds exactly (rank comparison, Lemma 2)."""
+
+    error: float
+    """The measured (or bounding) error fraction."""
+
+    bound_rejected: bool
+    """Resolved by the O(1) g3 lower bound alone."""
+
+    error_computed: bool
+    """An exact O(|r|) error computation was performed."""
+
+
+class Measure(ABC):
+    """One approximate error measure, as a validity-test evaluator.
+
+    :meth:`evaluate` is called only after the exact rank test failed
+    and only when ``epsilon > 0``; it decides approximate validity and
+    reports the measured error plus the counter flags.
+    """
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def evaluate(
+        self,
+        pi_lhs: CsrPartition,
+        pi_whole: CsrPartition,
+        criteria: ValidityCriteria,
+        workspace: PartitionWorkspace | None,
+    ) -> ValidityOutcome:
+        """Test ``g(X∖{A} -> A) <= epsilon`` for this measure."""
+
+
+class G3Measure(Measure):
+    """The paper's ``g3``: fraction of rows to remove (Section 2).
+
+    The O(1) lower bound of the extended version can reject a test
+    without the O(|r|) exact error computation; the flag on the
+    outcome records which path resolved the test.
+    """
+
+    name = "g3"
+
+    def evaluate(self, pi_lhs, pi_whole, criteria, workspace):
+        """Bound short-circuit first, exact g3 count otherwise."""
+        if criteria.use_g3_bounds:
+            lower, _ = pi_lhs.g3_bound_counts(pi_whole)
+            if lower > criteria.epsilon_count:
+                return ValidityOutcome(
+                    False, False, lower / criteria.num_rows, True, False
+                )
+        error_count = pi_lhs.g3_error_count(pi_whole, workspace)
+        return ValidityOutcome(
+            error_count <= criteria.epsilon_count,
+            False,
+            error_count / criteria.num_rows,
+            False,
+            True,
+        )
+
+
+class G1Measure(Measure):
+    """Kivinen & Mannila's ``g1``: fraction of violating row pairs."""
+
+    name = "g1"
+
+    def evaluate(self, pi_lhs, pi_whole, criteria, workspace):
+        """Always the exact O(|r|) pair-count computation."""
+        error = g1_error(pi_lhs, pi_whole)
+        return ValidityOutcome(
+            error <= criteria.epsilon + 1e-12, False, error, False, True
+        )
+
+
+class G2Measure(Measure):
+    """Kivinen & Mannila's ``g2``: fraction of rows in violations."""
+
+    name = "g2"
+
+    def evaluate(self, pi_lhs, pi_whole, criteria, workspace):
+        """Always the exact O(|r|) violating-row computation."""
+        error = g2_error(pi_lhs, pi_whole)
+        return ValidityOutcome(
+            error <= criteria.epsilon + 1e-12, False, error, False, True
+        )
+
+
+MEASURES: dict[str, Measure] = {
+    measure.name: measure for measure in (G3Measure(), G1Measure(), G2Measure())
+}
+"""Registry of the supported error measures, keyed by name.  The key
+order is the canonical enumeration used in configuration errors."""
+
+
+def evaluate_validity(
+    pi_lhs: CsrPartition,
+    pi_whole: CsrPartition,
+    criteria: ValidityCriteria,
+    workspace: PartitionWorkspace | None = None,
+) -> ValidityOutcome:
+    """Test ``X \\ {A} -> A`` given ``pi_lhs = π_{X∖{A}}`` and ``pi_whole = π_X``.
+
+    Exact validity is the O(1) rank comparison of Lemma 2.  The
+    approximate variant dispatches to the configured :class:`Measure`;
+    under ``g3`` the O(1) lower bound can reject without the O(|r|)
+    exact computation, while ``g1``/``g2`` are always computed exactly.
+    """
+    exactly_valid = pi_lhs.error_count == pi_whole.error_count
+    if exactly_valid:
+        return ValidityOutcome(True, True, 0.0, False, False)
+    if criteria.epsilon == 0.0:
+        return ValidityOutcome(False, False, 0.0, False, False)
+    return MEASURES[criteria.measure].evaluate(pi_lhs, pi_whole, criteria, workspace)

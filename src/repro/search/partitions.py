@@ -1,0 +1,218 @@
+"""Partition lifecycle management for the levelwise search.
+
+The :class:`PartitionManager` owns every interaction between the
+search loop and stripped partitions: bootstrapping π_∅ and the
+singleton partitions, scheduling the partition products of
+GENERATE-NEXT-LEVEL through the execution backend (streaming results
+into the store so products become resident — and may spill — while
+later shards still compute), reclaiming a level's partitions once the
+next level exists, recomputing partitions for checkpoint restore
+(Lemma 3, via the singleton products), and preserving spill files on
+the crash path.
+
+The driver and tracker never touch the store directly — they fetch
+through :meth:`get` / :meth:`is_superkey`, so the storage policy
+(memory vs disk, spill budgets) stays a construction-time concern of
+the composition root.
+"""
+
+from __future__ import annotations
+
+from repro import _bitset
+from repro.model.relation import Relation
+from repro.partition.store import DiskPartitionStore, PartitionStore
+from repro.partition.vectorized import PartitionWorkspace
+from repro.search.instruments import Counter
+from repro.testing import faults
+
+__all__ = ["PartitionManager"]
+
+
+class PartitionManager:
+    """Partition bootstrap, product scheduling, and reclamation.
+
+    Parameters
+    ----------
+    relation:
+        The relation under search (column codes feed the singleton
+        partitions).
+    partition_cls:
+        Partition implementation (:class:`CsrPartition` or the pure
+        reference engine); must provide ``single_class``,
+        ``from_column`` and ``product``.
+    store:
+        The partition store; the manager uses it but never closes it —
+        store lifetime belongs to the composition root.
+    workspace:
+        Scratch buffers shared by all product computations.
+    executor:
+        Execution backend supplying the ``products`` stream.
+    products_counter:
+        Counter instrument bumped once per computed product; defaults
+        to a private throwaway counter.
+    partition_strategy:
+        ``"pairwise"`` (the paper's product of two previous-level
+        partitions, Lemma 3) or ``"from_singletons"`` (re-multiply the
+        singleton partitions — the ablation-only Schlimmer model of
+        Section 6, always serial).
+    """
+
+    def __init__(
+        self,
+        relation: Relation,
+        partition_cls,
+        store: PartitionStore,
+        workspace: PartitionWorkspace,
+        executor,
+        *,
+        products_counter: Counter | None = None,
+        partition_strategy: str = "pairwise",
+    ) -> None:
+        self.relation = relation
+        self.num_rows = relation.num_rows
+        self.num_attributes = relation.num_attributes
+        self.partition_cls = partition_cls
+        self.store = store
+        self.workspace = workspace
+        self.executor = executor
+        self.partition_strategy = partition_strategy
+        self._c_products = products_counter if products_counter is not None else Counter()
+        self._singletons: list = []
+
+    # ------------------------------------------------------------------
+    # Bootstrap and access
+    # ------------------------------------------------------------------
+
+    def bootstrap(self, *, include_empty: bool = True) -> list[int]:
+        """Load π_∅ and the singleton partitions; return level 1.
+
+        π_∅ (one class holding every row) is needed to test the
+        level-1 dependencies ``∅ -> A``; UCC discovery skips it.
+        """
+        if include_empty:
+            self.store.put(0, self.partition_cls.single_class(self.num_rows))
+        self._singletons = [
+            self.partition_cls.from_column(self.relation.column_codes(i), self.num_rows)
+            for i in range(self.num_attributes)
+        ]
+        for i, partition in enumerate(self._singletons):
+            self.store.put(_bitset.bit(i), partition)
+        return [_bitset.bit(i) for i in range(self.num_attributes)]
+
+    def get(self, mask: int):
+        """Fetch ``π_mask`` from the store."""
+        return self.store.get(mask)
+
+    def is_superkey(self, mask: int) -> bool:
+        """``e(π_mask) == 0``: no two rows agree on ``mask``."""
+        return self.store.get(mask).is_superkey()
+
+    def error_count(self, mask: int) -> int:
+        """``e(π_mask)``: rows to remove for ``mask`` to be unique."""
+        return self.store.get(mask).error_count
+
+    # ------------------------------------------------------------------
+    # GENERATE-NEXT-LEVEL products
+    # ------------------------------------------------------------------
+
+    def materialize(self, triples: list[tuple[int, int, int]]) -> list[int]:
+        """Compute and store the partitions of the next level.
+
+        ``triples`` are ``(candidate, factor_x, factor_y)`` from the
+        traversal strategy; the returned list is the next level's
+        masks in candidate order.
+        """
+        next_level: list[int] = []
+        if self.partition_strategy != "pairwise":
+            # Ablation-only strategy; always serial (see TaneConfig).
+            for candidate, _factor_x, _factor_y in triples:
+                self.store.put(candidate, self.product_from_singletons(candidate))
+                next_level.append(candidate)
+            return next_level
+
+        products = self.executor.products(triples, self.store.get, self.workspace)
+
+        def stream():
+            # The store consumes the executor's result stream directly:
+            # products become resident (and may spill) while later
+            # shards are still computing in the pool.
+            for candidate, product in products:
+                faults.check("tane.products.consume")
+                self._c_products.inc()
+                next_level.append(candidate)
+                yield candidate, product
+
+        try:
+            put_many = getattr(self.store, "put_many", None)
+            if put_many is not None:
+                put_many(stream())
+            else:  # minimal PartitionStore implementations
+                for candidate, product in stream():
+                    self.store.put(candidate, product)
+        finally:
+            # Deterministic cleanup: if the store raised between yields
+            # the executor's generator would otherwise only finalize at
+            # GC, leaking its shared-memory block until then.
+            close = getattr(products, "close", None)
+            if close is not None:
+                close()
+        return next_level
+
+    def product_from_singletons(self, candidate: int, *, count: bool = True):
+        """Recompute ``π_candidate`` from the single-attribute partitions.
+
+        This is the paper's model of Schlimmer's decision-tree
+        approach (Section 6): "roughly equivalent to computing each
+        partition from partitions with respect to singletons ...
+        slower by a factor O(|R|) than using partitions the way we
+        do."  Used by the ablation benchmark and — with ``count=False``
+        so restored counters stay identical to an uninterrupted run —
+        by checkpoint resume.
+        """
+        indices = _bitset.to_indices(candidate)
+        product = self._singletons[indices[0]]
+        for index in indices[1:]:
+            product = product.product(self._singletons[index], self.workspace)
+            if count:
+                self._c_products.inc()
+        return product
+
+    # ------------------------------------------------------------------
+    # Reclamation, restore, crash path
+    # ------------------------------------------------------------------
+
+    def reclaim(self, masks: list[int]) -> None:
+        """Drop a completed level's partitions from the store."""
+        for mask in masks:
+            self.store.discard(mask)
+
+    def restore(self, mask: int) -> None:
+        """Re-establish ``π_mask`` for checkpoint resume.
+
+        π_∅ and singletons are rebuilt by the bootstrap; larger masks
+        are adopted from the disk store's spill files when present,
+        otherwise recomputed from the singleton partitions without
+        perturbing the deterministic counters.
+        """
+        if _bitset.popcount(mask) <= 1:
+            return
+        if isinstance(self.store, DiskPartitionStore) and self.store.adopt_spilled(
+            mask, self.num_rows
+        ):
+            return
+        self.store.put(mask, self.product_from_singletons(mask, count=False))
+
+    def preserve_spill_files(self) -> None:
+        """Keep spill files on a crash: they are the partitions a
+        checkpoint resume would otherwise recompute."""
+        if isinstance(self.store, DiskPartitionStore):
+            self.store.preserve_spill_files = True
+
+    def collect_stats(self, metrics) -> None:
+        """Publish the store's I/O telemetry as gauges."""
+        store = self.store
+        if isinstance(store, DiskPartitionStore):
+            metrics.gauge("store.spill_count").set(store.spill_count)
+            metrics.gauge("store.load_count").set(store.load_count)
+        peak = getattr(store, "peak_resident_bytes", 0)
+        metrics.gauge("store.peak_resident_bytes").set(int(peak))

@@ -1,0 +1,161 @@
+"""Traversal strategies: how the search walks the attribute-set lattice.
+
+The classic algorithm walks the containment lattice breadth-first with
+apriori candidate generation (GENERATE-NEXT-LEVEL, Section 5).  The
+:class:`TraversalStrategy` seam makes that walk a component: a
+strategy decides which candidates the next level holds, whether the
+search can stop early, and how the discovered dependencies are shaped
+into the final result.
+
+Two strategies ship:
+
+* :class:`LevelwiseStrategy` — the paper's full walk; finds every
+  minimal dependency.
+* :class:`TopKStrategy` — the same walk, cut off by a monotone bound
+  once the k best dependencies are provably found, returning only
+  those k (ranked by error, then lhs size, then lexicographic mask).
+  The cutoff needs only the trivial bound that an undiscovered
+  dependency has error ≥ 0 and an lhs at least as large as the next
+  level's, so it is safe for ``g3``/``g1``/``g2`` alike.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any
+
+from repro import _bitset
+from repro.core.lattice import generate_next_level
+from repro.exceptions import ConfigurationError
+from repro.model.fd import FDSet, FunctionalDependency
+from repro.search.tracker import CandidateTracker
+
+__all__ = [
+    "STRATEGIES",
+    "TraversalStrategy",
+    "LevelwiseStrategy",
+    "TopKStrategy",
+    "make_strategy",
+    "rank_key",
+]
+
+
+def rank_key(fd: FunctionalDependency) -> tuple[float, int, int, int]:
+    """Total order on dependencies: error, then lhs size, then masks.
+
+    The deterministic tie-break (lhs size before lexicographic mask
+    and rhs) makes top-k results reproducible and lets the cutoff
+    reason about the best possible rank of an undiscovered dependency.
+    """
+    return (fd.error, _bitset.popcount(fd.lhs), fd.lhs, fd.rhs)
+
+
+class TraversalStrategy(ABC):
+    """How one search walks the lattice and shapes its result."""
+
+    name: str = "abstract"
+
+    def fingerprint(self) -> dict[str, Any]:
+        """The strategy's contribution to a checkpoint fingerprint."""
+        return {"strategy": self.name}
+
+    @abstractmethod
+    def expand(self, surviving: list[int]) -> list[tuple[int, int, int]]:
+        """Candidate ``(candidate, factor_x, factor_y)`` triples of the
+        next level, given the current level's surviving sets."""
+
+    def should_stop(self, tracker: CandidateTracker, next_level_number: int) -> bool:
+        """May the search skip generating level ``next_level_number``?
+
+        Called before expansion; ``False`` (the default) walks the
+        full lattice.
+        """
+        return False
+
+    def finalize(self, tracker: CandidateTracker) -> FDSet:
+        """Shape the tracker's discovered dependencies into the result."""
+        return tracker.dependencies
+
+
+class LevelwiseStrategy(TraversalStrategy):
+    """The paper's breadth-first walk with apriori generation."""
+
+    name = "levelwise"
+
+    def expand(self, surviving: list[int]) -> list[tuple[int, int, int]]:
+        """Apriori candidate generation over the surviving sets."""
+        return generate_next_level(surviving)
+
+
+class TopKStrategy(TraversalStrategy):
+    """Return the k best minimal dependencies at the threshold.
+
+    The walk is the standard levelwise search (so every emitted
+    dependency is minimal and its error definitionally correct), but
+    it stops as soon as no undiscovered dependency can displace the
+    current k best.  The bound is monotone in the level number: a
+    dependency first tested at level ℓ has ``lhs`` size ℓ-1 and error
+    ≥ 0, so its rank is at least ``(0.0, ℓ-1, ...)``; every
+    already-ranked dependency has a strictly smaller lhs, so once the
+    k-th best error is 0.0 no future candidate can beat it.  In exact
+    mode (``epsilon = 0``) every found dependency has error 0.0 and
+    the search stops at the first level boundary with k results in
+    hand; with ``epsilon > 0`` the cutoff fires only when the k best
+    all hold exactly.
+
+    The truncation happens in :meth:`finalize`; mid-search state (and
+    therefore checkpoints) keeps the full discovered set, so a resumed
+    top-k run continues — and ranks — exactly as an uninterrupted one.
+    """
+
+    name = "topk"
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ConfigurationError(f"top-k requires k >= 1, got {k}")
+        self.k = k
+
+    def fingerprint(self) -> dict[str, Any]:
+        """Checkpoint identity: the strategy name plus ``k``."""
+        return {"strategy": self.name, "k": self.k}
+
+    def expand(self, surviving: list[int]) -> list[tuple[int, int, int]]:
+        """Apriori candidate generation over the surviving sets."""
+        return generate_next_level(surviving)
+
+    def should_stop(self, tracker: CandidateTracker, next_level_number: int) -> bool:
+        """Stop once no undiscovered dependency can displace the k best."""
+        dependencies = tracker.dependencies
+        if len(dependencies) < self.k:
+            return False
+        ranks = sorted(rank_key(fd) for fd in dependencies)
+        kth_error, kth_lhs_size = ranks[self.k - 1][:2]
+        # Any undiscovered dependency ranks >= (0.0, next_level_number - 1, ...);
+        # kth_lhs_size < next_level_number - 1 always holds (the k-th
+        # best was found at an earlier level), so the bound reduces to
+        # the k-th best holding exactly.
+        return kth_error == 0.0 and kth_lhs_size < next_level_number - 1
+
+    def finalize(self, tracker: CandidateTracker) -> FDSet:
+        """Rank the discovered dependencies and keep the k best."""
+        ranked = sorted(tracker.dependencies, key=rank_key)[: self.k]
+        result = FDSet()
+        for fd in ranked:
+            result.add(fd)
+        return result
+
+
+STRATEGIES = ("levelwise", "topk")
+"""The canonical strategy names, in the order configuration errors
+enumerate them."""
+
+
+def make_strategy(name: str, *, top_k: int = 0) -> TraversalStrategy:
+    """Resolve a strategy name (plus its parameters) to an instance."""
+    if name == "levelwise":
+        return LevelwiseStrategy()
+    if name == "topk":
+        return TopKStrategy(top_k)
+    raise ConfigurationError(
+        f"unknown strategy {name!r}; valid choices: {', '.join(STRATEGIES)}"
+    )

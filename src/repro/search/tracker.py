@@ -1,0 +1,270 @@
+"""Candidate bookkeeping: rhs+ sets, dependency recording, pruning.
+
+The :class:`CandidateTracker` owns everything COMPUTE-DEPENDENCIES and
+PRUNE know about candidates (Sections 4-5 of the paper):
+
+* the rhs+ candidate sets ``C+`` computed per level by intersecting
+  the parents' sets (Lemma 4 justifies the intersection);
+* the testable ``(rhs, lhs)`` pairs of each level set;
+* applying validity outcomes — recording minimal dependencies and
+  shrinking ``C+`` (line 7, and line 8 / lines 8'-9' when the
+  dependency holds exactly);
+* the pruning rules: empty-``C+`` pruning (Lemma 5) and key pruning,
+  including the key-rule dependency emission with lazy mathematical
+  ``C+`` membership for never-generated sibling sets.
+
+The tracker is pure candidate logic: it touches partitions only
+through an injected ``is_superkey(mask)`` predicate, so it unit-tests
+against a hand-built lattice with no partitions at all.  The
+minimal-unique split at the heart of key pruning is exposed as
+:meth:`CandidateTracker.split_minimal_unique` and shared with UCC
+discovery (:mod:`repro.core.uccs`), which is the same rule applied to
+uniqueness instead of superkey-ness — the two can no longer drift.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro import _bitset
+from repro.model.fd import FDSet, FunctionalDependency
+
+__all__ = ["CandidateTracker"]
+
+
+class CandidateTracker:
+    """Per-run candidate state of one levelwise search.
+
+    Parameters
+    ----------
+    full_mask:
+        Bitmask of all attributes (``C+(∅) = R``).
+    epsilon:
+        The search threshold; ``0.0`` selects the exact-mode pruning
+        rules (key deletion is only sound for exact discovery).
+    use_rule8:
+        Apply line 8 of COMPUTE-DEPENDENCIES (the rhs+ refinement).
+    use_key_pruning:
+        Apply the key pruning rule of Section 4.
+    max_lhs_size:
+        Lhs size limit; gates key-rule dependency emission on the
+        boundary level.
+    """
+
+    def __init__(
+        self,
+        full_mask: int,
+        *,
+        epsilon: float = 0.0,
+        use_rule8: bool = True,
+        use_key_pruning: bool = True,
+        max_lhs_size: int | None = None,
+    ) -> None:
+        self.full_mask = full_mask
+        self.epsilon = epsilon
+        self.use_rule8 = use_rule8
+        self.use_key_pruning = use_key_pruning
+        self.max_lhs_size = max_lhs_size
+        self.dependencies = FDSet()
+        self.keys: list[int] = []
+        # Minimal-dependency lhs masks per rhs, for lazy C+ membership
+        # evaluation in the key-pruning rule (see _lazy_cplus_member).
+        self._lhs_by_rhs: dict[int, list[int]] = {}
+
+    # ------------------------------------------------------------------
+    # COMPUTE-DEPENDENCIES bookkeeping
+    # ------------------------------------------------------------------
+
+    def compute_cplus(
+        self, level: list[int], cplus_prev: dict[int, int]
+    ) -> dict[int, int]:
+        """``C+(X) = ∩_{A∈X} C+(X∖{A})`` for every level set (Lemma 4)."""
+        cplus: dict[int, int] = {}
+        for mask in level:
+            candidates = self.full_mask
+            for _, subset in _bitset.iter_subsets_one_smaller(mask):
+                candidates &= cplus_prev.get(subset, 0)
+                if candidates == 0:
+                    break
+            cplus[mask] = candidates
+        return cplus
+
+    def testable_groups(
+        self, level: list[int], cplus: dict[int, int]
+    ) -> list[tuple[int, list[tuple[int, int]]]]:
+        """The level's validity tests as ``(whole_mask, [(rhs, lhs)])``.
+
+        The testable rhs set of each mask is fixed by ``cplus``
+        *before* any test runs, and test results only mutate that
+        mask's own ``cplus`` entry, so the groups are mutually
+        independent — an execution backend may shard them freely.
+        """
+        groups: list[tuple[int, list[tuple[int, int]]]] = []
+        for mask in level:
+            testable = mask & cplus[mask]
+            if testable == 0:
+                continue
+            pairs = [
+                (rhs_index, lhs_mask)
+                for rhs_index, lhs_mask in _bitset.iter_subsets_one_smaller(mask)
+                if _bitset.contains(testable, rhs_index)
+            ]
+            groups.append((mask, pairs))
+        return groups
+
+    def apply_outcome(
+        self, mask: int, rhs_index: int, lhs_mask: int, outcome, cplus: dict[int, int]
+    ) -> None:
+        """Fold one validity outcome into the candidate state.
+
+        A valid test records the minimal dependency and removes the
+        rhs from ``C+(mask)`` (line 7); when the dependency holds
+        *exactly*, line 8 (exact) / lines 8'-9' (approximate)
+        additionally remove all attributes outside ``X``.
+        """
+        if outcome.valid:
+            self.add_dependency(
+                FunctionalDependency(lhs_mask, rhs_index, outcome.error)
+            )
+            cplus[mask] &= ~_bitset.bit(rhs_index)
+            if self.use_rule8 and outcome.exactly_valid:
+                cplus[mask] &= mask
+
+    # ------------------------------------------------------------------
+    # PRUNE
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def split_minimal_unique(
+        level: list[int], is_unique: Callable[[int], bool]
+    ) -> tuple[list[int], list[int]]:
+        """Split a level into (minimal unique sets, the rest), in order.
+
+        The shared kernel of key pruning and UCC discovery: when
+        candidates are generated aprioristically over the *non-unique*
+        sets, any unique set reaching a level is minimal — its unique
+        subsets would have been removed, preventing its generation.
+        """
+        unique: list[int] = []
+        rest: list[int] = []
+        for mask in level:
+            (unique if is_unique(mask) else rest).append(mask)
+        return unique, rest
+
+    def prune(
+        self,
+        level: list[int],
+        cplus: dict[int, int],
+        level_number: int,
+        is_superkey: Callable[[int], bool],
+    ) -> list[int]:
+        """PRUNE (Section 5): empty-``C+`` pruning and key pruning.
+
+        Key pruning — deleting a key ``X`` after emitting its
+        dependencies — is only applied to *exact* discovery.  Its
+        safety proof needs exact validity: a dependency ``Y → A``
+        normally tested at a pruned superset of the key is exactly
+        valid only if ``Y`` is itself a superkey, and is then emitted
+        by the key rule.  With ``epsilon > 0`` that implication fails
+        (``Y → A`` can be approximately valid and minimal with ``Y``
+        not a superkey), so deleting keys would lose dependencies; in
+        approximate mode keys are recorded but the search continues
+        through them.
+        """
+        exact = self.epsilon == 0.0
+        emit_key_rule_deps = (
+            self.max_lhs_size is None or level_number <= self.max_lhs_size
+        )
+        if self.use_key_pruning and exact:
+            found, rest = self.split_minimal_unique(level, is_superkey)
+            for mask in found:
+                self.keys.append(mask)
+                if cplus[mask] and emit_key_rule_deps:
+                    self._emit_key_rule_dependencies(mask, cplus)
+            return [mask for mask in rest if cplus[mask] != 0]
+        surviving: list[int] = []
+        for mask in level:
+            if self.use_key_pruning and is_superkey(mask):
+                # Approximate mode: record the key if it is minimal
+                # (no immediate subset is a superkey), but keep it.
+                if self._is_minimal_key(mask, is_superkey):
+                    self.keys.append(mask)
+            if cplus[mask] == 0:
+                continue
+            surviving.append(mask)
+        return surviving
+
+    def _is_minimal_key(
+        self, mask: int, is_superkey: Callable[[int], bool]
+    ) -> bool:
+        """True if ``mask`` is a superkey and no immediate subset is.
+
+        Only needed in approximate mode, where superkeys are not
+        deleted and can therefore reappear inside larger sets.
+        """
+        for _, subset in _bitset.iter_subsets_one_smaller(mask):
+            if is_superkey(subset):
+                return False
+        return True
+
+    def _emit_key_rule_dependencies(self, key_mask: int, cplus: dict[int, int]) -> None:
+        """Lines 5-7 of PRUNE: output ``X -> A`` for a (super)key ``X``.
+
+        ``X -> A`` is emitted for each rhs+ candidate ``A`` outside
+        ``X`` that belongs to the rhs+ set of every same-level set
+        ``X ∪ {A} \\ {B}``.  Such a sibling set may never have been
+        *generated* (one of its subsets was key-pruned at a lower
+        level); its mathematical ``C+`` membership is then evaluated
+        lazily from the minimal dependencies discovered so far, which
+        are complete for all left-hand sides smaller than the current
+        level.
+        """
+        outside = cplus[key_mask] & ~key_mask
+        for rhs_index in _bitset.iter_bits(outside):
+            rhs_bit = _bitset.bit(rhs_index)
+            minimal = True
+            for lhs_attr in _bitset.iter_bits(key_mask):
+                sibling = (key_mask | rhs_bit) ^ _bitset.bit(lhs_attr)
+                stored = cplus.get(sibling)
+                if stored is not None:
+                    member = _bitset.contains(stored, rhs_index)
+                else:
+                    member = self._lazy_cplus_member(sibling, rhs_index)
+                if not member:
+                    minimal = False
+                    break
+            if minimal:
+                self.add_dependency(FunctionalDependency(key_mask, rhs_index, 0.0))
+
+    def _lazy_cplus_member(self, set_mask: int, attribute: int) -> bool:
+        """Evaluate ``attribute ∈ C+(set_mask)`` from the definition.
+
+        ``C+(Y) = {A ∈ R | for all B ∈ Y, Y∖{A,B} → B does not hold}``
+        (Section 4).  The validity of ``Y∖{A,B} → B`` is decided
+        against the minimal dependencies found so far: a dependency
+        holds iff some discovered minimal dependency with the same rhs
+        has its lhs contained in ``Y∖{A,B}``.  All the consulted
+        left-hand sides are smaller than the current level, for which
+        discovery is already complete, so the answer is exact.
+        """
+        a_bit = _bitset.bit(attribute)
+        for b_index in _bitset.iter_bits(set_mask):
+            lhs = set_mask & ~a_bit & ~_bitset.bit(b_index)
+            if self._holds_by_discovered(lhs, b_index):
+                return False
+        return True
+
+    def _holds_by_discovered(self, lhs_mask: int, rhs_index: int) -> bool:
+        """True iff ``lhs_mask -> rhs_index`` follows from a discovered
+        minimal dependency (some minimal lhs is contained in it)."""
+        for minimal_lhs in self._lhs_by_rhs.get(rhs_index, ()):
+            if minimal_lhs & ~lhs_mask == 0:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+
+    def add_dependency(self, dependency: FunctionalDependency) -> None:
+        """Record a minimal dependency (also used by checkpoint restore)."""
+        self.dependencies.add(dependency)
+        self._lhs_by_rhs.setdefault(dependency.rhs, []).append(dependency.lhs)

@@ -64,6 +64,11 @@ over-represented (it is the configuration every benchmark uses)."""
 _MAX_SHRINK_EVALUATIONS = 150
 """Upper bound on predicate re-runs during one shrink."""
 
+_FUZZ_TOPK = 3
+"""``k`` for the top-k strategy check every fuzz seed runs: small
+enough to exercise the early-stopping cutoff on most relations, large
+enough that ranking ties matter."""
+
 
 def relation_for_seed(seed: int) -> tuple[Relation, str]:
     """Derive the fuzz relation for a seed, plus a description string.
@@ -193,11 +198,15 @@ def _make_recheck(scenario: Scenario, cells, target: Mismatch, seed: int, workdi
     needed = [cells[0]]
     needed.extend(cell for cell in cells[1:] if cell.name == target.cell)
     oracles = target.cell.startswith("oracle:")
+    # Strategy targets need only the reference run plus the strategy
+    # comparison itself; oracles contribute nothing to the recheck.
+    topk = _FUZZ_TOPK if target.cell.startswith("strategy:") else None
 
     def recheck(relation: Relation) -> bool:
         try:
             report = verify_relation(
-                relation, scenario, needed, workdir=workdir, oracles=oracles
+                relation, scenario, needed,
+                workdir=workdir, oracles=oracles, topk=topk,
             )
         except Exception:
             return False
@@ -319,8 +328,11 @@ def replay_case(case_dir: str | Path, *, workdir: str | Path) -> list[Mismatch]:
     if target.cell.startswith("metamorphic:"):
         return run_metamorphic(relation, scenario, seed=seed, workdir=workdir)
     oracles = target.cell.startswith("oracle:")
+    topk = _FUZZ_TOPK if target.cell.startswith("strategy:") else None
     needed = [cells[0]] + [c for c in cells[1:] if c.name == target.cell]
-    report = verify_relation(relation, scenario, needed, workdir=workdir, oracles=oracles)
+    report = verify_relation(
+        relation, scenario, needed, workdir=workdir, oracles=oracles, topk=topk
+    )
     return report.mismatches
 
 
@@ -340,7 +352,9 @@ def fuzz_seed(
     """
     relation, generator = relation_for_seed(seed)
     scenario = scenario_for_seed(seed)
-    report = verify_relation(relation, scenario, cells, workdir=workdir)
+    report = verify_relation(
+        relation, scenario, cells, workdir=workdir, topk=_FUZZ_TOPK
+    )
     mismatches = list(report.mismatches)
     if metamorphic:
         mismatches.extend(run_metamorphic(

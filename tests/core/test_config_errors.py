@@ -1,0 +1,72 @@
+"""Pinned error messages for every enumerated TaneConfig knob.
+
+A config error is a user-facing API surface: each message must name
+the offending value *and* enumerate every valid choice, so a typo is
+self-correcting without a docs round-trip.  One test per knob pins
+that contract.
+"""
+
+import pytest
+
+from repro.core.tane import TaneConfig
+from repro.exceptions import ConfigurationError
+
+
+def _config_error(**kwargs) -> str:
+    with pytest.raises(ConfigurationError) as excinfo:
+        TaneConfig(**kwargs)
+    return str(excinfo.value)
+
+
+class TestKnobMessages:
+    def test_measure_enumerates_choices(self):
+        message = _config_error(measure="g9")
+        assert "unknown measure 'g9'" in message
+        for choice in ("'g3'", "'g1'", "'g2'"):
+            assert choice in message
+
+    def test_engine_enumerates_choices(self):
+        message = _config_error(engine="gpu")
+        assert "unknown engine 'gpu'" in message
+        for choice in ("'vectorized'", "'pure'"):
+            assert choice in message
+
+    def test_executor_enumerates_choices(self):
+        message = _config_error(executor="threads")
+        assert "unknown executor 'threads'" in message
+        for choice in ("'auto'", "'serial'", "'process'"):
+            assert choice in message
+        # The executor knob also accepts injected instances; the
+        # message must say so.
+        assert "LevelExecutor instance" in message
+
+    def test_strategy_enumerates_choices(self):
+        message = _config_error(strategy="depthfirst")
+        assert "unknown strategy 'depthfirst'" in message
+        for choice in ("'levelwise'", "'topk'"):
+            assert choice in message
+
+    def test_partition_strategy_enumerates_choices(self):
+        message = _config_error(partition_strategy="cached")
+        assert "unknown partition_strategy 'cached'" in message
+        for choice in ("'pairwise'", "'from_singletons'"):
+            assert choice in message
+
+
+class TestTopKCoupling:
+    def test_topk_strategy_requires_k(self):
+        message = _config_error(strategy="topk")
+        assert "strategy='topk' requires top_k >= 1" in message
+
+    def test_negative_k_rejected(self):
+        message = _config_error(strategy="topk", top_k=-2)
+        assert "top_k must be >= 0" in message
+
+    def test_k_without_topk_strategy_rejected(self):
+        message = _config_error(top_k=5)
+        assert "only meaningful with strategy='topk'" in message
+        assert "'levelwise'" in message
+
+    def test_valid_topk_config_accepted(self):
+        config = TaneConfig(strategy="topk", top_k=5)
+        assert (config.strategy, config.top_k) == ("topk", 5)

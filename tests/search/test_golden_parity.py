@@ -1,0 +1,76 @@
+"""Behavior-preservation gate: the refactored stack must reproduce,
+bit for bit, the result signatures recorded from the pre-refactor
+monolith on ``examples/data/orders.csv``.
+
+The golden file pins dependencies, per-FD errors, keys, and every
+deterministic counter for seven scenario configurations (exact,
+traced, three approximate measures, lhs-limited, disk store).  Any
+drift in any of them is a refactor regression, not a test to update —
+unless a change intentionally alters search semantics, in which case
+regenerating the goldens must be a reviewed, stated decision.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.tane import TaneConfig, discover
+from repro.datasets.csvio import read_csv
+from repro.obs import InMemorySink, Tracer
+
+GOLDEN_PATH = Path(__file__).parent.parent / "data" / "golden_orders.json"
+
+CONFIGS = {
+    "exact": lambda: TaneConfig(),
+    "exact-traced": lambda: TaneConfig(tracer=Tracer(sinks=[InMemorySink()])),
+    "approx-g3-0.1": lambda: TaneConfig(epsilon=0.1),
+    "approx-g1-0.05": lambda: TaneConfig(epsilon=0.05, measure="g1"),
+    "approx-g2-0.2": lambda: TaneConfig(epsilon=0.2, measure="g2"),
+    "exact-maxlhs2": lambda: TaneConfig(max_lhs_size=2),
+    "exact-disk": lambda: TaneConfig(store="disk"),
+}
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+
+
+@pytest.fixture(scope="module")
+def relation(golden):
+    return read_csv(Path(__file__).parent.parent.parent / golden["relation"])
+
+
+@pytest.mark.parametrize("scenario", sorted(CONFIGS))
+def test_scenario_matches_pre_refactor_golden(golden, relation, scenario):
+    expected = golden["scenarios"][scenario]
+    result = discover(relation, CONFIGS[scenario]())
+    stats = result.statistics
+
+    fds = sorted([fd.lhs, fd.rhs] for fd in result.dependencies)
+    assert fds == expected["fds"], "dependency cover drifted"
+
+    errors = sorted([fd.lhs, fd.rhs, fd.error] for fd in result.dependencies)
+    assert errors == expected["errors"], "per-FD errors drifted"
+
+    assert sorted(result.keys) == expected["keys"], "keys drifted"
+
+    actual_counters = {
+        "error_computations": stats.error_computations,
+        "g3_bound_rejections": stats.g3_bound_rejections,
+        "keys_found": stats.keys_found,
+        "level_sizes": list(stats.level_sizes),
+        "partition_products": stats.partition_products,
+        "pruned_level_sizes": list(stats.pruned_level_sizes),
+        "validity_tests": stats.validity_tests,
+    }
+    assert actual_counters == expected["counters"], "deterministic counters drifted"
+
+
+def test_traced_and_untraced_signatures_agree(golden):
+    """Tracing must be observation only: the traced scenario's golden
+    equals the untraced one in every dimension."""
+    exact = golden["scenarios"]["exact"]
+    traced = golden["scenarios"]["exact-traced"]
+    assert exact == traced

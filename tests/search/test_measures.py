@@ -1,0 +1,106 @@
+"""Unit tests for the Measure protocol and evaluate_validity, in
+isolation from any driver or composition root."""
+
+import pytest
+
+from repro.partition.vectorized import CsrPartition, PartitionWorkspace
+from repro.search.measures import (
+    MEASURES,
+    ValidityCriteria,
+    evaluate_validity,
+)
+
+
+def _partition(codes):
+    return CsrPartition.from_column(codes, len(codes))
+
+
+def _criteria(epsilon, measure="g3", *, num_rows, use_g3_bounds=True):
+    return ValidityCriteria(
+        epsilon=epsilon,
+        epsilon_count=int(epsilon * num_rows + 1e-9),
+        measure=measure,
+        use_g3_bounds=use_g3_bounds,
+        num_rows=num_rows,
+    )
+
+
+class TestRegistry:
+    def test_all_measures_registered(self):
+        assert list(MEASURES) == ["g3", "g1", "g2"]
+
+    def test_names_match_keys(self):
+        for name, measure in MEASURES.items():
+            assert measure.name == name
+
+
+class TestExactPath:
+    def test_equal_error_counts_exactly_valid(self):
+        pi = _partition([0, 0, 1, 1])
+        outcome = evaluate_validity(pi, pi, _criteria(0.0, num_rows=4))
+        assert outcome.valid and outcome.exactly_valid
+        assert outcome.error == 0.0
+        assert not outcome.error_computed and not outcome.bound_rejected
+
+    def test_exact_mode_rejects_without_error_computation(self):
+        # lhs has one class of 4 rows; refined by rhs -> not exactly valid.
+        pi_lhs = _partition([0, 0, 0, 0])
+        pi_whole = _partition([0, 0, 1, 1])
+        outcome = evaluate_validity(pi_lhs, pi_whole, _criteria(0.0, num_rows=4))
+        assert not outcome.valid and not outcome.exactly_valid
+        assert not outcome.error_computed and not outcome.bound_rejected
+
+
+class TestG3:
+    def test_within_threshold_valid(self):
+        pi_lhs = _partition([0, 0, 0, 0])
+        pi_whole = _partition([0, 0, 0, 1])
+        outcome = evaluate_validity(pi_lhs, pi_whole, _criteria(0.25, num_rows=4))
+        assert outcome.valid and not outcome.exactly_valid
+        assert outcome.error == pytest.approx(0.25)
+        assert outcome.error_computed
+
+    def test_bound_rejection_skips_exact_computation(self):
+        # Every lhs class splits in half under the rhs: the g3 lower
+        # bound already exceeds a tiny threshold.
+        pi_lhs = _partition([0, 0, 0, 0, 1, 1, 1, 1])
+        pi_whole = _partition([0, 0, 1, 1, 2, 2, 3, 3])
+        outcome = evaluate_validity(
+            pi_lhs, pi_whole, _criteria(0.01, num_rows=8)
+        )
+        assert not outcome.valid
+        assert outcome.bound_rejected and not outcome.error_computed
+
+    def test_bounds_disabled_always_computes(self):
+        pi_lhs = _partition([0, 0, 0, 0, 1, 1, 1, 1])
+        pi_whole = _partition([0, 0, 1, 1, 2, 2, 3, 3])
+        outcome = evaluate_validity(
+            pi_lhs, pi_whole, _criteria(0.01, num_rows=8, use_g3_bounds=False)
+        )
+        assert not outcome.valid
+        assert outcome.error_computed and not outcome.bound_rejected
+
+
+class TestG1G2:
+    @pytest.mark.parametrize("measure", ["g1", "g2"])
+    def test_never_bound_rejects(self, measure):
+        pi_lhs = _partition([0, 0, 0, 0])
+        pi_whole = _partition([0, 0, 1, 1])
+        outcome = evaluate_validity(
+            pi_lhs, pi_whole, _criteria(1.0, measure, num_rows=4)
+        )
+        assert outcome.valid
+        assert outcome.error_computed and not outcome.bound_rejected
+
+    def test_g1_and_g2_measure_different_quantities(self):
+        pi_lhs = _partition([0, 0, 0, 0])
+        pi_whole = _partition([0, 0, 0, 1])
+        criteria = {
+            m: _criteria(1.0, m, num_rows=4) for m in ("g1", "g2")
+        }
+        ws = PartitionWorkspace(4)
+        g1 = MEASURES["g1"].evaluate(pi_lhs, pi_whole, criteria["g1"], ws)
+        g2 = MEASURES["g2"].evaluate(pi_lhs, pi_whole, criteria["g2"], ws)
+        # g1 counts violating pairs (3 of 16 ordered non-trivial pairs);
+        # g2 counts rows in violations (all 4 rows share a class).
+        assert g1.error < g2.error

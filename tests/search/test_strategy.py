@@ -1,0 +1,110 @@
+"""Unit tests for the traversal strategies and the top-k cutoff
+logic, driven with hand-built tracker state (no search)."""
+
+import pytest
+
+from repro import _bitset
+from repro.exceptions import ConfigurationError
+from repro.model.fd import FunctionalDependency
+from repro.search.strategy import (
+    STRATEGIES,
+    LevelwiseStrategy,
+    TopKStrategy,
+    make_strategy,
+    rank_key,
+)
+from repro.search.tracker import CandidateTracker
+
+A, B, C = _bitset.bit(0), _bitset.bit(1), _bitset.bit(2)
+
+
+def _tracker_with(*fds):
+    tracker = CandidateTracker(A | B | C)
+    for lhs, rhs, error in fds:
+        tracker.add_dependency(FunctionalDependency(lhs, rhs, error))
+    return tracker
+
+
+class TestRankKey:
+    def test_error_dominates(self):
+        low = FunctionalDependency(A | B, 2, 0.0)
+        high = FunctionalDependency(A, 1, 0.5)
+        assert rank_key(low) < rank_key(high)
+
+    def test_lhs_size_breaks_error_ties(self):
+        small = FunctionalDependency(C, 0, 0.1)
+        large = FunctionalDependency(A | B, 2, 0.1)
+        assert rank_key(small) < rank_key(large)
+
+    def test_mask_breaks_size_ties(self):
+        assert rank_key(FunctionalDependency(A, 1, 0.0)) < rank_key(
+            FunctionalDependency(B, 0, 0.0)
+        )
+
+
+class TestFactoryAndFingerprints:
+    def test_registry_names(self):
+        assert STRATEGIES == ("levelwise", "topk")
+
+    def test_make_levelwise(self):
+        strategy = make_strategy("levelwise")
+        assert isinstance(strategy, LevelwiseStrategy)
+        assert strategy.fingerprint() == {"strategy": "levelwise"}
+
+    def test_make_topk(self):
+        strategy = make_strategy("topk", top_k=4)
+        assert isinstance(strategy, TopKStrategy)
+        assert strategy.fingerprint() == {"strategy": "topk", "k": 4}
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="valid choices"):
+            make_strategy("dfs")
+
+    def test_topk_requires_positive_k(self):
+        with pytest.raises(ConfigurationError, match="k >= 1"):
+            TopKStrategy(0)
+
+
+class TestLevelwise:
+    def test_never_stops(self):
+        strategy = LevelwiseStrategy()
+        tracker = _tracker_with((A, 1, 0.0))
+        assert not strategy.should_stop(tracker, 99)
+
+    def test_finalize_returns_tracker_set(self):
+        strategy = LevelwiseStrategy()
+        tracker = _tracker_with((A, 1, 0.0))
+        assert strategy.finalize(tracker) is tracker.dependencies
+
+
+class TestTopKCutoff:
+    def test_no_stop_below_k(self):
+        strategy = TopKStrategy(3)
+        tracker = _tracker_with((A, 1, 0.0), (B, 0, 0.0))
+        assert not strategy.should_stop(tracker, 3)
+
+    def test_stop_when_kth_best_exact(self):
+        strategy = TopKStrategy(2)
+        tracker = _tracker_with((A, 1, 0.0), (B, 2, 0.0))
+        # Next level tests lhs of size 2 > the k-th best's size 1.
+        assert strategy.should_stop(tracker, 3)
+
+    def test_no_stop_while_kth_best_approximate(self):
+        strategy = TopKStrategy(2)
+        tracker = _tracker_with((A, 1, 0.0), (B, 2, 0.2))
+        # A later, larger lhs could still have error 0 and outrank the
+        # k-th best (error dominates size in the order).
+        assert not strategy.should_stop(tracker, 3)
+
+    def test_finalize_truncates_by_rank(self):
+        strategy = TopKStrategy(2)
+        tracker = _tracker_with(
+            (A | B, 2, 0.3), (A, 1, 0.0), (C, 0, 0.1)
+        )
+        kept = {(fd.lhs, fd.rhs) for fd in strategy.finalize(tracker)}
+        assert kept == {(A, 1), (C, 0)}
+
+    def test_finalize_smaller_than_k(self):
+        strategy = TopKStrategy(5)
+        tracker = _tracker_with((A, 1, 0.0))
+        assert len(strategy.finalize(tracker)) == 1

@@ -1,0 +1,122 @@
+"""End-to-end contract of the top-k strategy: its result must equal
+the rank-truncation of the full levelwise cover (validated against the
+independent bruteforce oracle), and it must round-trip through the
+checkpoint/resume machinery."""
+
+import pytest
+
+from repro import _bitset
+from repro.baselines.bruteforce import discover_fds_bruteforce
+from repro.core.tane import TaneConfig, discover
+from repro.datasets.synthetic import random_relation, zipf_relation
+
+
+def _rank(triple):
+    lhs, rhs, error = triple
+    return (error, _bitset.popcount(lhs), lhs, rhs)
+
+
+def _triples(dependencies):
+    return sorted(((fd.lhs, fd.rhs, fd.error) for fd in dependencies), key=_rank)
+
+
+def _expected_topk(relation, k, *, epsilon=0.0, measure="g3"):
+    full = discover_fds_bruteforce(relation, epsilon, None, measure)
+    return _triples(full)[:k]
+
+
+def _actual_topk(relation, k, *, epsilon=0.0, measure="g3", **kwargs):
+    result = discover(relation, TaneConfig(
+        epsilon=epsilon, measure=measure, strategy="topk", top_k=k, **kwargs
+    ))
+    return _triples(result.dependencies)
+
+
+class TestAgainstBruteforce:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("k", [1, 3, 10])
+    def test_exact_topk(self, seed, k):
+        relation = random_relation(24, 4, 3, seed=seed)
+        assert _actual_topk(relation, k) == _expected_topk(relation, k)
+
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("epsilon,measure", [
+        (0.1, "g3"), (0.05, "g1"), (0.2, "g2"),
+    ])
+    def test_approximate_topk(self, seed, epsilon, measure):
+        relation = zipf_relation(30, 4, domain_size=4, seed=seed)
+        actual = _actual_topk(relation, 3, epsilon=epsilon, measure=measure)
+        expected = _expected_topk(relation, 3, epsilon=epsilon, measure=measure)
+        assert actual == expected
+
+    def test_k_larger_than_cover(self, figure1_relation):
+        full = discover(figure1_relation, TaneConfig())
+        topk = _actual_topk(figure1_relation, 1000)
+        assert topk == _triples(full.dependencies)
+
+
+class TestEarlyStop:
+    def test_exact_mode_skips_deep_levels(self):
+        relation = random_relation(24, 5, 3, seed=7)
+        full = discover(relation, TaneConfig())
+        topk = discover(relation, TaneConfig(strategy="topk", top_k=1))
+        full_levels = len(full.statistics.level_sizes)
+        topk_levels = len(topk.statistics.level_sizes)
+        assert topk_levels <= full_levels
+        assert topk.statistics.validity_tests <= full.statistics.validity_tests
+
+
+class _Interrupt(Exception):
+    pass
+
+
+def _interrupt_at(level):
+    def progress(snapshot):
+        if snapshot.level == level:
+            raise _Interrupt
+    return progress
+
+
+class TestCheckpointResume:
+    def test_resumed_topk_equals_uninterrupted(self, tmp_path):
+        relation = random_relation(24, 5, 3, seed=11)
+        k = 4
+        uninterrupted = _actual_topk(relation, k)
+
+        with pytest.raises(_Interrupt):
+            discover(relation, TaneConfig(
+                strategy="topk", top_k=k,
+                checkpoint_dir=tmp_path, progress=_interrupt_at(2),
+            ))
+        assert (tmp_path / "checkpoint.json").exists()
+        resumed = discover(relation, TaneConfig(
+            strategy="topk", top_k=k, checkpoint_dir=tmp_path, resume=True,
+        ))
+        assert _triples(resumed.dependencies) == uninterrupted
+
+    def test_fingerprint_rejects_other_strategy(self, tmp_path):
+        from repro.exceptions import CheckpointError
+
+        relation = random_relation(24, 5, 3, seed=11)
+        with pytest.raises(_Interrupt):
+            discover(relation, TaneConfig(
+                checkpoint_dir=tmp_path, progress=_interrupt_at(2),
+            ))
+        with pytest.raises(CheckpointError):
+            discover(relation, TaneConfig(
+                strategy="topk", top_k=4, checkpoint_dir=tmp_path, resume=True,
+            ))
+
+    def test_fingerprint_rejects_different_k(self, tmp_path):
+        from repro.exceptions import CheckpointError
+
+        relation = random_relation(24, 5, 3, seed=11)
+        with pytest.raises(_Interrupt):
+            discover(relation, TaneConfig(
+                strategy="topk", top_k=2,
+                checkpoint_dir=tmp_path, progress=_interrupt_at(2),
+            ))
+        with pytest.raises(CheckpointError):
+            discover(relation, TaneConfig(
+                strategy="topk", top_k=3, checkpoint_dir=tmp_path, resume=True,
+            ))
