@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install check layers test test-fast trace-smoke fault-smoke verify-smoke bench bench-full examples clean
+.PHONY: install check layers test test-fast trace-smoke fault-smoke verify-smoke multicore-smoke hotpath-bench bench-gate bench bench-full examples clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -50,6 +50,24 @@ fault-smoke:
 verify-smoke:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/verify -m smoke -q
 	PYTHONPATH=src $(PYTHON) -m repro.cli verify --seeds 25 --matrix smoke
+
+# Multi-core gate (CI runs this on a 4-core runner): the multicore
+# test marker (parity + speedup > 1) plus the parallel bench with the
+# speedup assertion on.  The bench runs its full-size workload — the
+# smoke-scale relation is too small for parallelism to ever pay.
+multicore-smoke:
+	PYTHONPATH=src $(PYTHON) -m pytest -m multicore -q
+	PYTHONPATH=src $(PYTHON) benchmarks/run_parallel_bench.py --require-speedup --output /tmp/repro-parallel-smoke.json > /dev/null
+	rm -f /tmp/repro-parallel-smoke.json
+
+# Re-measure the single-core hot path and refresh the committed JSON.
+hotpath-bench:
+	PYTHONPATH=src $(PYTHON) benchmarks/run_hotpath_bench.py
+
+# CI gate: fresh hot-path improvement ratio must stay within 10% of
+# the committed benchmarks/results/BENCH_hotpath.json.
+bench-gate:
+	$(PYTHON) tools/check_bench_regression.py
 
 test:
 	$(PYTHON) -m pytest tests/

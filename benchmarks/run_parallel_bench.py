@@ -3,13 +3,24 @@
 Usage::
 
     PYTHONPATH=src python benchmarks/run_parallel_bench.py [--workers 4]
-        [--scale quick] [--rows-target 100000]
+        [--scale quick] [--rows-target 100000] [--smoke]
+        [--require-speedup]
 
 Runs :func:`repro.bench.workloads.parallel_speedup_records` (which
 asserts the process executor reproduces the serial results exactly)
 and writes ``benchmarks/results/BENCH_parallel_speedup.json`` with the
 measurements plus the hardware context they were taken on — speedups
-are meaningless without the core count next to them.
+are meaningless without the core count next to them.  The records
+include the resident-worker delta-shipping savings
+(``shm_bytes_saved``): bytes that stayed attached in the workers
+between levels instead of being re-exported.
+
+``--smoke`` shrinks the workload to a seconds-long sanity run (too
+small for parallelism to pay — don't combine it with the gate);
+``--require-speedup`` turns the run into a CI gate that fails unless
+every workload's process-executor speedup exceeds 1 (only meaningful
+on a multi-core host — the CI multicore job pairs it with a 4-core
+runner and the full-size workload).
 """
 
 from __future__ import annotations
@@ -32,11 +43,22 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--workers", type=int, default=4)
     parser.add_argument("--scale", default=None)
     parser.add_argument("--rows-target", type=int, default=100_000)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the smoke-scale workload (seconds, not minutes)",
+    )
+    parser.add_argument(
+        "--require-speedup",
+        action="store_true",
+        help="fail unless every workload's speedup is > 1",
+    )
     parser.add_argument("--output", default=str(RESULTS / "BENCH_parallel_speedup.json"))
     args = parser.parse_args(argv)
 
+    scale = "smoke" if args.smoke else args.scale
     records = parallel_speedup_records(
-        args.scale, workers=args.workers, rows_target=args.rows_target
+        scale, workers=args.workers, rows_target=args.rows_target
     )
     entry = {
         "benchmark": "parallel_speedup",
@@ -56,6 +78,21 @@ def main(argv: list[str] | None = None) -> int:
     if not all(record["identical_results"] for record in records):
         print("PARITY FAILURE: process executor diverged from serial", file=sys.stderr)
         return 1
+    if args.require_speedup:
+        slow = [
+            record
+            for record in records
+            if not record["speedup"] or record["speedup"] <= 1.0
+        ]
+        if slow:
+            for record in slow:
+                print(
+                    f"SPEEDUP FAILURE: {record['workload']}: "
+                    f"{record['speedup']}x <= 1 on "
+                    f"{os.cpu_count()} cores",
+                    file=sys.stderr,
+                )
+            return 1
     return 0
 
 

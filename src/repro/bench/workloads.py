@@ -500,6 +500,7 @@ def parallel_speedup_records(
             "worker_chunks": stats.worker_chunks,
             "worker_busy_seconds": stats.worker_busy_seconds,
             "shm_bytes_shipped": stats.shm_bytes_shipped,
+            "shm_bytes_saved": stats.shm_bytes_saved,
         })
     return records
 

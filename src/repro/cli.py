@@ -80,6 +80,15 @@ def build_parser() -> argparse.ArgumentParser:
     discover_parser.add_argument("--workers", type=int, default=0,
                                  help="shard each lattice level across N worker "
                                       "processes (0 = serial)")
+    discover_parser.add_argument("--product-kernel", choices=["batched", "triple"],
+                                 default="batched",
+                                 help="partition-product kernel: level-batched "
+                                      "numpy passes (default) or the per-triple "
+                                      "reference loop (identical results)")
+    discover_parser.add_argument("--partition-cache", action="store_true",
+                                 help="reuse singleton/low-level partitions "
+                                      "across runs in this process via the "
+                                      "shared partition cache")
     discover_parser.add_argument("--checkpoint-dir", metavar="DIR", default=None,
                                  help="checkpoint the search to DIR after every "
                                       "completed level")
@@ -196,6 +205,8 @@ def _cmd_discover(args: argparse.Namespace) -> int:
         workers=args.workers,
         strategy=args.strategy,
         top_k=args.top_k,
+        product_kernel=args.product_kernel,
+        partition_cache="shared" if args.partition_cache else "off",
         tracer=tracer,
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,
@@ -212,11 +223,15 @@ def _cmd_discover(args: argparse.Namespace) -> int:
         print(f"sets s={stats.total_sets} smax={stats.max_level_size} "
               f"tests v={stats.validity_tests} products={stats.partition_products} "
               f"keys k={stats.keys_found}")
+        if stats.cache_hits or stats.cache_misses:
+            print(f"partition cache: hits={stats.cache_hits} "
+                  f"misses={stats.cache_misses}")
         if stats.executor != "serial":
             print(f"executor: {stats.executor} workers={stats.workers_used} "
                   f"chunks={stats.worker_chunks} "
                   f"busy={stats.worker_busy_seconds:.2f}s "
-                  f"shm={stats.shm_bytes_shipped}B")
+                  f"shm={stats.shm_bytes_shipped}B "
+                  f"saved={stats.shm_bytes_saved}B")
             if stats.chunk_retries or stats.pool_respawns or stats.executor_degraded:
                 print(f"recovery: retries={stats.chunk_retries} "
                       f"respawns={stats.pool_respawns} "

@@ -98,6 +98,18 @@ class SearchStatistics:
     shm_bytes_shipped: int = 0
     """Bytes of CSR buffers exported to shared memory for workers."""
 
+    shm_bytes_saved: int = 0
+    """Bytes already resident in workers' shared memory that delta
+    shipping avoided re-exporting (0 for serial runs and with
+    ``delta_shipping=False``)."""
+
+    cache_hits: int = 0
+    """Partitions served by the cross-run partition cache (0 with the
+    default ``partition_cache="off"``)."""
+
+    cache_misses: int = 0
+    """Cache lookups that missed and fell through to computation."""
+
     chunk_retries: int = 0
     """Chunks re-submitted to the pool after an in-worker exception."""
 
@@ -136,6 +148,8 @@ class SearchStatistics:
             store_spills=int(metrics.gauge_value("store.spill_count")),
             store_loads=int(metrics.gauge_value("store.load_count")),
             peak_resident_bytes=int(metrics.gauge_value("store.peak_resident_bytes")),
+            cache_hits=int(metrics.counter_value("cache.partition_hits")),
+            cache_misses=int(metrics.counter_value("cache.partition_misses")),
         )
 
     def merge_executor_usage(self, executor_name: str, usage: "ExecutorUsage | None") -> None:
@@ -150,6 +164,7 @@ class SearchStatistics:
         self.shm_bytes_shipped = usage.shm_bytes
         # getattr: custom LevelExecutor implementations may carry a
         # minimal usage object without the resilience counters.
+        self.shm_bytes_saved = getattr(usage, "shm_bytes_saved", 0)
         self.chunk_retries = getattr(usage, "chunk_retries", 0)
         self.pool_respawns = getattr(usage, "pool_respawns", 0)
         self.serial_chunk_fallbacks = getattr(usage, "serial_fallbacks", 0)

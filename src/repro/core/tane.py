@@ -57,10 +57,12 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.search_hooks import TracingHooks
 from repro.obs.trace import Tracer
 from repro.parallel.executor import LevelExecutor, make_executor
+from repro.partition.cache import PartitionCache, shared_cache
 from repro.partition.pure import PurePartition
 from repro.partition.store import PartitionStore, make_store
 from repro.partition.vectorized import CsrPartition, PartitionWorkspace
 from repro.search.driver import LevelProgress, SearchDriver
+from repro.search.execution import PRODUCT_KERNELS
 from repro.search.measures import MEASURES, ValidityCriteria
 from repro.search.partitions import PartitionManager
 from repro.search.strategy import STRATEGIES, make_strategy
@@ -71,6 +73,8 @@ _EXECUTORS = ("auto", "serial", "process")
 _ENGINES = ("vectorized", "pure")
 _STRATEGIES = STRATEGIES
 _PARTITION_STRATEGIES = ("pairwise", "from_singletons")
+_PRODUCT_KERNELS = PRODUCT_KERNELS
+_PARTITION_CACHES = ("off", "shared")
 
 # Sentinel distinguishing "argument not supplied" from an explicit
 # value in the convenience wrappers, so they never clobber fields the
@@ -173,6 +177,34 @@ class TaneConfig:
     """Pool size for the process executor; ``0`` means "all cores"
     when ``executor="process"`` and "stay serial" under ``"auto"``."""
 
+    product_kernel: str = "batched"
+    """How execution backends compute partition products:
+    ``"batched"`` (the default — a whole shard's products in a few
+    shared numpy passes, see
+    :func:`repro.partition.vectorized.batched_products`) or
+    ``"triple"`` (the historical one-product-at-a-time loop).  Results
+    are byte-identical; the knob exists for ablation and as an escape
+    hatch.  The pure engine ignores the distinction — non-CSR
+    partitions always take the per-triple path."""
+
+    partition_cache: str | PartitionCache = "off"
+    """Cross-run partition cache: ``"off"`` (the default — every run
+    computes its own partitions, keeping the deterministic product
+    counters at their historical values), ``"shared"`` (the
+    process-wide :func:`repro.partition.cache.shared_cache`), or a
+    caller-owned :class:`~repro.partition.cache.PartitionCache`
+    instance.  Entries are keyed by relation content fingerprint and
+    partition engine, so repeated discovery over the same relation
+    (verification matrices, resumed runs, services) reuses singleton
+    and low-level partitions; cache hits skip the product *and* its
+    ``partition_products`` count — they surface in the
+    ``cache_hits`` statistic instead."""
+
+    partition_cache_levels: int = 2
+    """Largest attribute-set size cached (>= 1).  Level-1 and level-2
+    partitions dominate recomputation cost and are few; deeper levels
+    are many, large, and rarely revisited."""
+
     progress: Callable[["LevelProgress"], None] | None = None
     """Optional callback invoked once per level with a
     :class:`LevelProgress` snapshot — lets long-running discoveries
@@ -260,6 +292,25 @@ class TaneConfig:
             )
         if self.workers < 0:
             raise ConfigurationError(f"workers must be >= 0, got {self.workers}")
+        if self.product_kernel not in _PRODUCT_KERNELS:
+            raise ConfigurationError(
+                f"unknown product_kernel {self.product_kernel!r}; "
+                f"valid choices: {_choices(_PRODUCT_KERNELS)}"
+            )
+        if (
+            isinstance(self.partition_cache, str)
+            and self.partition_cache not in _PARTITION_CACHES
+        ):
+            raise ConfigurationError(
+                f"unknown partition_cache {self.partition_cache!r}; "
+                f"valid choices: {_choices(_PARTITION_CACHES)} "
+                "(or pass a PartitionCache instance)"
+            )
+        if self.partition_cache_levels < 1:
+            raise ConfigurationError(
+                f"partition_cache_levels must be >= 1, "
+                f"got {self.partition_cache_levels}"
+            )
         if self.resume and self.checkpoint_dir is None:
             raise ConfigurationError("resume=True requires checkpoint_dir")
 
@@ -361,9 +412,24 @@ class _TaneRun:
         else:
             self.store = config.store
             self._owns_store = False
-        self.executor = make_executor(config.executor, config.workers)
+        self.executor = make_executor(
+            config.executor, config.workers, product_kernel=config.product_kernel
+        )
         self._owns_executor = not isinstance(config.executor, LevelExecutor)
         partition_cls = CsrPartition if config.engine == "vectorized" else PurePartition
+        if isinstance(config.partition_cache, PartitionCache):
+            self.partition_cache: PartitionCache | None = config.partition_cache
+        elif config.partition_cache == "shared":
+            self.partition_cache = shared_cache()
+        else:
+            self.partition_cache = None
+        # Engine in the key: CSR and pure partitions are distinct types
+        # and must never satisfy each other's lookups.
+        self.cache_fingerprint = (
+            f"{relation.fingerprint()}:{partition_cls.__name__}"
+            if self.partition_cache is not None
+            else ""
+        )
         workspace = PartitionWorkspace(self.num_rows)
         self.criteria = ValidityCriteria(
             epsilon=config.epsilon,
@@ -396,6 +462,11 @@ class _TaneRun:
             self.executor,
             products_counter=self.metrics.counter("tane.partition_products"),
             partition_strategy=config.partition_strategy,
+            cache=self.partition_cache,
+            cache_fingerprint=self.cache_fingerprint,
+            cache_levels=config.partition_cache_levels,
+            cache_hits_counter=self.metrics.counter("cache.partition_hits"),
+            cache_misses_counter=self.metrics.counter("cache.partition_misses"),
         )
         hooks: list = [TracingHooks()]
         if self.checkpoint is not None:

@@ -57,7 +57,7 @@ class Relation:
     [0, 0, 1]
     """
 
-    __slots__ = ("_schema", "_codes", "_decode", "_num_rows")
+    __slots__ = ("_schema", "_codes", "_decode", "_num_rows", "_fingerprint")
 
     def __init__(
         self,
@@ -77,6 +77,7 @@ class Relation:
         self._codes = codes
         self._decode = decode
         self._num_rows = len(codes[0]) if codes else 0
+        self._fingerprint: str | None = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -253,6 +254,27 @@ class Relation:
     def distinct_count(self, attribute: int | str) -> int:
         """Number of distinct values in a column."""
         return len(self._decode[self._column_index(attribute)])
+
+    def fingerprint(self) -> str:
+        """Content hash of the relation's partition-relevant identity.
+
+        Discovery depends only on *which rows agree* per attribute —
+        the code arrays — so the hash covers row count, column count,
+        and each column's codes in schema order; attribute names and
+        decoded values are deliberately excluded (relations differing
+        only there have identical partitions).  Computed once and
+        cached; used to key the cross-run partition cache
+        (:mod:`repro.partition.cache`).
+        """
+        if self._fingerprint is None:
+            import hashlib
+
+            digest = hashlib.sha1()
+            digest.update(f"{self._num_rows}:{len(self._codes)}".encode())
+            for column in self._codes:
+                digest.update(np.ascontiguousarray(column, dtype=_CODE_DTYPE).tobytes())
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     def _column_index(self, attribute: int | str) -> int:
         if isinstance(attribute, str):

@@ -44,11 +44,46 @@ results arrive — plus a ``shm.ship`` span per shared-memory block
 export, so a trace separates pool overhead from shipping from genuine
 compute.
 
+Resident-worker delta shipping
+------------------------------
+With ``delta_shipping=True`` (the default) the executor keeps every
+shipped block — and a ``mask -> (block, entry)`` residency map —
+alive across phases and levels instead of re-exporting the lattice
+each phase.  A phase ships only the masks that are not yet resident
+(usually just the level's new product partitions); chunk directories
+point into whichever block holds each mask.  Workers keep segments
+attached between chunks (:mod:`repro.parallel.shm`), so previously
+shipped partitions cost nothing to reference again.  The search core
+drives the lifecycle duck-typed: ``release_masks(masks)`` (from
+``PartitionManager.reclaim``) frees a reclaimed level's residency and
+closes blocks with no live masks left, and ``begin_run()`` (from
+``PartitionManager.bootstrap``) drops *all* residency — masks are
+small integers reused across relations, so an executor shared by
+several runs must never serve one relation's partitions to another.
+Bytes that delta shipping avoided re-exporting are counted in
+:attr:`ExecutorUsage.shm_bytes_saved`.
+
+Results ride shared memory too: a worker whose product chunk exceeds
+a byte threshold packs it into a block of its own and ships only the
+``(name, directory, nbytes)`` handoff — the parent adopts the segment
+(:class:`repro.parallel.shm.AdoptedBlock`), yields zero-copy views,
+and registers the candidates as resident, so the next level's factors
+need no re-export at all.  Pickling megabytes of CSR arrays through
+the result pipe was the dominant phase cost at scale.
+
+Chunk autotuning
+----------------
+With ``autotune_chunks=True`` (the default) the executor keeps an
+exponential moving average of per-task seconds per phase kind (from
+chunk receipts) and sizes later shards toward
+``target_chunk_seconds`` — few, large chunks for cheap tasks (less
+pickling), many small ones for expensive tasks (better balance) —
+bounded by ``workers`` and ``workers * chunks_per_worker``.
+
 Shared-memory lifetime is deterministic: every shipped block is
-tracked by the executor until its level phase releases it, and
-:meth:`ProcessLevelExecutor.close` releases any block a partially
-consumed ``products`` stream left behind (the TANE driver additionally
-closes the stream itself on its error paths).
+tracked by the executor until ``release_masks`` / ``begin_run`` /
+:meth:`ProcessLevelExecutor.close` releases it (with delta shipping
+off, blocks are released at the end of their phase exactly as before).
 """
 
 from __future__ import annotations
@@ -64,10 +99,11 @@ from dataclasses import dataclass, field
 
 from repro.exceptions import ConfigurationError
 from repro.obs import trace as obs
-from repro.parallel.shm import SharedPartitionBlock
+from repro.parallel.shm import AdoptedBlock, SharedPartitionBlock
 from repro.parallel.validity import ValidityCriteria, ValidityOutcome
+from repro.parallel.shm import BlockEntry
 from repro.parallel.worker import ChunkReceipt, ProductChunk, ValidityChunk, init_worker, run_chunk
-from repro.search.execution import SerialExecution, serial_validity as _serial_validity
+from repro.search.execution import PRODUCT_KERNELS, SerialExecution, serial_validity as _serial_validity
 from repro.partition.vectorized import CsrPartition, PartitionWorkspace
 
 __all__ = [
@@ -91,6 +127,11 @@ class ExecutorUsage:
     chunks: int = 0
     busy_seconds: float = 0.0
     shm_bytes: int = 0
+    shm_bytes_saved: int = 0
+    """Bytes already resident in shared memory that delta shipping
+    avoided re-exporting (0 with ``delta_shipping=False``)."""
+    blocks_shipped: int = 0
+    """Shared-memory blocks exported across both phases."""
     pids: set[int] = field(default_factory=set)
     chunk_retries: int = 0
     """Chunk executions re-submitted after an in-worker exception."""
@@ -166,6 +207,19 @@ class ProcessLevelExecutor(LevelExecutor):
         Base sleep before a retry or respawn; doubles per consecutive
         respawn (bounded), so a crash-looping environment is not
         hammered.
+    delta_shipping:
+        Keep shipped blocks (and a mask residency map) alive across
+        phases and ship only masks not yet resident.  ``False``
+        restores the one-block-per-phase protocol.
+    autotune_chunks:
+        Size shards from the measured per-task cost (see module docs).
+        ``False`` always uses ``workers * chunks_per_worker`` shards.
+    product_kernel:
+        ``"batched"`` (workers run
+        :func:`repro.partition.vectorized.batched_products` per chunk)
+        or ``"triple"`` (per-product loop); byte-identical results.
+    target_chunk_seconds:
+        Autotune's desired busy time per chunk.
     """
 
     name = "process"
@@ -178,6 +232,10 @@ class ProcessLevelExecutor(LevelExecutor):
         max_chunk_retries: int = 2,
         max_pool_respawns: int = 2,
         retry_backoff_seconds: float = 0.05,
+        delta_shipping: bool = True,
+        autotune_chunks: bool = True,
+        product_kernel: str = "batched",
+        target_chunk_seconds: float = 0.05,
     ) -> None:
         resolved = workers if workers else os.cpu_count() or 1
         if resolved < 1:
@@ -192,18 +250,37 @@ class ProcessLevelExecutor(LevelExecutor):
             raise ConfigurationError(
                 f"retry_backoff_seconds must be >= 0, got {retry_backoff_seconds}"
             )
+        if product_kernel not in PRODUCT_KERNELS:
+            raise ConfigurationError(
+                f"unknown product_kernel {product_kernel!r}; "
+                f"valid choices: {', '.join(repr(k) for k in PRODUCT_KERNELS)}"
+            )
+        if target_chunk_seconds <= 0:
+            raise ConfigurationError(
+                f"target_chunk_seconds must be > 0, got {target_chunk_seconds}"
+            )
         self.workers = resolved
         self._chunks_per_worker = chunks_per_worker
         self._max_chunk_retries = max_chunk_retries
         self._max_pool_respawns = max_pool_respawns
         self._retry_backoff_seconds = retry_backoff_seconds
+        self._delta_shipping = delta_shipping
+        self._autotune = autotune_chunks
+        self._product_kernel = product_kernel
+        self._target_chunk_seconds = target_chunk_seconds
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else methods[0]
         self._context = multiprocessing.get_context(start_method)
         self._pool: ProcessPoolExecutor | None = None
         self._degraded = False
-        self._open_blocks: set[SharedPartitionBlock] = set()
+        # Resident shipping state: every open block by name, the set of
+        # masks each still serves, and mask -> (block_name, entry).
+        self._blocks: dict[str, SharedPartitionBlock] = {}
+        self._block_masks: dict[str, set[int]] = {}
+        self._residency: dict[int, tuple[str, BlockEntry]] = {}
+        # Per-kind EMA of seconds per task, fed by chunk receipts.
+        self._task_cost: dict[str, float] = {}
         self.usage = ExecutorUsage()
 
     # -- pool management -------------------------------------------------
@@ -278,17 +355,54 @@ class ProcessLevelExecutor(LevelExecutor):
                     if pool is not None:
                         self._shutdown_pool(pool)
                         pool = None
-                    # Deterministic shm cleanup: release any block a
-                    # partially consumed products stream left open
-                    # (e.g. the driver's store raised between yields).
-                    while self._open_blocks:
-                        self._open_blocks.pop().close()
+                    # Deterministic shm cleanup: release every resident
+                    # block (delta shipping) and any block a partially
+                    # consumed products stream left open.
+                    self._release_all_blocks()
                     break
                 except KeyboardInterrupt:
                     continue
         finally:
             if restore is not None:
                 signal.signal(signal.SIGINT, restore)
+
+    # -- resident shipping lifecycle -------------------------------------
+
+    def begin_run(self) -> None:
+        """Drop all resident shared-memory state before a new search.
+
+        Called (duck-typed) by ``PartitionManager.bootstrap``: masks
+        are small integers reused across relations, so an executor
+        instance shared by several runs must never carry residency
+        from one relation into the next.
+        """
+        self._release_all_blocks()
+
+    def release_masks(self, masks) -> None:
+        """Free a reclaimed level's residency; close drained blocks."""
+        for mask in masks:
+            entry = self._residency.pop(mask, None)
+            if entry is None:
+                continue
+            live = self._block_masks.get(entry[0])
+            if live is not None:
+                live.discard(mask)
+                if not live:
+                    self._close_block(entry[0])
+
+    def _close_block(self, name: str) -> None:
+        block = self._blocks.pop(name, None)
+        self._block_masks.pop(name, None)
+        self._residency = {
+            mask: entry for mask, entry in self._residency.items() if entry[0] != name
+        }
+        if block is not None:
+            block.close()
+
+    def _release_all_blocks(self) -> None:
+        for name in list(self._blocks):
+            self._close_block(name)
+        self._residency.clear()
 
     # -- failure handling ------------------------------------------------
 
@@ -400,16 +514,31 @@ class ProcessLevelExecutor(LevelExecutor):
                 yield receipt
                 position = index + 1
             if not resubmit:
+                # The enumerate loop consumed every future, so position
+                # always equals len(chunks) here (pinned by a test).
                 for future in futures:
                     future.cancel()
-                if position < len(chunks):  # defensive; loop above covers all
-                    continue
                 return
 
     # -- sharding --------------------------------------------------------
 
-    def _shards(self, tasks: Sequence) -> list[Sequence]:
-        count = min(len(tasks), self.workers * self._chunks_per_worker)
+    def _shards(self, tasks: Sequence, kind: str) -> list[Sequence]:
+        """Split ``tasks`` into contiguous shards (``[]`` when empty).
+
+        Without cost data (or with autotuning off) every phase uses
+        ``workers * chunks_per_worker`` shards; once receipts establish
+        a per-task cost EMA, the count is sized so each shard runs
+        about ``target_chunk_seconds`` — bounded below by ``workers``
+        (keep every worker busy) and above by the static count.
+        """
+        if not tasks:
+            return []
+        ceiling = min(len(tasks), self.workers * self._chunks_per_worker)
+        count = ceiling
+        cost = self._task_cost.get(kind) if self._autotune else None
+        if cost:
+            ideal = int(len(tasks) * cost / self._target_chunk_seconds) + 1
+            count = max(min(len(tasks), self.workers), min(ideal, ceiling))
         bounds = [len(tasks) * i // count for i in range(count + 1)]
         return [tasks[bounds[i]:bounds[i + 1]] for i in range(count)]
 
@@ -418,6 +547,12 @@ class ProcessLevelExecutor(LevelExecutor):
         self.usage.chunks += 1
         self.usage.busy_seconds += receipt.seconds
         self.usage.pids.add(receipt.pid)
+        if self._autotune and receipt.payload:
+            per_task = receipt.seconds / len(receipt.payload)
+            previous = self._task_cost.get(kind)
+            self._task_cost[kind] = (
+                per_task if previous is None else 0.5 * previous + 0.5 * per_task
+            )
         # Workers do not trace; their receipts are merged into the
         # main trace here, as the pool hands results back — the
         # synthesized span lands under whichever level phase is open.
@@ -430,19 +565,78 @@ class ProcessLevelExecutor(LevelExecutor):
         )
         return receipt.payload
 
-    def _ship(self, partitions: dict, kind: str) -> SharedPartitionBlock:
+    @staticmethod
+    def _entry_bytes(entry: BlockEntry) -> int:
+        # (indices_start, indices_size, offsets_start, offsets_size, _)
+        return (entry[1] + entry[3]) * 8
+
+    def _ship_missing(self, masks, fetch: Fetch, kind: str) -> list[str]:
+        """Make every mask resident; return names of blocks created.
+
+        With delta shipping, masks already resident from an earlier
+        phase or level are served from their existing block and only
+        the rest are packed into a new one; the bytes skipped are
+        recorded as ``shm_bytes_saved``.
+        """
+        assert self.usage is not None
+        needed = sorted(masks)
+        missing = [mask for mask in needed if mask not in self._residency]
+        saved = sum(
+            self._entry_bytes(self._residency[mask][1])
+            for mask in needed
+            if mask not in missing
+        )
+        self.usage.shm_bytes_saved += saved
+        if not missing:
+            return []
+        partitions = {mask: fetch(mask) for mask in missing}
         with obs.span("shm.ship", kind=kind) as ship:
             block = SharedPartitionBlock(partitions)
             ship.set("bytes", block.nbytes)
             ship.set("partitions", len(partitions))
-        assert self.usage is not None
+            ship.set("saved_bytes", saved)
         self.usage.shm_bytes += block.nbytes
-        self._open_blocks.add(block)
-        return block
+        self.usage.blocks_shipped += 1
+        self._blocks[block.name] = block
+        self._block_masks[block.name] = set(missing)
+        for mask in missing:
+            self._residency[mask] = (block.name, block.directory[mask])
+        return [block.name]
 
-    def _release(self, block: SharedPartitionBlock) -> None:
-        self._open_blocks.discard(block)
-        block.close()
+    def _directory(self, masks) -> dict[int, tuple[str, BlockEntry]]:
+        """Chunk directory: each mask's ``(block_name, entry)``."""
+        return {mask: self._residency[mask] for mask in set(masks)}
+
+    def _adopt_result_block(self, handoff, candidates):
+        """Adopt a worker-built result block and yield its partitions.
+
+        The worker packed this chunk's products into a fresh segment
+        instead of pickling megabytes of CSR arrays through the result
+        pipe; the parent attaches zero-copy and takes over unlink
+        ownership.  Registering the candidates as resident here is
+        what makes the *next* level's ``_ship_missing`` a no-op for
+        them — products never leave shared memory again.
+        """
+        assert self.usage is not None
+        name, directory, nbytes = handoff
+        block = AdoptedBlock(name, directory, nbytes)
+        self.usage.shm_bytes += nbytes
+        self.usage.blocks_shipped += 1
+        self._blocks[name] = block
+        self._block_masks[name] = set(directory)
+        for mask, entry in directory.items():
+            self._residency[mask] = (name, entry)
+        for candidate in candidates:
+            yield candidate, block.partition(candidate)
+
+    def _end_phase(self, new_blocks: list[str]) -> None:
+        """Phase cleanup: with delta shipping off, nothing stays resident."""
+        if self._delta_shipping:
+            return
+        for name in new_blocks:
+            self._close_block(name)
+        self._residency.clear()
+        self._block_masks.clear()
 
     # -- LevelExecutor interface -----------------------------------------
 
@@ -450,26 +644,33 @@ class ProcessLevelExecutor(LevelExecutor):
         if not triples:
             return
         factor_masks = {mask for _, x, y in triples for mask in (x, y)}
-        partitions = {mask: fetch(mask) for mask in sorted(factor_masks)}
-        num_rows = next(iter(partitions.values())).num_rows
-        block = self._ship(partitions, "products")
+        new_blocks = self._ship_missing(factor_masks, fetch, "products")
         try:
+            num_rows = self._residency[next(iter(factor_masks))][1][4]
             chunks = [
                 ProductChunk(
-                    block_name=block.name,
-                    directory=block.subset(
+                    directory=self._directory(
                         mask for _, x, y in shard for mask in (x, y)
                     ),
                     num_rows=num_rows,
                     triples=tuple(shard),
+                    kernel=self._product_kernel,
+                    # Result blocks need the resident lifecycle: with
+                    # delta shipping off, every block dies at phase end
+                    # while the yielded partitions must outlive it.
+                    result_block=self._delta_shipping,
                 )
-                for shard in self._shards(triples)
+                for shard in self._shards(triples, "products")
             ]
             for receipt in self._dispatch(chunks, "products"):
-                for candidate, indices, offsets in self._record(receipt, "products"):
-                    yield candidate, CsrPartition(indices, offsets, num_rows)
+                payload = self._record(receipt, "products")
+                if receipt.block is not None:
+                    yield from self._adopt_result_block(receipt.block, payload)
+                else:
+                    for candidate, indices, offsets in payload:
+                        yield candidate, CsrPartition(indices, offsets, num_rows)
         finally:
-            self._release(block)
+            self._end_phase(new_blocks)
 
     def validity_tests(self, groups, fetch, criteria, workspace):
         tasks = [
@@ -482,44 +683,46 @@ class ProcessLevelExecutor(LevelExecutor):
         if not tasks or criteria.epsilon == 0.0:
             return _serial_validity(groups, fetch, criteria, workspace)
         masks = {mask for task in tasks for mask in task}
-        partitions = {mask: fetch(mask) for mask in sorted(masks)}
-        block = self._ship(partitions, "validity")
+        new_blocks = self._ship_missing(masks, fetch, "validity")
         try:
             chunks = [
                 ValidityChunk(
-                    block_name=block.name,
-                    directory=block.subset(mask for task in shard for mask in task),
+                    directory=self._directory(mask for task in shard for mask in task),
                     criteria=criteria,
                     tasks=tuple(shard),
                 )
-                for shard in self._shards(tasks)
+                for shard in self._shards(tasks, "validity")
             ]
             outcomes: list[ValidityOutcome] = []
             for receipt in self._dispatch(chunks, "validity"):
                 outcomes.extend(self._record(receipt, "validity"))
             return outcomes
         finally:
-            self._release(block)
+            self._end_phase(new_blocks)
 
 
-def make_executor(executor: str | LevelExecutor, workers: int) -> LevelExecutor:
+def make_executor(
+    executor: str | LevelExecutor,
+    workers: int,
+    product_kernel: str = "batched",
+) -> LevelExecutor:
     """Resolve the ``TaneConfig.executor`` / ``workers`` pair.
 
     ``"serial"`` always runs inline; ``"process"`` always uses a pool
     (of ``workers`` or all cores); ``"auto"`` picks the pool exactly
     when ``workers > 1``.  A ready :class:`LevelExecutor` instance is
-    passed through (the caller owns its lifecycle).
-    """
+    passed through (the caller owns its lifecycle — including its own
+    kernel setting)."""
     if isinstance(executor, LevelExecutor):
         return executor
     if executor == "serial":
-        return SerialLevelExecutor()
+        return SerialLevelExecutor(product_kernel=product_kernel)
     if executor == "process":
-        return ProcessLevelExecutor(workers or None)
+        return ProcessLevelExecutor(workers or None, product_kernel=product_kernel)
     if executor == "auto":
         if workers > 1:
-            return ProcessLevelExecutor(workers)
-        return SerialLevelExecutor()
+            return ProcessLevelExecutor(workers, product_kernel=product_kernel)
+        return SerialLevelExecutor(product_kernel=product_kernel)
     raise ConfigurationError(
         f"unknown executor {executor!r}; use 'auto', 'serial' or 'process'"
     )

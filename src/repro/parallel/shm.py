@@ -9,10 +9,13 @@ views directly over the shared buffer — no bytes are copied on either
 side of the fork, which is what makes sharding the O(|r|) hot loops
 worthwhile for large relations.
 
-The parent creates and unlinks one block per level phase; workers keep
-a small LRU of attached segments (a mapped segment stays valid after
-the parent unlinks it, so eviction is only about address-space
-hygiene).
+With delta shipping (:mod:`repro.parallel.executor`) the parent ships
+one block per phase holding only the masks not already resident, so a
+worker references several live blocks at once — the previous level's
+partitions through segments it already has attached, new masks through
+the fresh block.  Workers keep an LRU of attached segments sized for
+that pattern (a mapped segment stays valid after the parent unlinks
+it, so eviction is only about address-space hygiene).
 """
 
 from __future__ import annotations
@@ -26,6 +29,7 @@ import numpy as np
 from repro.partition.vectorized import CsrPartition
 
 __all__ = [
+    "AdoptedBlock",
     "BlockEntry",
     "SharedPartitionBlock",
     "attached_partition",
@@ -85,6 +89,16 @@ class SharedPartitionBlock:
         """Directory restricted to ``masks`` (keeps chunk pickles small)."""
         return {mask: self.directory[mask] for mask in set(masks)}
 
+    def detach(self) -> None:
+        """Close this process's mapping *without* unlinking the name.
+
+        The result-block handoff: a worker builds a block, detaches,
+        and ships ``(name, directory, nbytes)`` in its receipt — the
+        parent adopts the segment (:class:`AdoptedBlock`) and owns the
+        unlink from then on.
+        """
+        self._shm.close()
+
     def close(self) -> None:
         """Release and unlink the segment (idempotent)."""
         try:
@@ -94,11 +108,78 @@ class SharedPartitionBlock:
             pass
 
 
+class AdoptedBlock:
+    """Parent-side adoption of a block a *worker* created.
+
+    Workers pack large chunk results into a fresh segment instead of
+    pickling multi-megabyte CSR arrays through the result pipe (the
+    dominant cost of a products phase at scale).  The receipt carries
+    ``(name, directory, nbytes)``; the parent attaches zero-copy and
+    takes over the segment's lifetime, closing and unlinking exactly
+    as it would for a block it packed itself.
+    """
+
+    def __init__(
+        self, name: str, directory: Mapping[int, BlockEntry], nbytes: int
+    ) -> None:
+        self._shm = _attach_untracked(name)
+        self._flat: np.ndarray | None = np.ndarray(
+            (self._shm.size // _ITEMSIZE,), dtype=np.int64, buffer=self._shm.buf
+        )
+        self.directory = dict(directory)
+        self.nbytes = nbytes
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    def partition(self, mask: int) -> CsrPartition:
+        """A zero-copy :class:`CsrPartition` view over the segment."""
+        if self._flat is None:
+            raise ValueError("block is closed")
+        indices_start, indices_size, offsets_start, offsets_size, num_rows = (
+            self.directory[mask]
+        )
+        return CsrPartition.attach(
+            self._flat[indices_start:indices_start + indices_size],
+            self._flat[offsets_start:offsets_start + offsets_size],
+            num_rows,
+        )
+
+    def subset(self, masks) -> dict[int, BlockEntry]:
+        """Directory restricted to ``masks`` (keeps chunk pickles small)."""
+        return {mask: self.directory[mask] for mask in set(masks)}
+
+    def close(self) -> None:
+        """Drop the mapping and unlink the name (idempotent, tolerant).
+
+        Unlike the parent-packed block, partitions handed out by
+        :meth:`partition` are live views over the mapping — if one is
+        still referenced somewhere (a store teardown racing a partial
+        stream), closing the mapping raises ``BufferError``.  The name
+        must not leak either way, so unlink regardless; the memory
+        itself is reclaimed when the last view dies (process exit at
+        the latest).
+        """
+        self._flat = None
+        try:
+            self._shm.close()
+        except BufferError:
+            pass
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # already unlinked
+            pass
+
+
 # ----------------------------------------------------------------------
 # Worker side
 # ----------------------------------------------------------------------
 
-_MAX_ATTACHED = 4
+# Delta shipping keeps roughly one live block per recent level (new
+# masks only) instead of one fat block per phase; workers therefore
+# hold more, smaller attachments.  Released blocks age out of the LRU.
+_MAX_ATTACHED = 16
 
 # block name -> (segment, its int64 view, {mask -> reconstructed partition}).
 # Reconstructed partitions are cached because their label/probe-table

@@ -1,9 +1,12 @@
 """Process-pool entry points for the sharded level loops.
 
-A chunk is a self-contained, picklable unit of work: the name of the
-shared-memory block holding the input partitions, the directory slice
-for exactly the masks the chunk touches, and the task list.  Workers
-are stateless between runs except for two deliberate caches:
+A chunk is a self-contained, picklable unit of work: a *directory*
+mapping each mask the chunk touches to the shared-memory block (by
+name) and slice entry where it lives, plus the task list.  With the
+executor's delta shipping, one chunk may reference several blocks —
+the previous level's partitions stay resident in already-attached
+segments while only new masks arrive in a fresh block.  Workers are
+stateless between runs except for two deliberate caches:
 
 * one :class:`~repro.partition.vectorized.PartitionWorkspace` per
   worker process (per row count) — the probe array TANE reuses across
@@ -25,12 +28,21 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.parallel.shm import BlockEntry, attached_partition
+from repro.parallel.shm import BlockEntry, SharedPartitionBlock, attached_partition
 from repro.parallel.validity import ValidityCriteria, ValidityOutcome, evaluate_validity
-from repro.partition.vectorized import PartitionWorkspace
+from repro.partition.vectorized import PartitionWorkspace, batched_products
 from repro.testing import faults
 
 __all__ = ["ProductChunk", "ValidityChunk", "ChunkReceipt", "init_worker", "run_chunk"]
+
+# Each mask's shared-memory location: ``(block_name, entry)``.
+Directory = dict[int, tuple[str, BlockEntry]]
+
+# Below this many result bytes a chunk's products travel as a pickled
+# payload — the pipe handles kilobytes fine, and a shared segment per
+# tiny chunk would just churn /dev/shm.  At or above it, the worker
+# packs the products into a block and ships only its directory.
+_RESULT_BLOCK_MIN_BYTES = 1 << 20
 
 
 def init_worker() -> None:
@@ -49,20 +61,27 @@ def init_worker() -> None:
 class ProductChunk:
     """A shard of GENERATE-NEXT-LEVEL's partition products."""
 
-    block_name: str
-    directory: dict[int, BlockEntry]
+    directory: Directory
     num_rows: int
     triples: tuple[tuple[int, int, int], ...]
     """``(candidate, factor_x, factor_y)`` as produced by
     :func:`repro.core.lattice.generate_next_level`."""
+    kernel: str = "triple"
+    """``"batched"`` runs the whole shard through
+    :func:`repro.partition.vectorized.batched_products`; ``"triple"``
+    is the per-product loop.  Byte-identical payloads either way."""
+    result_block: bool = False
+    """When true (the executor sets it under delta shipping), large
+    results return through a worker-created shared-memory block that
+    the parent adopts, instead of pickling CSR arrays through the
+    result pipe."""
 
 
 @dataclass(frozen=True)
 class ValidityChunk:
     """A shard of COMPUTE-DEPENDENCIES' validity tests."""
 
-    block_name: str
-    directory: dict[int, BlockEntry]
+    directory: Directory
     criteria: ValidityCriteria
     tasks: tuple[tuple[int, int], ...]
     """``(whole_mask, lhs_mask)`` pairs, in level order."""
@@ -75,8 +94,14 @@ class ChunkReceipt:
     pid: int
     seconds: float
     payload: list
-    """Products: ``[(candidate, indices, offsets), ...]``;
-    validity: ``[ValidityOutcome, ...]`` — both in task order."""
+    """Products: ``[(candidate, indices, offsets), ...]`` inline, or
+    ``[candidate, ...]`` when ``block`` is set; validity:
+    ``[ValidityOutcome, ...]`` — all in task order."""
+    block: tuple[str, dict[int, BlockEntry], int] | None = None
+    """``(name, directory, nbytes)`` of a worker-created result block.
+    The worker has already detached its mapping; the receiving parent
+    adopts the segment and owns the unlink.  ``None`` for inline
+    payloads and all validity chunks."""
 
 
 _workspaces: dict[int, PartitionWorkspace] = {}
@@ -92,26 +117,57 @@ def _workspace(num_rows: int) -> PartitionWorkspace:
     return workspace
 
 
-def _run_products(chunk: ProductChunk) -> list[tuple[int, np.ndarray, np.ndarray]]:
+def _resolve(directory: Directory, mask: int):
+    block_name, entry = directory[mask]
+    return attached_partition(block_name, mask, entry)
+
+
+def _run_products(
+    chunk: ProductChunk,
+) -> tuple[list, tuple[str, dict[int, BlockEntry], int] | None]:
     workspace = _workspace(chunk.num_rows)
-    results: list[tuple[int, np.ndarray, np.ndarray]] = []
-    for candidate, factor_x, factor_y in chunk.triples:
-        pi_x = attached_partition(chunk.block_name, factor_x, chunk.directory[factor_x])
-        pi_y = attached_partition(chunk.block_name, factor_y, chunk.directory[factor_y])
-        product = pi_x.product(pi_y, workspace)
-        indices, offsets = product.export_buffers()
-        results.append((candidate, indices, offsets))
-    return results
+    products: list[tuple[int, object]] = []
+    if chunk.kernel == "batched":
+        pairs = [
+            (_resolve(chunk.directory, x), _resolve(chunk.directory, y))
+            for _candidate, x, y in chunk.triples
+        ]
+        for (candidate, _x, _y), product in zip(
+            chunk.triples, batched_products(pairs, workspace)
+        ):
+            products.append((candidate, product))
+    else:
+        for candidate, factor_x, factor_y in chunk.triples:
+            pi_x = _resolve(chunk.directory, factor_x)
+            pi_y = _resolve(chunk.directory, factor_y)
+            products.append((candidate, pi_x.product(pi_y, workspace)))
+    if chunk.result_block:
+        total_bytes = 8 * sum(
+            product.stripped_size + product.num_classes + 1
+            for _candidate, product in products
+        )
+        if total_bytes >= _RESULT_BLOCK_MIN_BYTES:
+            block = SharedPartitionBlock(dict(products))
+            # Hand the segment to the parent: detach our mapping, keep
+            # the name alive — the adopting parent owns the unlink.
+            block.detach()
+            candidates = [candidate for candidate, _product in products]
+            return candidates, (block.name, block.directory, block.nbytes)
+    return (
+        [
+            (candidate, *product.export_buffers())
+            for candidate, product in products
+        ],
+        None,
+    )
 
 
 def _run_validity(chunk: ValidityChunk) -> list[ValidityOutcome]:
     workspace = _workspace(chunk.criteria.num_rows)
     outcomes: list[ValidityOutcome] = []
     for whole_mask, lhs_mask in chunk.tasks:
-        pi_whole = attached_partition(
-            chunk.block_name, whole_mask, chunk.directory[whole_mask]
-        )
-        pi_lhs = attached_partition(chunk.block_name, lhs_mask, chunk.directory[lhs_mask])
+        pi_whole = _resolve(chunk.directory, whole_mask)
+        pi_lhs = _resolve(chunk.directory, lhs_mask)
         outcomes.append(evaluate_validity(pi_lhs, pi_whole, chunk.criteria, workspace))
     return outcomes
 
@@ -126,8 +182,9 @@ def run_chunk(chunk: ProductChunk | ValidityChunk) -> ChunkReceipt:
     """
     faults.maybe_fire_worker_fault()
     start = time.perf_counter()
+    block = None
     if isinstance(chunk, ProductChunk):
-        payload: list = _run_products(chunk)
+        payload, block = _run_products(chunk)
     else:
         payload = _run_validity(chunk)
-    return ChunkReceipt(os.getpid(), time.perf_counter() - start, payload)
+    return ChunkReceipt(os.getpid(), time.perf_counter() - start, payload, block)

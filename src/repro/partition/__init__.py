@@ -11,6 +11,7 @@ Two interchangeable engines are provided:
 """
 
 from repro.partition.base import PartitionBase
+from repro.partition.cache import PartitionCache, reset_shared_cache, shared_cache
 from repro.partition.errors import g1_error, g2_error, g3_error, g3_bounds_counts
 from repro.partition.pure import PurePartition
 from repro.partition.store import (
@@ -19,13 +20,17 @@ from repro.partition.store import (
     PartitionStore,
     make_store,
 )
-from repro.partition.vectorized import CsrPartition, PartitionWorkspace
+from repro.partition.vectorized import CsrPartition, PartitionWorkspace, batched_products
 
 __all__ = [
     "PartitionBase",
     "PurePartition",
     "CsrPartition",
     "PartitionWorkspace",
+    "batched_products",
+    "PartitionCache",
+    "shared_cache",
+    "reset_shared_cache",
     "PartitionStore",
     "MemoryPartitionStore",
     "DiskPartitionStore",

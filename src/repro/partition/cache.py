@@ -1,0 +1,148 @@
+"""Cross-run LRU cache of low-level stripped partitions.
+
+Repeated discovery over the same relation — the verification matrix,
+checkpoint resume, parameter sweeps, a future service — recomputes the
+same singleton and low-level partitions on every run.  Those
+partitions depend only on the relation's column codes, so they can be
+reused across runs: :class:`PartitionCache` keys each entry by a
+*relation fingerprint* (a content hash of the column codes, see
+:meth:`repro.model.relation.Relation.fingerprint`) plus the
+attribute-set mask, and :class:`~repro.search.partitions.PartitionManager`
+consults it before scheduling products.
+
+The cache is byte-budgeted LRU: puts evict the least recently used
+entries once the budget is exceeded, and an entry larger than the
+whole budget is refused outright.  A run with a different relation
+fingerprint simply misses — stale entries age out of the LRU rather
+than poisoning results.  All operations are thread-safe.
+
+Caching is opt-in (``TaneConfig(partition_cache=...)``): the
+deterministic product counters of a cached run differ from a cold run
+(hits skip products), so the default configuration stays off and the
+golden-counter tests keep their historical meaning.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from threading import Lock
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["PartitionCache", "shared_cache", "reset_shared_cache"]
+
+_DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+
+class PartitionCache:
+    """Byte-budgeted, thread-safe LRU of ``(fingerprint, mask)`` partitions."""
+
+    def __init__(
+        self,
+        max_bytes: int = _DEFAULT_MAX_BYTES,
+        max_entries: int | None = None,
+    ) -> None:
+        if max_bytes < 1:
+            raise ConfigurationError(f"max_bytes must be >= 1, got {max_bytes}")
+        if max_entries is not None and max_entries < 1:
+            raise ConfigurationError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_bytes = max_bytes
+        self.max_entries = max_entries
+        self._lock = Lock()
+        self._entries: OrderedDict[tuple[str, int], tuple[object, int]] = OrderedDict()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+
+    def get(self, fingerprint: str, mask: int):
+        """The cached partition for ``(fingerprint, mask)``, or ``None``."""
+        key = (fingerprint, mask)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry[0]
+
+    def put(self, fingerprint: str, mask: int, partition) -> None:
+        """Insert (or refresh) an entry, evicting LRU entries over budget.
+
+        Partitions are immutable, so the cache hands out the stored
+        instance itself — no copies on either side.
+        """
+        nbytes = int(partition.nbytes())
+        if nbytes > self.max_bytes:
+            return
+        key = (fingerprint, mask)
+        with self._lock:
+            replaced = self._entries.pop(key, None)
+            if replaced is not None:
+                self._bytes -= replaced[1]
+            self._entries[key] = (partition, nbytes)
+            self._bytes += nbytes
+            while self._bytes > self.max_bytes or (
+                self.max_entries is not None and len(self._entries) > self.max_entries
+            ):
+                _, (_, dropped) = self._entries.popitem(last=False)
+                self._bytes -= dropped
+                self.evictions += 1
+
+    def invalidate(self, fingerprint: str | None = None) -> None:
+        """Drop every entry, or only those of one relation fingerprint."""
+        with self._lock:
+            if fingerprint is None:
+                self._entries.clear()
+                self._bytes = 0
+                return
+            for key in [k for k in self._entries if k[0] == fingerprint]:
+                _, dropped = self._entries.pop(key)
+                self._bytes -= dropped
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes currently held (always <= :attr:`max_bytes`)."""
+        return self._bytes
+
+    def stats(self) -> dict[str, int]:
+        """Counters snapshot for telemetry and benchmarks."""
+        return {
+            "entries": len(self._entries),
+            "bytes": self._bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+# ----------------------------------------------------------------------
+# Process-wide shared instance (TaneConfig(partition_cache="shared"))
+# ----------------------------------------------------------------------
+
+_shared: PartitionCache | None = None
+_shared_lock = Lock()
+
+
+def shared_cache() -> PartitionCache:
+    """The process-wide cache, created with defaults on first use."""
+    global _shared
+    with _shared_lock:
+        if _shared is None:
+            _shared = PartitionCache()
+        return _shared
+
+
+def reset_shared_cache() -> None:
+    """Drop the process-wide cache (tests and long-lived services)."""
+    global _shared
+    with _shared_lock:
+        _shared = None

@@ -27,10 +27,22 @@ from __future__ import annotations
 
 from collections.abc import Callable, Iterator, Sequence
 
-from repro.partition.vectorized import CsrPartition, PartitionWorkspace
+from repro.partition.vectorized import CsrPartition, PartitionWorkspace, batched_products
 from repro.search.measures import ValidityCriteria, ValidityOutcome, evaluate_validity
 
-__all__ = ["Fetch", "ValidityGroups", "SerialExecution", "serial_validity"]
+__all__ = ["Fetch", "ValidityGroups", "SerialExecution", "serial_validity", "PRODUCT_KERNELS"]
+
+# How an execution backend computes a shard's partition products:
+# "triple" is the historical one-product-at-a-time reference loop;
+# "batched" amortizes numpy fixed costs across the shard via
+# :func:`repro.partition.vectorized.batched_products` (byte-identical
+# results).  The process backend reuses the same names.
+PRODUCT_KERNELS = ("batched", "triple")
+
+# Products per batched_products call: large enough to amortize the
+# shared argsort, small enough that streaming into the store (which
+# may spill) is not delayed by a whole level.
+_PRODUCT_BATCH = 256
 
 Fetch = Callable[[int], CsrPartition]
 # ``(whole_mask, [(rhs_index, lhs_mask), ...])`` in level order; the
@@ -56,11 +68,26 @@ def serial_validity(
 
 
 class SerialExecution:
-    """Run every task inline — the classic single-core TANE loop."""
+    """Run every task inline — the classic single-core TANE loop.
+
+    ``product_kernel`` selects how products are computed: ``"batched"``
+    (the default; level-batched numpy passes) or ``"triple"`` (the
+    historical per-product loop, and the automatic fallback whenever a
+    fetched partition is not a :class:`CsrPartition` — the pure
+    reference engine keeps working under either setting).
+    """
 
     name = "serial"
     workers = 1
     usage = None
+
+    def __init__(self, product_kernel: str = "batched") -> None:
+        if product_kernel not in PRODUCT_KERNELS:
+            raise ValueError(
+                f"unknown product_kernel {product_kernel!r}; "
+                f"valid choices: {', '.join(repr(k) for k in PRODUCT_KERNELS)}"
+            )
+        self.product_kernel = product_kernel
 
     def products(
         self,
@@ -69,8 +96,35 @@ class SerialExecution:
         workspace: PartitionWorkspace,
     ) -> Iterator[tuple[int, CsrPartition]]:
         """Yield ``(candidate, partition)`` per product triple, in order."""
-        for candidate, factor_x, factor_y in triples:
-            yield candidate, fetch(factor_x).product(fetch(factor_y), workspace)
+        if self.product_kernel != "batched":
+            for candidate, factor_x, factor_y in triples:
+                yield candidate, fetch(factor_x).product(fetch(factor_y), workspace)
+            return
+        triples = list(triples)
+        for start in range(0, len(triples), _PRODUCT_BATCH):
+            chunk = triples[start:start + _PRODUCT_BATCH]
+            # Memoize fetches within the batch: stores may rebuild the
+            # partition object per get(), and batched_products reuses
+            # one probe scatter only for *identical* left factors.
+            fetched: dict[int, CsrPartition] = {}
+            for _candidate, factor_x, factor_y in chunk:
+                for mask in (factor_x, factor_y):
+                    if mask not in fetched:
+                        fetched[mask] = fetch(mask)
+            if any(
+                not isinstance(partition, CsrPartition)
+                for partition in fetched.values()
+            ):
+                for candidate, factor_x, factor_y in chunk:
+                    yield candidate, fetched[factor_x].product(
+                        fetched[factor_y], workspace
+                    )
+                continue
+            pairs = [(fetched[x], fetched[y]) for _, x, y in chunk]
+            for (candidate, _x, _y), product in zip(
+                chunk, batched_products(pairs, workspace)
+            ):
+                yield candidate, product
 
     def validity_tests(
         self,

@@ -55,6 +55,20 @@ class PartitionManager:
         partitions, Lemma 3) or ``"from_singletons"`` (re-multiply the
         singleton partitions — the ablation-only Schlimmer model of
         Section 6, always serial).
+    cache:
+        Optional cross-run partition cache (duck-typed
+        ``get(fingerprint, mask)`` / ``put(fingerprint, mask, π)``,
+        see :class:`repro.partition.cache.PartitionCache`).  Consulted
+        for singletons and for product levels up to ``cache_levels``
+        attributes; hits skip the product (and its counter) entirely.
+    cache_fingerprint:
+        Cache key prefix identifying the relation *and* the partition
+        engine — entries from one engine must never satisfy another.
+    cache_levels:
+        Largest attribute-set size stored in / served from the cache.
+    cache_hits_counter / cache_misses_counter:
+        Counter instruments for cache telemetry (private throwaway
+        counters by default).
     """
 
     def __init__(
@@ -67,6 +81,11 @@ class PartitionManager:
         *,
         products_counter: Counter | None = None,
         partition_strategy: str = "pairwise",
+        cache=None,
+        cache_fingerprint: str = "",
+        cache_levels: int = 2,
+        cache_hits_counter: Counter | None = None,
+        cache_misses_counter: Counter | None = None,
     ) -> None:
         self.relation = relation
         self.num_rows = relation.num_rows
@@ -77,6 +96,13 @@ class PartitionManager:
         self.executor = executor
         self.partition_strategy = partition_strategy
         self._c_products = products_counter if products_counter is not None else Counter()
+        self._cache = cache
+        self._cache_fingerprint = cache_fingerprint
+        self._cache_levels = cache_levels
+        self._c_cache_hits = cache_hits_counter if cache_hits_counter is not None else Counter()
+        self._c_cache_misses = (
+            cache_misses_counter if cache_misses_counter is not None else Counter()
+        )
         self._singletons: list = []
 
     # ------------------------------------------------------------------
@@ -88,16 +114,52 @@ class PartitionManager:
 
         π_∅ (one class holding every row) is needed to test the
         level-1 dependencies ``∅ -> A``; UCC discovery skips it.
+        Starting a run also resets any resident shared-memory state a
+        delta-shipping executor kept from a previous run (masks are
+        small integers reused across relations, so stale residency
+        would alias partitions of a different relation).
         """
+        begin_run = getattr(self.executor, "begin_run", None)
+        if begin_run is not None:
+            begin_run()
         if include_empty:
             self.store.put(0, self.partition_cls.single_class(self.num_rows))
-        self._singletons = [
-            self.partition_cls.from_column(self.relation.column_codes(i), self.num_rows)
-            for i in range(self.num_attributes)
-        ]
-        for i, partition in enumerate(self._singletons):
-            self.store.put(_bitset.bit(i), partition)
+        self._singletons = []
+        for i in range(self.num_attributes):
+            mask = _bitset.bit(i)
+            partition = self._cache_get(mask)
+            if partition is None:
+                partition = self.partition_cls.from_column(
+                    self.relation.column_codes(i), self.num_rows
+                )
+                self._cache_put(mask, partition)
+            self._singletons.append(partition)
+            self.store.put(mask, partition)
         return [_bitset.bit(i) for i in range(self.num_attributes)]
+
+    def _cache_get(self, mask: int):
+        """Cache lookup (``None`` when disabled, out of level, or missed)."""
+        if self._cache is None or _bitset.popcount(mask) > self._cache_levels:
+            return None
+        partition = self._cache.get(self._cache_fingerprint, mask)
+        if partition is None:
+            self._c_cache_misses.inc()
+        else:
+            self._c_cache_hits.inc()
+        return partition
+
+    def _cache_put(self, mask: int, partition) -> None:
+        if self._cache is None or _bitset.popcount(mask) > self._cache_levels:
+            return
+        indices = getattr(partition, "indices", None)
+        if indices is not None and getattr(indices, "base", None) is not None:
+            # A parallel run's products can be views over a shared-memory
+            # block the executor will close; the cache outlives the run,
+            # so store an owned copy rather than pinning the mapping.
+            partition = type(partition).attach(
+                indices.copy(), partition.offsets.copy(), partition.num_rows
+            )
+        self._cache.put(self._cache_fingerprint, mask, partition)
 
     def get(self, mask: int):
         """Fetch ``π_mask`` from the store."""
@@ -130,7 +192,23 @@ class PartitionManager:
                 next_level.append(candidate)
             return next_level
 
-        products = self.executor.products(triples, self.store.get, self.workspace)
+        pending = triples
+        hit_any = False
+        if (
+            self._cache is not None
+            and triples
+            and _bitset.popcount(triples[0][0]) <= self._cache_levels
+        ):
+            pending = []
+            for triple in triples:
+                partition = self._cache_get(triple[0])
+                if partition is None:
+                    pending.append(triple)
+                else:
+                    hit_any = True
+                    self.store.put(triple[0], partition)
+
+        products = self.executor.products(pending, self.store.get, self.workspace)
 
         def stream():
             # The store consumes the executor's result stream directly:
@@ -139,6 +217,7 @@ class PartitionManager:
             for candidate, product in products:
                 faults.check("tane.products.consume")
                 self._c_products.inc()
+                self._cache_put(candidate, product)
                 next_level.append(candidate)
                 yield candidate, product
 
@@ -156,6 +235,9 @@ class PartitionManager:
             close = getattr(products, "close", None)
             if close is not None:
                 close()
+        if hit_any:
+            # Cache hits were stored up front; preserve candidate order.
+            return [candidate for candidate, _x, _y in triples]
         return next_level
 
     def product_from_singletons(self, candidate: int, *, count: bool = True):
@@ -182,9 +264,21 @@ class PartitionManager:
     # ------------------------------------------------------------------
 
     def reclaim(self, masks: list[int]) -> None:
-        """Drop a completed level's partitions from the store."""
+        """Drop a completed level's partitions from the store.
+
+        A delta-shipping executor is told too (duck-typed
+        ``release_masks``), so its workers' resident shared-memory
+        blocks are freed as soon as the level can no longer be
+        referenced.  The store discards *first*: partitions from an
+        adopted result block are views over the block's mapping, and
+        releasing their masks closes it — the views must be dead by
+        then.
+        """
         for mask in masks:
             self.store.discard(mask)
+        release = getattr(self.executor, "release_masks", None)
+        if release is not None:
+            release(masks)
 
     def restore(self, mask: int) -> None:
         """Re-establish ``π_mask`` for checkpoint resume.

@@ -1,0 +1,142 @@
+"""Cache-consistency tests for the cross-run partition cache.
+
+Three invariants matter for correctness: a put is observable (hit
+after put, same object back), a different relation fingerprint never
+sees another relation's partitions, and the byte budget actually
+bounds memory (LRU eviction, oversized entries refused).
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.model.relation import Relation
+from repro.partition.cache import (
+    PartitionCache,
+    reset_shared_cache,
+    shared_cache,
+)
+from repro.partition.vectorized import CsrPartition
+
+
+def partition_of(codes):
+    return CsrPartition.from_column(np.asarray(codes, dtype=np.int64))
+
+
+class TestHitAfterPut:
+    def test_put_then_get_returns_same_object(self):
+        cache = PartitionCache()
+        stored = partition_of([0, 0, 1, 1, 2])
+        cache.put("fp", 1, stored)
+        assert cache.get("fp", 1) is stored
+        assert cache.stats() == {
+            "entries": 1,
+            "bytes": stored.nbytes(),
+            "hits": 1,
+            "misses": 0,
+            "evictions": 0,
+        }
+
+    def test_miss_on_absent_key(self):
+        cache = PartitionCache()
+        assert cache.get("fp", 1) is None
+        assert cache.misses == 1
+
+    def test_put_refreshes_existing_key(self):
+        cache = PartitionCache()
+        first = partition_of([0, 0, 1, 1])
+        second = partition_of([0, 1, 0, 1])
+        cache.put("fp", 1, first)
+        cache.put("fp", 1, second)
+        assert len(cache) == 1
+        assert cache.get("fp", 1) is second
+        assert cache.total_bytes == second.nbytes()
+
+
+class TestFingerprintIsolation:
+    def test_other_fingerprint_misses(self):
+        cache = PartitionCache()
+        cache.put("relation-a", 1, partition_of([0, 0, 1]))
+        assert cache.get("relation-b", 1) is None
+
+    def test_relation_fingerprint_changes_with_data(self):
+        left = Relation.from_columns({"A": [0, 0, 1], "B": [1, 2, 2]})
+        same = Relation.from_columns({"A": [0, 0, 1], "B": [1, 2, 2]})
+        changed = Relation.from_columns({"A": [0, 0, 1], "B": [1, 2, 3]})
+        assert left.fingerprint() == same.fingerprint()
+        assert left.fingerprint() != changed.fingerprint()
+
+    def test_invalidate_one_fingerprint(self):
+        cache = PartitionCache()
+        kept = partition_of([0, 1, 1])
+        cache.put("stale", 1, partition_of([0, 0, 1]))
+        cache.put("stale", 2, partition_of([0, 1, 0]))
+        cache.put("fresh", 1, kept)
+        cache.invalidate("stale")
+        assert cache.get("stale", 1) is None
+        assert cache.get("stale", 2) is None
+        assert cache.get("fresh", 1) is kept
+        assert cache.total_bytes == kept.nbytes()
+
+    def test_invalidate_everything(self):
+        cache = PartitionCache()
+        cache.put("a", 1, partition_of([0, 0, 1]))
+        cache.put("b", 1, partition_of([0, 1, 1]))
+        cache.invalidate()
+        assert len(cache) == 0
+        assert cache.total_bytes == 0
+
+
+class TestBoundedMemory:
+    def test_lru_eviction_respects_byte_budget(self):
+        one = partition_of([0, 0, 1, 1])
+        budget = one.nbytes() * 2  # room for exactly two entries
+        cache = PartitionCache(max_bytes=budget)
+        cache.put("fp", 1, one)
+        cache.put("fp", 2, partition_of([0, 1, 0, 1]))
+        cache.get("fp", 1)  # refresh 1: mask 2 becomes LRU
+        cache.put("fp", 3, partition_of([0, 1, 1, 0]))
+        assert cache.get("fp", 2) is None, "LRU entry should be evicted"
+        assert cache.get("fp", 1) is not None
+        assert cache.get("fp", 3) is not None
+        assert cache.total_bytes <= budget
+        assert cache.evictions == 1
+
+    def test_total_bytes_never_exceeds_budget(self):
+        rng = np.random.default_rng(17)
+        cache = PartitionCache(max_bytes=4096)
+        for mask in range(64):
+            cache.put("fp", mask, partition_of(rng.integers(0, 5, size=40)))
+            assert cache.total_bytes <= 4096
+
+    def test_entry_larger_than_budget_is_refused(self):
+        cache = PartitionCache(max_bytes=8)
+        cache.put("fp", 1, partition_of([0, 0, 1, 1, 2, 2]))
+        assert len(cache) == 0
+        assert cache.get("fp", 1) is None
+
+    def test_max_entries_cap(self):
+        cache = PartitionCache(max_entries=2)
+        for mask in (1, 2, 4):
+            cache.put("fp", mask, partition_of([0, 0, 1]))
+        assert len(cache) == 2
+        assert cache.get("fp", 1) is None  # oldest evicted
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_invalid_budget_rejected(self, bad):
+        with pytest.raises(ConfigurationError, match="max_bytes"):
+            PartitionCache(max_bytes=bad)
+        with pytest.raises(ConfigurationError, match="max_entries"):
+            PartitionCache(max_entries=bad)
+
+
+class TestSharedInstance:
+    def test_shared_cache_is_a_singleton_until_reset(self):
+        reset_shared_cache()
+        try:
+            first = shared_cache()
+            assert shared_cache() is first
+            reset_shared_cache()
+            assert shared_cache() is not first
+        finally:
+            reset_shared_cache()

@@ -1,11 +1,13 @@
 """Deterministic shared-memory cleanup on the error paths.
 
-A ``products`` stream owns a shared-memory block for the duration of
-the level.  Historically the block's release rode on the generator's
-``finally``, which for an *abandoned* generator only runs at garbage
-collection; now the driver closes the stream on its error paths and
-the executor tracks every shipped block so :meth:`close` releases
-stragglers immediately.
+A ``products`` stream ships a shared-memory block for its level.  With
+``delta_shipping=False`` the block's lifetime is the phase: the stream's
+``finally`` (driven by the driver closing the stream on its error
+paths) releases it immediately.  With delta shipping (the default) a
+block intentionally stays resident after the phase — until
+``release_masks`` drains it, ``begin_run`` starts a new search, or
+:meth:`ProcessLevelExecutor.close` tears the executor down; cleanup
+must be deterministic at each of those points.
 """
 
 from __future__ import annotations
@@ -21,6 +23,15 @@ from repro.testing import faults
 
 @pytest.fixture
 def executor():
+    executor = ProcessLevelExecutor(
+        workers=1, retry_backoff_seconds=0.0, delta_shipping=False
+    )
+    yield executor
+    executor.close()
+
+
+@pytest.fixture
+def delta_executor():
     executor = ProcessLevelExecutor(workers=1, retry_backoff_seconds=0.0)
     yield executor
     executor.close()
@@ -40,28 +51,28 @@ def toy_inputs(num_rows=40):
 def test_consumed_stream_releases_block(executor):
     partitions, triples, workspace = toy_inputs()
     list(executor.products(triples, partitions.__getitem__, workspace))
-    assert not executor._open_blocks
+    assert not executor._blocks
 
 
 def test_explicit_close_releases_block_immediately(executor):
     partitions, triples, workspace = toy_inputs()
     stream = executor.products(triples, partitions.__getitem__, workspace)
     next(stream)
-    assert executor._open_blocks, "a live stream holds its block"
+    assert executor._blocks, "a live stream holds its block"
     stream.close()
-    assert not executor._open_blocks
+    assert not executor._blocks
 
 
 def test_executor_close_releases_abandoned_stream(executor):
     partitions, triples, workspace = toy_inputs()
     stream = executor.products(triples, partitions.__getitem__, workspace)
     next(stream)
-    assert executor._open_blocks
+    assert executor._blocks
     # Abandon the generator without closing it; the executor still
     # tracks the block and close() must release it deterministically.
     del stream
     executor.close()
-    assert not executor._open_blocks
+    assert not executor._blocks
 
 
 def test_driver_closes_stream_when_consumption_raises(structured_relation, executor):
@@ -73,4 +84,27 @@ def test_driver_closes_stream_when_consumption_raises(structured_relation, execu
         with pytest.raises(RuntimeError, match="injected put failure"):
             discover(structured_relation, TaneConfig(executor=executor))
     assert executor.usage.shm_bytes > 0, "a block was shipped before the fault"
-    assert not executor._open_blocks
+    assert not executor._blocks
+
+
+def test_delta_blocks_stay_resident_until_released(delta_executor):
+    partitions, triples, workspace = toy_inputs()
+    list(delta_executor.products(triples, partitions.__getitem__, workspace))
+    # Residency across phases is the point of delta shipping.
+    assert delta_executor._blocks
+    assert set(delta_executor._residency) == {1, 2}
+    delta_executor.release_masks([1, 2])
+    assert not delta_executor._blocks
+    assert not delta_executor._residency
+
+
+def test_delta_run_boundary_and_close_drop_residency(delta_executor):
+    partitions, triples, workspace = toy_inputs()
+    list(delta_executor.products(triples, partitions.__getitem__, workspace))
+    assert delta_executor._blocks
+    delta_executor.begin_run()
+    assert not delta_executor._blocks and not delta_executor._residency
+    list(delta_executor.products(triples, partitions.__getitem__, workspace))
+    assert delta_executor._blocks
+    delta_executor.close()
+    assert not delta_executor._blocks and not delta_executor._residency

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""CI gate for the single-core hot-path benchmark.
+
+Re-runs ``benchmarks/run_hotpath_bench.py`` on the current checkout
+and compares the measured *improvement ratios* against the committed
+``benchmarks/results/BENCH_hotpath.json``.  Ratios — batched (and
+batched+cache) time relative to the per-triple baseline measured in
+the same process on the same machine — transfer across hosts, where
+the absolute seconds recorded on the committing machine do not.
+
+The gate fails when the fresh combined improvement drops more than
+``TOLERANCE_PCT`` percent below the committed one (someone slowed the
+batched kernel or the cache path), or when the fresh run itself fails
+(parity drift, threshold miss).
+
+Usage::
+
+    python tools/check_bench_regression.py [--repeats 5] [--target-rows 30000]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+COMMITTED = REPO / "benchmarks" / "results" / "BENCH_hotpath.json"
+TOLERANCE_PCT = 10.0
+
+
+def run_fresh(repeats: int, target_rows: int) -> dict:
+    """Run the hotpath benchmark into a scratch results file."""
+    with tempfile.TemporaryDirectory() as scratch:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO / "src")
+        # The bench writes next to its own file; run a copy in scratch
+        # so the committed JSON is never overwritten by the gate.
+        script = Path(scratch) / "run_hotpath_bench.py"
+        script.write_text(
+            (REPO / "benchmarks" / "run_hotpath_bench.py").read_text(
+                encoding="utf-8"
+            ),
+            encoding="utf-8",
+        )
+        completed = subprocess.run(
+            [
+                sys.executable,
+                str(script),
+                "--repeats",
+                str(repeats),
+                "--target-rows",
+                str(target_rows),
+            ],
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        sys.stdout.write(completed.stdout)
+        sys.stderr.write(completed.stderr)
+        if completed.returncode != 0:
+            raise SystemExit(
+                f"fresh benchmark run failed (exit {completed.returncode})"
+            )
+        return json.loads(
+            (Path(scratch) / "results" / "BENCH_hotpath.json").read_text(
+                encoding="utf-8"
+            )
+        )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--target-rows", type=int, default=30000)
+    parser.add_argument(
+        "--tolerance-pct",
+        type=float,
+        default=TOLERANCE_PCT,
+        help="allowed drop of the combined improvement ratio, in percent",
+    )
+    args = parser.parse_args(argv)
+
+    if not COMMITTED.exists():
+        print(f"no committed baseline at {COMMITTED}", file=sys.stderr)
+        return 1
+    committed = json.loads(COMMITTED.read_text(encoding="utf-8"))
+    fresh = run_fresh(args.repeats, args.target_rows)
+
+    committed_ratio = float(committed["combined_improvement"])
+    fresh_ratio = float(fresh["combined_improvement"])
+    floor = committed_ratio * (1.0 - args.tolerance_pct / 100.0)
+    print(
+        f"combined improvement: committed {committed_ratio:.3f}x, "
+        f"fresh {fresh_ratio:.3f}x, floor {floor:.3f}x "
+        f"(-{args.tolerance_pct:.0f}%)"
+    )
+    if fresh_ratio < floor:
+        print(
+            f"FAIL: hot-path improvement regressed: {fresh_ratio:.3f}x "
+            f"< {floor:.3f}x",
+            file=sys.stderr,
+        )
+        return 1
+    print("bench regression gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
