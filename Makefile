@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install check layers test test-fast trace-smoke fault-smoke verify-smoke multicore-smoke hotpath-bench bench-gate bench bench-full examples clean
+.PHONY: install check layers test test-fast trace-smoke obs-smoke fault-smoke verify-smoke multicore-smoke hotpath-bench bench-gate bench-history obs-bench bench bench-full examples clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -14,6 +14,7 @@ check:
 	$(MAKE) layers
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 	$(MAKE) trace-smoke
+	$(MAKE) obs-smoke
 	$(MAKE) fault-smoke
 	$(MAKE) verify-smoke
 
@@ -31,6 +32,38 @@ trace-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.cli discover examples/data/orders.csv --workers 2 --trace /tmp/repro-trace-par.jsonl > /dev/null
 	PYTHONPATH=src $(PYTHON) -m repro.cli trace-report /tmp/repro-trace-par.jsonl | grep "worker utilization" > /dev/null
 	rm -f /tmp/repro-trace.jsonl /tmp/repro-trace-par.jsonl
+
+# Telemetry smoke (extends trace-smoke): one instrumented discover run
+# producing the event stream, profiler sidecar, and metrics snapshots;
+# then every exported artifact is consumed — events schema-checked,
+# profile rendered via trace-report --profile, snapshots re-exported as
+# Prometheus text — and the exposition-format golden + profiler unit
+# tests and the bench-trajectory tool run on top.
+obs-smoke:
+	rm -f /tmp/repro-obs.events.jsonl /tmp/repro-obs.trace.jsonl \
+	  /tmp/repro-obs.trace.jsonl.profile.json /tmp/repro-obs.prom \
+	  /tmp/repro-obs.snapshots.jsonl /tmp/repro-obs.export.prom
+	PYTHONPATH=src $(PYTHON) -m repro.cli discover examples/data/orders.csv \
+	  --progress --events /tmp/repro-obs.events.jsonl \
+	  --trace /tmp/repro-obs.trace.jsonl --profile \
+	  --metrics-file /tmp/repro-obs.prom \
+	  --metrics-snapshots /tmp/repro-obs.snapshots.jsonl > /dev/null
+	PYTHONPATH=src $(PYTHON) -c "\
+	from repro.obs.events import load_events, validate_event; \
+	events = load_events('/tmp/repro-obs.events.jsonl'); \
+	assert events and events[0].kind == 'run_start' and events[-1].kind == 'run_end', 'event stream not bracketed'; \
+	problems = [p for e in events for p in validate_event(e)]; \
+	assert not problems, problems; \
+	print(f'obs-smoke: {len(events)} events schema-valid')"
+	PYTHONPATH=src $(PYTHON) -m repro.cli trace-report /tmp/repro-obs.trace.jsonl --profile | grep "profile:" > /dev/null
+	grep -q "^repro_" /tmp/repro-obs.prom
+	PYTHONPATH=src $(PYTHON) -m repro.cli export-metrics /tmp/repro-obs.snapshots.jsonl --output /tmp/repro-obs.export.prom
+	grep -q "^repro_" /tmp/repro-obs.export.prom
+	PYTHONPATH=src $(PYTHON) -m pytest tests/obs/test_export.py tests/obs/test_profile.py tests/obs/test_events.py tests/test_bench_history.py -q
+	$(PYTHON) tools/bench_history.py > /dev/null
+	rm -f /tmp/repro-obs.events.jsonl /tmp/repro-obs.trace.jsonl \
+	  /tmp/repro-obs.trace.jsonl.profile.json /tmp/repro-obs.prom \
+	  /tmp/repro-obs.snapshots.jsonl /tmp/repro-obs.export.prom
 
 # Fault-tolerance smoke: the resilience suite (checkpoint/resume,
 # worker-kill recovery, crash-path store errors) plus a CLI
@@ -65,9 +98,20 @@ hotpath-bench:
 	PYTHONPATH=src $(PYTHON) benchmarks/run_hotpath_bench.py
 
 # CI gate: fresh hot-path improvement ratio must stay within 10% of
-# the committed benchmarks/results/BENCH_hotpath.json.
+# the committed benchmarks/results/BENCH_hotpath.json, and the
+# progress-event overhead must stay within its bars.
 bench-gate:
 	$(PYTHON) tools/check_bench_regression.py
+
+# Benchmark trajectory: headline metric of every committed BENCH_*.json
+# across git history, with regression flags.
+bench-history:
+	$(PYTHON) tools/bench_history.py
+
+# Re-measure observability overhead (spans + progress events) and
+# refresh the committed BENCH_obs*.json artifacts.
+obs-bench:
+	PYTHONPATH=src $(PYTHON) benchmarks/run_obs_overhead.py
 
 test:
 	$(PYTHON) -m pytest tests/

@@ -19,6 +19,15 @@ uninstrumented code is impossible (the instrumentation is compiled in),
 and run-to-run noise on sub-second workloads dwarfs a sub-0.1% effect;
 the microbenchmark product is both tighter and honest about what the
 disabled path costs.  The acceptance bar is < 2%.
+
+The progress-event stream is measured the same way into
+``benchmarks/results/BENCH_obs_events_overhead.json``: the disabled
+path (no ``TaneConfig(events=...)``) is the hooks' no-op span plus one
+module-global read per worker chunk, microbenchmarked and scaled
+(bar: <= 0.1%); the enabled path is a direct A/B of the workload with
+a subscribed bounded-queue consumer against the baseline (bar: <= 2%).
+``tools/check_bench_regression.py`` re-runs this measurement as a CI
+gate.
 """
 
 from __future__ import annotations
@@ -37,11 +46,14 @@ from pathlib import Path
 from repro.core.tane import TaneConfig, discover
 from repro.datasets.replicate import replicate_with_unique_suffix
 from repro.datasets.uci import make_wisconsin_like
-from repro.obs import InMemorySink, JsonlSink, Tracer
+from repro.obs import InMemorySink, JsonlSink, ProgressEmitter, Tracer
+from repro.obs import events as obs_events
 from repro.obs import trace as obs_trace
 
 RESULTS = Path(__file__).parent / "results"
 THRESHOLD_PCT = 2.0
+EVENTS_DISABLED_THRESHOLD_PCT = 0.1
+EVENTS_ENABLED_THRESHOLD_PCT = 2.0
 
 
 def _time_runs(relation, repeats: int, make_config) -> tuple[float, object]:
@@ -99,6 +111,86 @@ def _measure_executor(name: str, relation, repeats: int, base_kwargs: dict) -> d
     }
 
 
+def _null_event_read_ns(iterations: int = 200_000) -> float:
+    """Nanoseconds per disabled ``events.active_emitter()`` read.
+
+    The entire disabled-path cost of the event stream outside the
+    search core: the executor checks the module slot once per chunk
+    and skips the heartbeat when no emitter is active.
+    """
+    assert not obs_events.events_enabled()
+    seconds = timeit.timeit(
+        "read()", globals={"read": obs_events.active_emitter}, number=iterations
+    )
+    return seconds / iterations * 1e9
+
+
+def _measure_events(relation, repeats: int) -> dict:
+    """Events on/off A/B plus the scaled disabled-path estimate."""
+    baseline_s, baseline_result = _time_runs(
+        relation, repeats, lambda: TaneConfig()
+    )
+
+    emitted = 0
+    queues = []
+
+    def events_config() -> TaneConfig:
+        emitter = ProgressEmitter()
+        queues.append(emitter.queue(maxlen=100_000))
+        return TaneConfig(events=emitter)
+
+    events_s, _ = _time_runs(relation, repeats, events_config)
+    emitted = sum(len(queue.drain()) for queue in queues) // max(len(queues), 1)
+
+    # Disabled path: one module-global read per potential emission site
+    # (levels + phases for the hooks that are not even attached, worker
+    # chunks for the executor's guard).  Scale the microbenchmark by a
+    # generous site count — the serial workload has no chunks, so use
+    # the enabled run's event count as the upper bound of sites.
+    null_ns = _null_event_read_ns()
+    disabled_pct = emitted * null_ns / (baseline_s * 1e9) * 100.0
+    enabled_pct = (events_s / baseline_s - 1.0) * 100.0
+    return {
+        "baseline_s": round(baseline_s, 4),
+        "events_s": round(events_s, 4),
+        "events_per_run": emitted,
+        "null_read_ns": round(null_ns, 1),
+        "levels": len(baseline_result.statistics.level_sizes),
+        "disabled_overhead_pct": round(disabled_pct, 5),
+        "events_enabled_overhead_pct": round(enabled_pct, 2),
+    }
+
+
+def write_events_entry(relation, repeats: int, output: Path) -> dict:
+    """Measure the event stream's overhead and write its BENCH entry."""
+    run = _measure_events(relation, repeats)
+    passed = (
+        run["disabled_overhead_pct"] <= EVENTS_DISABLED_THRESHOLD_PCT
+        and run["events_enabled_overhead_pct"] <= EVENTS_ENABLED_THRESHOLD_PCT
+    )
+    entry = {
+        "benchmark": "obs_events_overhead",
+        "created": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "hardware": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "workload": {
+            "rows": relation.num_rows,
+            "attributes": relation.num_attributes,
+            "repeats": repeats,
+        },
+        "run": run,
+        "disabled_threshold_pct": EVENTS_DISABLED_THRESHOLD_PCT,
+        "enabled_threshold_pct": EVENTS_ENABLED_THRESHOLD_PCT,
+        "passed": passed,
+    }
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(entry, indent=2) + "\n", encoding="utf-8")
+    return entry
+
+
 def main(argv: list[str] | None = None) -> int:
     """Run the overhead measurement and write the BENCH entry."""
     parser = argparse.ArgumentParser(description=__doc__)
@@ -106,9 +198,36 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--workers", type=int, default=4)
     parser.add_argument("--output", default=str(RESULTS / "BENCH_obs_overhead.json"))
+    parser.add_argument(
+        "--events-output",
+        default=str(RESULTS / "BENCH_obs_events_overhead.json"),
+    )
+    parser.add_argument(
+        "--events-only",
+        action="store_true",
+        help="measure only the progress-event overhead (the CI gate)",
+    )
     args = parser.parse_args(argv)
 
     relation = replicate_with_unique_suffix(make_wisconsin_like(), args.copies)
+
+    events_entry = write_events_entry(
+        relation, args.repeats, Path(args.events_output)
+    )
+    print(json.dumps(events_entry, indent=2))
+    if not events_entry["passed"]:
+        run = events_entry["run"]
+        print(
+            "EVENTS OVERHEAD FAILURE: disabled "
+            f"{run['disabled_overhead_pct']:.4f}% "
+            f"(bar {EVENTS_DISABLED_THRESHOLD_PCT}%), enabled "
+            f"{run['events_enabled_overhead_pct']:.2f}% "
+            f"(bar {EVENTS_ENABLED_THRESHOLD_PCT}%)",
+            file=sys.stderr,
+        )
+        return 1
+    if args.events_only:
+        return 0
     runs = [
         _measure_executor("serial", relation, args.repeats, {}),
         _measure_executor(

@@ -15,7 +15,11 @@ Subcommands
     Materialize one of the built-in benchmark datasets as CSV.
 ``trace-report``
     Render a ``--trace`` JSONL file as per-level phase timings, store
-    I/O, and worker utilization.
+    I/O, and worker utilization (``--profile`` adds the sampling
+    profiler's tables from the sidecar).
+``export-metrics``
+    Convert a ``--metrics-snapshots`` JSONL file into Prometheus text
+    exposition.
 ``verify``
     Fuzz the configuration matrix: run seeded synthetic relations
     through every executor/engine/store/checkpoint cell, diff the
@@ -105,6 +109,34 @@ def build_parser() -> argparse.ArgumentParser:
     discover_parser.add_argument("--log-level", choices=_LOG_LEVELS, default=None,
                                  help="additionally stream spans through the "
                                       "'repro.obs' logger at this level")
+    discover_parser.add_argument("--progress", action="store_true",
+                                 help="live progress line on stderr: level, "
+                                      "candidates tested/remaining, ETA")
+    discover_parser.add_argument("--events", metavar="JSONL", default=None,
+                                 help="append the run's progress events to this "
+                                      "JSONL file")
+    discover_parser.add_argument("--profile", action="store_true",
+                                 help="attach the sampling profiler and print "
+                                      "its span/frame/memory tables; with "
+                                      "--trace, also saved as a sidecar for "
+                                      "'repro trace-report --profile'")
+    discover_parser.add_argument("--profile-interval", type=float, default=0.005,
+                                 metavar="SECONDS",
+                                 help="sampling period for --profile "
+                                      "(default 0.005)")
+    discover_parser.add_argument("--metrics-file", metavar="FILE", default=None,
+                                 help="write the run's metrics as Prometheus "
+                                      "text exposition to FILE when done")
+    discover_parser.add_argument("--metrics-port", type=int, default=None,
+                                 metavar="PORT",
+                                 help="serve live Prometheus metrics on "
+                                      "localhost:PORT during the run "
+                                      "(0 = pick a free port)")
+    discover_parser.add_argument("--metrics-snapshots", metavar="JSONL",
+                                 default=None,
+                                 help="append periodic registry snapshots to "
+                                      "this JSONL file (1s interval; convert "
+                                      "with 'repro export-metrics')")
 
     keys_parser = subparsers.add_parser(
         "keys", help="find minimal (approximate) unique column combinations"
@@ -146,6 +178,27 @@ def build_parser() -> argparse.ArgumentParser:
              "store I/O, worker utilization",
     )
     trace_parser.add_argument("trace", help="JSONL trace written by 'discover --trace'")
+    trace_parser.add_argument("--profile", action="store_true",
+                              help="also render the profiler sidecar written "
+                                   "by 'discover --profile --trace'")
+
+    export_parser = subparsers.add_parser(
+        "export-metrics",
+        help="convert a --metrics-snapshots JSONL file to Prometheus "
+             "text exposition",
+    )
+    export_parser.add_argument("snapshots",
+                               help="JSONL file written by 'discover "
+                                    "--metrics-snapshots'")
+    export_parser.add_argument("--output", metavar="FILE", default=None,
+                               help="write exposition here instead of stdout")
+    export_parser.add_argument("--index", type=int, default=-1,
+                               help="which snapshot line to export "
+                                    "(default -1 = the last)")
+    export_parser.add_argument("--label", action="append", default=[],
+                               metavar="KEY=VALUE",
+                               help="attach a label to every sample "
+                                    "(repeatable)")
 
     verify_parser = subparsers.add_parser(
         "verify",
@@ -193,9 +246,109 @@ def _build_tracer(args: argparse.Namespace):
     return Tracer(sinks=sinks)
 
 
+class _ProgressPrinter:
+    """Render progress events as a live one-line stderr display.
+
+    On a TTY the line is redrawn in place (``\\r``); on a pipe only
+    level boundaries and the run end are printed, one line each, so
+    redirected output stays readable.
+    """
+
+    def __init__(self, stream) -> None:
+        self._stream = stream
+        self._live = bool(getattr(stream, "isatty", lambda: False)())
+        self._width = 0
+        self._level = 0
+        self._size = 0
+        self._phase = ""
+        self._tested = 0
+        self._remaining = None
+        self._eta = None
+
+    def __call__(self, event) -> None:
+        payload = event.payload
+        kind = event.kind
+        if kind == "level_start":
+            self._level = payload["level"]
+            self._size = payload["size"]
+            self._phase = ""
+            self._tested = payload["tested"]
+            self._remaining = payload.get("remaining")
+            self._eta = payload.get("eta_seconds")
+            self._draw(event.elapsed, always=True)
+        elif kind == "phase_start":
+            self._phase = payload["phase"]
+            self._draw(event.elapsed)
+        elif kind in ("phase_end", "heartbeat"):
+            if "eta_seconds" in payload:
+                self._eta = payload["eta_seconds"]
+            self._draw(event.elapsed)
+        elif kind == "run_end":
+            status = "done" if payload.get("ok") else "FAILED"
+            self._finish(
+                f"{status} in {payload['seconds']:.2f}s: "
+                f"{payload['dependencies']} dependencies, "
+                f"{payload['keys']} keys"
+            )
+
+    def _line(self, elapsed: float) -> str:
+        parts = [f"[{elapsed:6.1f}s] level {self._level} ({self._size} sets)"]
+        if self._phase:
+            parts.append(self._phase)
+        parts.append(f"tested {self._tested}")
+        if self._remaining:
+            parts.append(f"~{self._remaining} remaining")
+        if self._eta is not None:
+            parts.append(f"eta {self._eta:.1f}s")
+        return " | ".join(parts)
+
+    def _draw(self, elapsed: float, always: bool = False) -> None:
+        line = self._line(elapsed)
+        if self._live:
+            pad = " " * max(0, self._width - len(line))
+            self._stream.write("\r" + line + pad)
+            self._stream.flush()
+            self._width = len(line)
+        elif always:
+            self._stream.write(line + "\n")
+            self._stream.flush()
+
+    def _finish(self, line: str) -> None:
+        if self._live and self._width:
+            pad = " " * max(0, self._width - len(line))
+            self._stream.write("\r" + line + pad + "\n")
+        else:
+            self._stream.write(line + "\n")
+        self._stream.flush()
+
+
 def _cmd_discover(args: argparse.Namespace) -> int:
     relation = read_csv(args.csv, header=not args.no_header)
     tracer = _build_tracer(args)
+
+    wants_metrics = (
+        args.metrics_file is not None
+        or args.metrics_port is not None
+        or args.metrics_snapshots is not None
+    )
+    metrics = None
+    if wants_metrics:
+        from repro.obs import MetricsRegistry
+
+        metrics = tracer.metrics if tracer is not None else MetricsRegistry()
+
+    emitter = None
+    event_writer = None
+    if args.progress or args.events is not None:
+        from repro.obs import JsonlEventWriter, ProgressEmitter
+
+        emitter = ProgressEmitter()
+        if args.progress:
+            emitter.subscribe(_ProgressPrinter(sys.stderr))
+        if args.events is not None:
+            event_writer = JsonlEventWriter(args.events)
+            emitter.subscribe(event_writer)
+
     config = TaneConfig(
         epsilon=args.epsilon,
         max_lhs_size=args.max_lhs,
@@ -208,15 +361,53 @@ def _cmd_discover(args: argparse.Namespace) -> int:
         product_kernel=args.product_kernel,
         partition_cache="shared" if args.partition_cache else "off",
         tracer=tracer,
+        metrics=metrics,
+        events=emitter,
+        profile=args.profile,
+        profile_interval=args.profile_interval,
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,
     )
+
+    server = None
+    snapshots = None
     try:
+        if args.metrics_port is not None:
+            from repro.obs import MetricsServer
+
+            server = MetricsServer(metrics, port=args.metrics_port).start()
+            print(f"serving metrics at {server.url}", file=sys.stderr)
+        if args.metrics_snapshots is not None:
+            from repro.obs import SnapshotWriter
+
+            snapshots = SnapshotWriter(metrics, args.metrics_snapshots, interval=1.0)
+            snapshots.start()
         result = discover(relation, config)
     finally:
+        if snapshots is not None:
+            snapshots.stop()
+        if server is not None:
+            server.stop()
+        if event_writer is not None:
+            event_writer.close()
         if tracer is not None:
             tracer.close()
+    if args.metrics_file is not None:
+        from repro.obs import write_prometheus
+
+        write_prometheus(args.metrics_file, metrics)
+        print(f"metrics written to {args.metrics_file}", file=sys.stderr)
     print(result.format())
+    if result.profile is not None:
+        print()
+        print(result.profile.format())
+        if args.trace is not None:
+            from repro.obs import profile_sidecar_path
+
+            sidecar = result.profile.save(profile_sidecar_path(args.trace))
+            print(f"profile written to {sidecar} "
+                  f"(render with: repro trace-report --profile {args.trace})",
+                  file=sys.stderr)
     if args.stats:
         stats = result.statistics
         print(f"levels: {stats.level_sizes}")
@@ -255,6 +446,56 @@ def _cmd_trace_report(args: argparse.Namespace) -> int:
     if not report.span_count:
         raise DataError(f"trace file {args.trace} contains no spans")
     print(report.format())
+    if args.profile:
+        from repro.obs import ProfileReport, profile_sidecar_path
+
+        sidecar = profile_sidecar_path(args.trace)
+        try:
+            profile_report = ProfileReport.load(sidecar)
+        except OSError as error:
+            raise DataError(
+                f"cannot read profile sidecar {sidecar}: {error} "
+                "(was the trace recorded with 'discover --profile'?)"
+            ) from error
+        except ValueError as error:
+            raise DataError(str(error)) from error
+        print()
+        print(profile_report.format())
+    return 0
+
+
+def _cmd_export_metrics(args: argparse.Namespace) -> int:
+    from repro.obs import load_snapshots, prometheus_exposition
+
+    labels: dict[str, str] = {}
+    for item in args.label:
+        key, sep, value = item.partition("=")
+        if not sep or not key:
+            raise DataError(f"--label expects KEY=VALUE, got {item!r}")
+        labels[key] = value
+    try:
+        snapshots = load_snapshots(args.snapshots)
+    except OSError as error:
+        raise DataError(f"cannot read snapshot file: {error}") from error
+    except ValueError as error:
+        raise DataError(str(error)) from error
+    if not snapshots:
+        raise DataError(f"snapshot file {args.snapshots} contains no snapshots")
+    try:
+        entry = snapshots[args.index]
+    except IndexError:
+        raise DataError(
+            f"snapshot index {args.index} out of range "
+            f"({len(snapshots)} snapshots in {args.snapshots})"
+        ) from None
+    text = prometheus_exposition(entry["snapshot"], labels or None)
+    if args.output is not None:
+        from repro.obs import write_prometheus
+
+        write_prometheus(args.output, entry["snapshot"], labels or None)
+        print(f"metrics written to {args.output}", file=sys.stderr)
+    else:
+        sys.stdout.write(text)
     return 0
 
 
@@ -353,6 +594,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "bench": _cmd_bench,
         "dataset": _cmd_dataset,
         "trace-report": _cmd_trace_report,
+        "export-metrics": _cmd_export_metrics,
         "verify": _cmd_verify,
     }[args.command]
     try:

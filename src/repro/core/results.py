@@ -26,6 +26,7 @@ from repro.model.schema import RelationSchema
 
 if TYPE_CHECKING:
     from repro.obs.metrics import MetricsRegistry
+    from repro.obs.profile import ProfileReport
     from repro.obs.trace import Tracer
     from repro.parallel.executor import ExecutorUsage
 
@@ -204,6 +205,11 @@ class DiscoveryResult:
         when one was attached via ``TaneConfig(tracer=...)`` — its
         sinks hold the spans, its registry the raw metrics.  ``None``
         for untraced runs.
+    profile:
+        The :class:`~repro.obs.profile.ProfileReport` of the run when
+        ``TaneConfig(profile=True)`` was set: CPU samples attributed
+        to the span stack plus per-level tracemalloc peaks.  ``None``
+        otherwise.
     """
 
     dependencies: FDSet
@@ -212,6 +218,7 @@ class DiscoveryResult:
     epsilon: float
     statistics: SearchStatistics
     trace: "Tracer | None" = None
+    profile: "ProfileReport | None" = None
 
     def __len__(self) -> int:
         return len(self.dependencies)

@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import time
 from collections.abc import Callable
+from contextlib import ExitStack
 from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any
@@ -52,9 +53,12 @@ from repro.core.checkpoint_hooks import CheckpointHooks
 from repro.core.results import DiscoveryResult, SearchStatistics
 from repro.exceptions import ConfigurationError
 from repro.model.relation import Relation
+from repro.obs import events as obs_events
 from repro.obs import trace as obs
+from repro.obs.events import ProgressEmitter
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.search_hooks import TracingHooks
+from repro.obs.profile import SamplingProfiler
+from repro.obs.search_hooks import ProfileHooks, ProgressHooks, TracingHooks
 from repro.obs.trace import Tracer
 from repro.parallel.executor import LevelExecutor, make_executor
 from repro.partition.cache import PartitionCache, shared_cache
@@ -220,6 +224,41 @@ class TaneConfig:
     its ``trace`` handle.  ``None`` (the default) disables tracing —
     the no-op path adds no measurable overhead."""
 
+    metrics: MetricsRegistry | None = None
+    """Optional externally-owned
+    :class:`~repro.obs.metrics.MetricsRegistry` the run accumulates
+    into — the handle live exporters scrape
+    (:class:`~repro.obs.export.MetricsServer`,
+    :class:`~repro.obs.export.SnapshotWriter`) and
+    :func:`~repro.obs.export.write_prometheus` renders after the run.
+    When a :attr:`tracer` is also attached it must share this registry
+    (``Tracer(metrics=...)``); ``None`` uses the tracer's registry or
+    a fresh private one."""
+
+    events: ProgressEmitter | None = None
+    """Optional :class:`~repro.obs.events.ProgressEmitter` receiving
+    the live telemetry stream of the run: typed
+    :class:`~repro.obs.events.ProgressEvent` records for run/level/
+    phase boundaries (with candidate counts and a live ETA estimate),
+    partition-cache totals, and — under the process executor — worker
+    heartbeats with chunk throughput and resident shared-memory bytes.
+    Subscribe callbacks, a bounded queue, or a JSONL tail on the
+    emitter before the run.  ``None`` (the default) disables events;
+    the disabled path is the hooks' no-op span plus one global read
+    per worker chunk."""
+
+    profile: bool = False
+    """Attach the sampling profiler
+    (:class:`~repro.obs.profile.SamplingProfiler`): CPU samples
+    attributed to the open span stack plus per-level tracemalloc
+    high-water, returned as ``DiscoveryResult.profile``.  Profiling an
+    untraced run activates a sink-less tracer so span attribution
+    exists; tracemalloc roughly doubles allocation cost, which is why
+    this is opt-in."""
+
+    profile_interval: float = 0.005
+    """Sampling period in seconds for ``profile=True`` (must be > 0)."""
+
     checkpoint_dir: str | Path | None = None
     """Directory for level-granular checkpoints.  When set, the loop
     state is written atomically after every completed level (see
@@ -310,6 +349,21 @@ class TaneConfig:
             raise ConfigurationError(
                 f"partition_cache_levels must be >= 1, "
                 f"got {self.partition_cache_levels}"
+            )
+        if self.profile_interval <= 0:
+            raise ConfigurationError(
+                f"profile_interval must be > 0, got {self.profile_interval}"
+            )
+        if (
+            self.metrics is not None
+            and self.tracer is not None
+            and self.tracer.metrics is not self.metrics
+        ):
+            raise ConfigurationError(
+                "config.metrics and config.tracer.metrics are different "
+                "registries; construct the tracer with "
+                "Tracer(metrics=config.metrics) so counters accumulate "
+                "in one place"
             )
         if self.resume and self.checkpoint_dir is None:
             raise ConfigurationError("resume=True requires checkpoint_dir")
@@ -443,9 +497,23 @@ class _TaneRun:
         # SearchStatistics view is derived from it at the end of the
         # run.
         self.tracer = config.tracer
-        self.metrics: MetricsRegistry = (
-            config.tracer.metrics if config.tracer is not None else MetricsRegistry()
-        )
+        if config.metrics is not None:
+            self.metrics: MetricsRegistry = config.metrics
+        elif config.tracer is not None:
+            self.metrics = config.tracer.metrics
+        else:
+            self.metrics = MetricsRegistry()
+        self._span_tracer = self.tracer
+        self.profiler: SamplingProfiler | None = None
+        if config.profile:
+            if self._span_tracer is None:
+                # Span attribution needs an open-span stack even when
+                # the run is otherwise untraced: a sink-less tracer
+                # maintains the stack and discards the finished spans.
+                self._span_tracer = Tracer(sinks=(), metrics=self.metrics)
+            self.profiler = SamplingProfiler(
+                self._span_tracer, interval=config.profile_interval
+            )
         self.strategy = make_strategy(config.strategy, top_k=config.top_k)
         self.tracker = CandidateTracker(
             relation.schema.full_mask(),
@@ -469,6 +537,16 @@ class _TaneRun:
             cache_misses_counter=self.metrics.counter("cache.partition_misses"),
         )
         hooks: list = [TracingHooks()]
+        if config.events is not None:
+            hooks.append(
+                ProgressHooks(
+                    config.events,
+                    num_attributes=self.num_attributes,
+                    num_rows=self.num_rows,
+                )
+            )
+        if self.profiler is not None:
+            hooks.append(ProfileHooks(self.profiler))
         if self.checkpoint is not None:
             hooks.append(
                 CheckpointHooks(
@@ -514,28 +592,68 @@ class _TaneRun:
         start = time.perf_counter()
         executor_name = self.executor.name
         usage = self.executor.usage
+        emitter = self.config.events
+        completed = False
+        # Gauges describe *current* state: a registry reused across
+        # runs (long-lived tracer, service process) must not report the
+        # previous run's residency or cache totals.  Counters keep
+        # accumulating by design.
+        self.metrics.reset_gauges(("store.", "cache."))
         try:
-            if self.tracer is not None:
-                with obs.activated(self.tracer):
-                    with obs.span(
-                        "discover",
+            with ExitStack() as scope:
+                if emitter is not None:
+                    scope.enter_context(obs_events.activated_events(emitter))
+                    emitter.begin()
+                    emitter.emit(
+                        "run_start",
                         rows=self.num_rows,
                         attributes=self.num_attributes,
                         epsilon=self.config.epsilon,
                         measure=self.config.measure,
                         executor=executor_name,
-                    ):
-                        dependencies = self.driver.run()
-            else:
+                    )
+                if self.profiler is not None:
+                    scope.enter_context(self.profiler.running())
+                discover_span = None
+                if self._span_tracer is not None:
+                    scope.enter_context(obs.activated(self._span_tracer))
+                    discover_span = scope.enter_context(
+                        obs.span(
+                            "discover",
+                            rows=self.num_rows,
+                            attributes=self.num_attributes,
+                            epsilon=self.config.epsilon,
+                            measure=self.config.measure,
+                            executor=executor_name,
+                        )
+                    )
                 dependencies = self.driver.run()
+                if discover_span is not None:
+                    # Surface the run-scoped telemetry that only exists
+                    # in counters/usage on the root span, so the trace
+                    # report can render it without a registry in hand.
+                    discover_span.set(
+                        "cache_hits",
+                        int(self.metrics.counter_value("cache.partition_hits")),
+                    )
+                    discover_span.set(
+                        "cache_misses",
+                        int(self.metrics.counter_value("cache.partition_misses")),
+                    )
+                    if usage is not None:
+                        discover_span.set(
+                            "shm_bytes_saved",
+                            int(getattr(usage, "shm_bytes_saved", 0)),
+                        )
+            completed = True
         finally:
             self.partitions.collect_stats(self.metrics)
             if self._owns_store:
                 # Close under the activated tracer so the store's final
                 # gauge updates (resident_bytes -> 0) reach the run's
                 # registry like every other store emission.
-                if self.tracer is not None:
-                    with obs.activated(self.tracer):
+                if self._span_tracer is not None:
+                    with obs.activated(self._span_tracer):
                         self.store.close()
                 else:
                     self.store.close()
@@ -546,6 +664,16 @@ class _TaneRun:
                 # when the search died; dropping buffered spans on an
                 # exception loses exactly the evidence needed.
                 self.tracer.flush()
+            if emitter is not None:
+                # run_end fires on the crash path as well (ok=False) so
+                # live consumers always see the stream terminate.
+                emitter.emit(
+                    "run_end",
+                    seconds=time.perf_counter() - start,
+                    ok=completed,
+                    dependencies=len(self.tracker.dependencies),
+                    keys=len(self.tracker.keys),
+                )
         stats = SearchStatistics.from_metrics(self.metrics, measure=self.config.measure)
         stats.merge_executor_usage(executor_name, usage)
         stats.elapsed_seconds = time.perf_counter() - start
@@ -556,4 +684,5 @@ class _TaneRun:
             epsilon=self.config.epsilon,
             statistics=stats,
             trace=self.tracer,
+            profile=self.profiler.report() if self.profiler is not None else None,
         )

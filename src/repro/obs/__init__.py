@@ -1,10 +1,14 @@
-"""repro.obs — span-based tracing and metrics for the discovery engine.
+"""repro.obs — tracing, metrics, live telemetry, and profiling.
 
 The observability layer of the repo: a low-overhead tracer
 (:mod:`repro.obs.trace`), a metrics registry of counters / gauges /
 timers (:mod:`repro.obs.metrics`), pluggable span sinks — in-memory,
-JSONL file, stdlib ``logging`` (:mod:`repro.obs.sinks`) — and the
-per-level / per-worker trace report (:mod:`repro.obs.report`).
+JSONL file, stdlib ``logging`` (:mod:`repro.obs.sinks`) — the
+per-level / per-worker trace report (:mod:`repro.obs.report`), a live
+progress/ETA event stream (:mod:`repro.obs.events`), Prometheus and
+JSONL metric exporters (:mod:`repro.obs.export`), and a
+span-attributed sampling profiler (:mod:`repro.obs.profile`).  See
+``docs/OBSERVABILITY.md`` for the full tour.
 
 The TANE driver, the partition store, and the parallel executor are
 instrumented against the module-level helpers in
@@ -29,7 +33,24 @@ or, from the command line::
     repro trace-report trace.jsonl
 """
 
+from repro.obs.events import (
+    BoundedEventQueue,
+    EtaEstimator,
+    JsonlEventWriter,
+    ProgressEmitter,
+    ProgressEvent,
+    load_events,
+    validate_event,
+)
+from repro.obs.export import (
+    MetricsServer,
+    SnapshotWriter,
+    load_snapshots,
+    prometheus_exposition,
+    write_prometheus,
+)
 from repro.obs.metrics import Counter, Gauge, MetricsRegistry, Timer
+from repro.obs.profile import ProfileReport, SamplingProfiler, profile_sidecar_path
 from repro.obs.report import TraceReport, build_report, report_from_file
 from repro.obs.sinks import InMemorySink, JsonlSink, LoggingSink, SpanSink, load_spans
 from repro.obs.trace import (
@@ -68,4 +89,19 @@ __all__ = [
     "TraceReport",
     "build_report",
     "report_from_file",
+    "ProgressEvent",
+    "ProgressEmitter",
+    "BoundedEventQueue",
+    "JsonlEventWriter",
+    "EtaEstimator",
+    "validate_event",
+    "load_events",
+    "prometheus_exposition",
+    "write_prometheus",
+    "MetricsServer",
+    "SnapshotWriter",
+    "load_snapshots",
+    "SamplingProfiler",
+    "ProfileReport",
+    "profile_sidecar_path",
 ]

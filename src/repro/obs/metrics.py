@@ -66,6 +66,16 @@ class Gauge:
         if value > self.max_value:
             self.max_value = value
 
+    def reset(self) -> None:
+        """Zero both the value and the remembered maximum.
+
+        Gauges describe *current* state, so a registry reused across
+        runs (a long-lived tracer) must clear them at run start or the
+        new run reports the previous run's residency.
+        """
+        self.value = 0
+        self.max_value = 0
+
     def __repr__(self) -> str:
         return f"Gauge({self.name!r}, value={self.value}, max={self.max_value})"
 
@@ -144,6 +154,17 @@ class MetricsRegistry:
             self._check_unique(name, self._series)
             values = self._series[name] = []
         return values
+
+    def reset_gauges(self, prefixes: tuple[str, ...] = ()) -> None:
+        """Reset every gauge (or those under ``prefixes``) to zero.
+
+        Called at discovery start for the per-run gauges (``store.*``,
+        ``cache.*``): counters accumulate across runs by design, but a
+        stale gauge misreports the *current* run's state.
+        """
+        for name, gauge in self._gauges.items():
+            if not prefixes or name.startswith(prefixes):
+                gauge.reset()
 
     # -- read side ------------------------------------------------------
 

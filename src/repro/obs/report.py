@@ -73,6 +73,13 @@ class TraceReport:
     total_seconds: float
     shm_bytes: int
     span_count: int
+    shm_bytes_saved: int = 0
+    """Bytes delta shipping avoided re-exporting (``shm.ship``
+    ``saved_bytes`` / the ``discover`` span's ``shm_bytes_saved``)."""
+    cache_hits: int = 0
+    """Cross-run partition-cache hits (``discover`` span attribute)."""
+    cache_misses: int = 0
+    """Cross-run partition-cache misses (``discover`` span attribute)."""
 
     def format(self) -> str:
         """Render the report as the fixed-width tables the CLI prints."""
@@ -113,7 +120,19 @@ class TraceReport:
         lines.append(
             f"trace: {self.span_count} spans, run {self.total_seconds:.4f}s"
             + (f", shm shipped {self.shm_bytes / mb:.2f} MB" if self.shm_bytes else "")
+            + (
+                f", shm saved {self.shm_bytes_saved / mb:.2f} MB resident"
+                if self.shm_bytes_saved
+                else ""
+            )
         )
+        if self.cache_hits or self.cache_misses:
+            lookups = self.cache_hits + self.cache_misses
+            rate = 100.0 * self.cache_hits / lookups if lookups else 0.0
+            lines.append(
+                f"partition cache: {self.cache_hits} hits / "
+                f"{self.cache_misses} misses ({rate:.1f}% hit rate)"
+            )
         if self.workers:
             lines.append("")
             lines.append("worker utilization (process executor)")
@@ -193,10 +212,20 @@ def build_report(spans: list[Span]) -> TraceReport:
     workers: dict[int, WorkerRow] = {}
     total_seconds = 0.0
     shm_bytes = 0
+    shm_saved_ship = 0
+    shm_saved_discover = None
+    cache_hits = 0
+    cache_misses = 0
     for span in spans:
         attrs = span.attributes
         if span.name == "discover":
             total_seconds = max(total_seconds, span.duration)
+            cache_hits += int(attrs.get("cache_hits", 0))
+            cache_misses += int(attrs.get("cache_misses", 0))
+            if "shm_bytes_saved" in attrs:
+                shm_saved_discover = (shm_saved_discover or 0) + int(
+                    attrs["shm_bytes_saved"]
+                )
         elif span.name == "level":
             row = row_for(int(attrs.get("level", 0)))
             row.seconds += span.duration
@@ -239,6 +268,7 @@ def build_report(spans: list[Span]) -> TraceReport:
             row.chunk_busy_seconds += span.duration
         elif span.name == "shm.ship":
             shm_bytes += int(attrs.get("bytes", 0))
+            shm_saved_ship += int(attrs.get("saved_bytes", 0))
     if total_seconds == 0.0 and spans:
         total_seconds = sum(row.seconds for row in rows.values())
     # Drop an empty pseudo-level-0 row; keep it when setup did real I/O.
@@ -251,6 +281,14 @@ def build_report(spans: list[Span]) -> TraceReport:
         total_seconds=total_seconds,
         shm_bytes=shm_bytes,
         span_count=len(spans),
+        # The discover span's run total is authoritative (set once per
+        # run); per-ship sums cover traces from layers that emitted
+        # shm.ship without a discover root.
+        shm_bytes_saved=(
+            shm_saved_discover if shm_saved_discover is not None else shm_saved_ship
+        ),
+        cache_hits=cache_hits,
+        cache_misses=cache_misses,
     )
 
 

@@ -98,6 +98,7 @@ from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.exceptions import ConfigurationError
+from repro.obs import events as obs_events
 from repro.obs import trace as obs
 from repro.parallel.shm import AdoptedBlock, SharedPartitionBlock
 from repro.parallel.validity import ValidityCriteria, ValidityOutcome
@@ -563,6 +564,27 @@ class ProcessLevelExecutor(LevelExecutor):
             kind=kind,
             tasks=len(receipt.payload),
         )
+        emitter = obs_events.active_emitter()
+        if emitter is not None:
+            # Live heartbeat: one event per chunk receipt, carrying the
+            # chunk's throughput and how much shared memory the parent
+            # currently keeps resident.  The resident sum is a handful
+            # of dict reads, only paid while events are enabled.
+            emitter.emit(
+                "heartbeat",
+                pid=receipt.pid,
+                chunk_kind=kind,
+                tasks=len(receipt.payload),
+                seconds=receipt.seconds,
+                tasks_per_second=(
+                    len(receipt.payload) / receipt.seconds
+                    if receipt.seconds > 0
+                    else 0.0
+                ),
+                resident_bytes=sum(
+                    block.nbytes for block in self._blocks.values()
+                ),
+            )
         return receipt.payload
 
     @staticmethod

@@ -1,0 +1,184 @@
+"""Tests for the metric exporters: Prometheus text, HTTP pull, JSONL.
+
+The golden-fixture test pins the metric-name contract documented in
+:mod:`repro.obs.export` — renaming an exported metric breaks scrapers,
+so a diff against ``golden_exposition.prom`` must be deliberate.
+"""
+
+import json
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.obs.export import (
+    MetricsServer,
+    SnapshotWriter,
+    load_snapshots,
+    prometheus_exposition,
+    sanitize_metric_name,
+    write_prometheus,
+)
+from repro.obs.metrics import MetricsRegistry
+
+GOLDEN = Path(__file__).parent / "golden_exposition.prom"
+
+
+def golden_registry() -> MetricsRegistry:
+    """The fixed registry the golden fixture was rendered from."""
+    registry = MetricsRegistry()
+    registry.counter("tane.validity_tests").inc(123)
+    registry.counter("cache.partition_hits").inc(7)
+    gauge = registry.gauge("store.peak_resident_bytes")
+    gauge.set(4096)
+    gauge.set(2048)
+    registry.timer("phase.compute").add(0.125)
+    registry.timer("phase.compute").add(0.125)
+    registry.timer("phase.compute").add(0.0)
+    for value in (4, 6, 4):
+        registry.series("tane.level_sizes").append(value)
+    return registry
+
+
+class TestSanitizeMetricName:
+    def test_dotted_names_map_to_underscores(self):
+        assert sanitize_metric_name("tane.validity_tests") == (
+            "repro_tane_validity_tests"
+        )
+
+    def test_arbitrary_characters_sanitized(self):
+        name = sanitize_metric_name("a-b/c d")
+        assert name == "repro_a_b_c_d"
+
+    def test_leading_digit_fixed(self):
+        assert sanitize_metric_name("9lives").startswith("repro__9")
+
+
+class TestPrometheusExposition:
+    def test_matches_golden_fixture(self):
+        text = prometheus_exposition(golden_registry(), labels={"dataset": "golden"})
+        assert text == GOLDEN.read_text(encoding="utf-8")
+
+    def test_repeat_exports_are_byte_identical(self):
+        registry = golden_registry()
+        assert prometheus_exposition(registry) == prometheus_exposition(registry)
+
+    def test_accepts_snapshot_dict(self):
+        registry = golden_registry()
+        assert prometheus_exposition(registry.snapshot()) == (
+            prometheus_exposition(registry)
+        )
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        text = prometheus_exposition(registry, labels={"q": 'a"b\\c\nd'})
+        assert '\\"' in text and "\\\\" in text and "\\n" in text
+
+    def test_gauge_renders_value_and_max(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("store.resident_bytes")
+        gauge.set(100)
+        gauge.set(40)
+        text = prometheus_exposition(registry)
+        assert "repro_store_resident_bytes 40" in text
+        assert "repro_store_resident_bytes_max 100" in text
+
+
+class TestWritePrometheus:
+    def test_writes_atomically(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        write_prometheus(path, golden_registry())
+        assert path.read_text(encoding="utf-8").startswith("# TYPE")
+        assert not (tmp_path / "metrics.prom.tmp").exists()
+
+    def test_overwrites_previous_export(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        write_prometheus(path, registry)
+        registry.counter("x").inc()
+        write_prometheus(path, registry)
+        assert "repro_x_total 2" in path.read_text(encoding="utf-8")
+
+
+class TestMetricsServer:
+    def test_serves_exposition_and_health(self):
+        registry = golden_registry()
+        with MetricsServer(registry) as server:
+            response = urllib.request.urlopen(server.url)
+            assert response.headers["Content-Type"].startswith(
+                "text/plain; version=0.0.4"
+            )
+            body = response.read().decode("utf-8")
+            assert "repro_tane_validity_tests_total 123" in body
+            base = server.url.rsplit("/metrics", 1)[0]
+            assert urllib.request.urlopen(base + "/healthz").read() == b"ok\n"
+
+    def test_unknown_path_is_404(self):
+        with MetricsServer(MetricsRegistry()) as server:
+            base = server.url.rsplit("/metrics", 1)[0]
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(base + "/nope")
+            assert excinfo.value.code == 404
+
+    def test_scrapes_are_live(self):
+        registry = MetricsRegistry()
+        with MetricsServer(registry) as server:
+            registry.counter("x").inc(5)
+            body = urllib.request.urlopen(server.url).read().decode("utf-8")
+            assert "repro_x_total 5" in body
+
+    def test_callable_source(self):
+        registry = MetricsRegistry()
+        registry.counter("y").inc()
+        with MetricsServer(lambda: registry) as server:
+            body = urllib.request.urlopen(server.url).read().decode("utf-8")
+            assert "repro_y_total 1" in body
+
+    def test_stop_is_idempotent(self):
+        server = MetricsServer(MetricsRegistry()).start()
+        server.stop()
+        server.stop()
+
+
+class TestSnapshotWriter:
+    def test_write_once_appends_timestamped_line(self, tmp_path):
+        registry = golden_registry()
+        path = tmp_path / "snapshots.jsonl"
+        writer = SnapshotWriter(registry, path)
+        writer.write_once()
+        writer.stop()
+        snapshots = load_snapshots(path)
+        assert len(snapshots) >= 1
+        first = snapshots[0]
+        assert {"ts", "elapsed", "snapshot"} <= set(first)
+        assert first["snapshot"]["counters"]["tane.validity_tests"] == 123
+
+    def test_periodic_thread_produces_lines(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        path = tmp_path / "snapshots.jsonl"
+        with SnapshotWriter(registry, path, interval=0.01) as writer:
+            import time
+
+            time.sleep(0.06)
+        assert len(load_snapshots(path)) >= 2
+
+    def test_snapshot_converts_to_exposition(self, tmp_path):
+        registry = golden_registry()
+        path = tmp_path / "snapshots.jsonl"
+        writer = SnapshotWriter(registry, path)
+        writer.write_once()
+        writer.stop()
+        entry = load_snapshots(path)[-1]
+        text = prometheus_exposition(entry["snapshot"],
+                                     labels={"dataset": "golden"})
+        assert text == GOLDEN.read_text(encoding="utf-8")
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("nope\n", encoding="utf-8")
+        with pytest.raises(ValueError):
+            load_snapshots(path)

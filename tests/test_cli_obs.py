@@ -1,0 +1,143 @@
+"""CLI coverage for the telemetry surface: ``discover --progress
+--events --profile --metrics-*``, ``trace-report --profile``, and the
+``export-metrics`` subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.events import load_events, validate_event
+from repro.obs.profile import ProfileReport, profile_sidecar_path
+
+
+@pytest.fixture
+def csv(tmp_path):
+    path = tmp_path / "orders.csv"
+    lines = ["order,customer,city,zip"]
+    for index in range(60):
+        customer = index % 7
+        lines.append(f"{index},{customer},city{customer % 3},{10000 + customer}")
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+class TestDiscoverEvents:
+    def test_events_flag_writes_schema_valid_stream(self, csv, tmp_path):
+        events_path = tmp_path / "events.jsonl"
+        assert main(["discover", str(csv), "--events", str(events_path)]) == 0
+        events = load_events(events_path)
+        assert events[0].kind == "run_start"
+        assert events[-1].kind == "run_end"
+        assert events[-1].payload["ok"] is True
+        for event in events:
+            assert validate_event(event) == []
+
+    def test_progress_flag_prints_per_level_lines(self, csv, capsys):
+        assert main(["discover", str(csv), "--progress"]) == 0
+        err = capsys.readouterr().err
+        assert "level 1" in err
+        assert "done in" in err
+
+    def test_progress_and_events_share_one_stream(self, csv, tmp_path, capsys):
+        events_path = tmp_path / "events.jsonl"
+        assert main(
+            ["discover", str(csv), "--progress", "--events", str(events_path)]
+        ) == 0
+        assert "done in" in capsys.readouterr().err
+        assert load_events(events_path)
+
+
+class TestDiscoverProfile:
+    def test_profile_with_trace_writes_sidecar(self, csv, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main(
+            ["discover", str(csv), "--trace", str(trace), "--profile",
+             "--profile-interval", "0.001"]
+        ) == 0
+        sidecar = profile_sidecar_path(trace)
+        assert sidecar.exists()
+        report = ProfileReport.load(sidecar)
+        assert report.interval == pytest.approx(0.001)
+        assert "profile:" in capsys.readouterr().out
+
+    def test_profile_without_trace_still_prints_report(self, csv, capsys):
+        assert main(
+            ["discover", str(csv), "--profile", "--profile-interval", "0.001"]
+        ) == 0
+        assert "profile:" in capsys.readouterr().out
+
+    def test_trace_report_profile_renders_sidecar(self, csv, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        main(["discover", str(csv), "--trace", str(trace), "--profile",
+              "--profile-interval", "0.001"])
+        capsys.readouterr()
+        assert main(["trace-report", str(trace), "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "profile:" in out
+        assert "trace:" in out
+
+    def test_trace_report_profile_missing_sidecar_errors(self, csv, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        main(["discover", str(csv), "--trace", str(trace)])
+        capsys.readouterr()
+        assert main(["trace-report", str(trace), "--profile"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestDiscoverMetrics:
+    def test_metrics_file_is_prometheus_text(self, csv, tmp_path):
+        prom = tmp_path / "metrics.prom"
+        assert main(["discover", str(csv), "--metrics-file", str(prom)]) == 0
+        text = prom.read_text(encoding="utf-8")
+        assert "# TYPE repro_" in text
+        assert "repro_tane_validity_tests_total" in text
+
+    def test_snapshots_written_and_exportable(self, csv, tmp_path, capsys):
+        snapshots = tmp_path / "snapshots.jsonl"
+        assert main(
+            ["discover", str(csv), "--metrics-snapshots", str(snapshots)]
+        ) == 0
+        lines = snapshots.read_text(encoding="utf-8").splitlines()
+        assert lines
+        for line in lines:
+            entry = json.loads(line)
+            assert {"ts", "elapsed", "snapshot"} <= set(entry)
+        capsys.readouterr()
+        assert main(["export-metrics", str(snapshots)]) == 0
+        assert "# TYPE repro_" in capsys.readouterr().out
+
+
+class TestExportMetrics:
+    def write_snapshots(self, tmp_path, csv):
+        snapshots = tmp_path / "snapshots.jsonl"
+        main(["discover", str(csv), "--metrics-snapshots", str(snapshots)])
+        return snapshots
+
+    def test_output_file_and_labels(self, csv, tmp_path, capsys):
+        snapshots = self.write_snapshots(tmp_path, csv)
+        out = tmp_path / "out.prom"
+        capsys.readouterr()
+        assert main(
+            ["export-metrics", str(snapshots), "--output", str(out),
+             "--label", "dataset=orders", "--label", "host=ci"]
+        ) == 0
+        text = out.read_text(encoding="utf-8")
+        assert 'dataset="orders"' in text
+        assert 'host="ci"' in text
+
+    def test_bad_label_rejected(self, csv, tmp_path, capsys):
+        snapshots = self.write_snapshots(tmp_path, csv)
+        capsys.readouterr()
+        assert main(["export-metrics", str(snapshots), "--label", "nope"]) == 2
+        assert "KEY=VALUE" in capsys.readouterr().err
+
+    def test_index_out_of_range_errors(self, csv, tmp_path, capsys):
+        snapshots = self.write_snapshots(tmp_path, csv)
+        capsys.readouterr()
+        assert main(["export-metrics", str(snapshots), "--index", "99"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_snapshot_file_errors(self, tmp_path, capsys):
+        assert main(["export-metrics", str(tmp_path / "nope.jsonl")]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -13,9 +13,16 @@ The gate fails when the fresh combined improvement drops more than
 batched kernel or the cache path), or when the fresh run itself fails
 (parity drift, threshold miss).
 
+It also re-runs the progress-event overhead measurement
+(``benchmarks/run_obs_overhead.py --events-only``) and fails when the
+disabled path exceeds 0.1% or the events-enabled path exceeds 2% —
+the acceptance bars recorded in
+``benchmarks/results/BENCH_obs_events_overhead.json``.
+
 Usage::
 
     python tools/check_bench_regression.py [--repeats 5] [--target-rows 30000]
+        [--skip-events]
 """
 
 from __future__ import annotations
@@ -73,6 +80,35 @@ def run_fresh(repeats: int, target_rows: int) -> dict:
         )
 
 
+def run_events_gate(repeats: int) -> bool:
+    """Re-measure the progress-event overhead; True when within bars.
+
+    The measurement script enforces its own thresholds (disabled
+    <= 0.1%, enabled <= 2%) and exits non-zero past either bar; the
+    fresh JSON goes to scratch so the committed artifact is preserved.
+    """
+    with tempfile.TemporaryDirectory() as scratch:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO / "src")
+        completed = subprocess.run(
+            [
+                sys.executable,
+                str(REPO / "benchmarks" / "run_obs_overhead.py"),
+                "--events-only",
+                "--repeats",
+                str(repeats),
+                "--events-output",
+                str(Path(scratch) / "BENCH_obs_events_overhead.json"),
+            ],
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        sys.stdout.write(completed.stdout)
+        sys.stderr.write(completed.stderr)
+        return completed.returncode == 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--repeats", type=int, default=5)
@@ -82,6 +118,11 @@ def main(argv=None) -> int:
         type=float,
         default=TOLERANCE_PCT,
         help="allowed drop of the combined improvement ratio, in percent",
+    )
+    parser.add_argument(
+        "--skip-events",
+        action="store_true",
+        help="skip the progress-event overhead gate",
     )
     args = parser.parse_args(argv)
 
@@ -105,6 +146,9 @@ def main(argv=None) -> int:
             f"< {floor:.3f}x",
             file=sys.stderr,
         )
+        return 1
+    if not args.skip_events and not run_events_gate(args.repeats):
+        print("FAIL: progress-event overhead exceeded its bars", file=sys.stderr)
         return 1
     print("bench regression gate: OK")
     return 0
