@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install check layers test test-fast trace-smoke obs-smoke fault-smoke verify-smoke multicore-smoke hotpath-bench bench-gate bench-history obs-bench bench bench-full examples clean
+.PHONY: install check layers test test-fast trace-smoke obs-smoke fault-smoke verify-smoke service-smoke multicore-smoke hotpath-bench service-bench bench-gate bench-history obs-bench bench bench-full examples clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -17,6 +17,7 @@ check:
 	$(MAKE) obs-smoke
 	$(MAKE) fault-smoke
 	$(MAKE) verify-smoke
+	$(MAKE) service-smoke
 
 # Import-layering gate: repro.search must not reach up into the
 # plugin layers (repro.parallel / repro.obs / repro.core.checkpoint).
@@ -84,6 +85,15 @@ verify-smoke:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/verify -m smoke -q
 	PYTHONPATH=src $(PYTHON) -m repro.cli verify --seeds 25 --matrix smoke
 
+# Discovery-service smoke: the serve suite and the concurrency
+# regression tests (thread-local obs activation, single-flight dedup,
+# invalidation on re-registration), then the real thing — a
+# ``repro serve`` subprocess driven over HTTP by tools/service_smoke.py
+# (register, discover, cache hit, event stream, SIGINT shutdown).
+service-smoke:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/serve tests/obs/test_thread_isolation.py -q
+	$(PYTHON) tools/service_smoke.py
+
 # Multi-core gate (CI runs this on a 4-core runner): the multicore
 # test marker (parity + speedup > 1) plus the parallel bench with the
 # speedup assertion on.  The bench runs its full-size workload — the
@@ -97,9 +107,16 @@ multicore-smoke:
 hotpath-bench:
 	PYTHONPATH=src $(PYTHON) benchmarks/run_hotpath_bench.py
 
+# Re-measure service throughput/latency under multiprocess load and
+# refresh the committed BENCH_service_throughput.json.
+service-bench:
+	PYTHONPATH=src $(PYTHON) benchmarks/run_service_bench.py --check
+
 # CI gate: fresh hot-path improvement ratio must stay within 10% of
-# the committed benchmarks/results/BENCH_hotpath.json, and the
-# progress-event overhead must stay within its bars.
+# the committed benchmarks/results/BENCH_hotpath.json, the
+# progress-event overhead must stay within its bars, and the service
+# load driver must hold its invariants (no errors, single-flight,
+# warm-cache hit ratio).
 bench-gate:
 	$(PYTHON) tools/check_bench_regression.py
 

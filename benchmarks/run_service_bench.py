@@ -1,0 +1,244 @@
+"""Multiprocess load driver for the discovery service.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_service_bench.py [--workers 4]
+        [--ops-per-worker 120] [--smoke] [--check] [--output PATH]
+
+Starts a :class:`repro.serve.DiscoveryService` behind its stdlib HTTP
+server in this process, then hammers it from ``--workers`` separate
+*processes* (real client concurrency — the GIL of the server process
+is the thing under test, not the clients').  Each worker cycles
+through a fixed mix of ``POST /discover`` requests over registered
+datasets and configs, timing every call.
+
+The driver records per-period (1 s) op counters, p50/p90/p99 latency,
+throughput, and the cache-hit ratio, and writes
+``benchmarks/results/BENCH_service_throughput.json``.
+
+``--check`` turns the run into a gate on the host-portable invariants
+(absolute latency does not transfer across machines, correctness
+does):
+
+* zero failed requests;
+* single-flight + result cache held: the number of discoveries the
+  service actually executed equals the number of unique
+  ``(dataset, config)`` keys in the mix — no duplicate work under
+  concurrent identical requests;
+* the cache-hit ratio matches the request mix (most ops repeat a key).
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import multiprocessing
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+RESULTS = Path(__file__).parent / "results"
+
+# Request mix: 2 datasets x 3 configs = 6 unique result-cache keys.
+CONFIGS = (
+    {"epsilon": 0.0},
+    {"epsilon": 0.05},
+    {"epsilon": 0.0, "max_lhs_size": 2},
+)
+
+
+def make_csv(rows: int, mods: tuple[int, ...], names: tuple[str, ...]) -> str:
+    header = ",".join(names)
+    lines = [
+        ",".join(str(i % mod) for mod in mods) for i in range(rows)
+    ]
+    return header + "\n" + "\n".join(lines)
+
+
+def worker_main(url: str, ops: int, start_at: float, out: object) -> None:
+    """One client process: cycle the request mix, time every call."""
+    from repro.serve.client import ServiceClient
+
+    client = ServiceClient(url, timeout=120.0)
+    requests = [
+        (dataset, config)
+        for dataset in ("bench-a", "bench-b")
+        for config in CONFIGS
+    ]
+    latencies: list[float] = []
+    periods: dict[int, int] = {}
+    errors = 0
+    hits = 0
+    # Line every worker up on the same clock edge so the load is
+    # genuinely concurrent from the first op.
+    time.sleep(max(0.0, start_at - time.time()))
+    begin = time.monotonic()
+    for i in range(ops):
+        dataset, config = requests[i % len(requests)]
+        t0 = time.monotonic()
+        try:
+            job = client.discover(dataset, config)
+            if job.get("cache_hit"):
+                hits += 1
+        except Exception:
+            errors += 1
+        elapsed = time.monotonic() - t0
+        latencies.append(elapsed)
+        periods[int(time.monotonic() - begin)] = (
+            periods.get(int(time.monotonic() - begin), 0) + 1
+        )
+    out.put(
+        {
+            "latencies": latencies,
+            "periods": periods,
+            "errors": errors,
+            "hits": hits,
+        }
+    )
+
+
+def percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[index]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--ops-per-worker", type=int, default=120)
+    parser.add_argument("--rows", type=int, default=240)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="shrink the run to a couple of seconds (CI-friendly)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail on errors, duplicate discovery work, or a cold cache",
+    )
+    parser.add_argument(
+        "--output", default=str(RESULTS / "BENCH_service_throughput.json")
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.workers = min(args.workers, 4)
+        args.ops_per_worker = min(args.ops_per_worker, 40)
+
+    from repro.serve import DiscoveryService, ServiceServer
+
+    service = DiscoveryService(workers=max(4, args.workers))
+    server = ServiceServer(service).start()
+    datasets = {
+        "bench-a": make_csv(args.rows, (4, 3, 12, 2), ("A", "B", "C", "D")),
+        "bench-b": make_csv(args.rows, (5, 2, 10), ("P", "Q", "R")),
+    }
+    try:
+        for name, csv_text in datasets.items():
+            service.register_dataset(name, csv_text=csv_text)
+        unique_keys = len(datasets) * len(CONFIGS)
+
+        context = multiprocessing.get_context("spawn")
+        queue = context.Queue()
+        start_at = time.time() + 1.0
+        procs = [
+            context.Process(
+                target=worker_main,
+                args=(server.url, args.ops_per_worker, start_at, queue),
+            )
+            for _ in range(args.workers)
+        ]
+        bench_t0 = time.monotonic()
+        for proc in procs:
+            proc.start()
+        reports = [queue.get(timeout=300.0) for _ in procs]
+        for proc in procs:
+            proc.join(timeout=30.0)
+        duration = time.monotonic() - bench_t0 - 1.0  # minus the lineup sleep
+
+        latencies = sorted(
+            value for report in reports for value in report["latencies"]
+        )
+        errors = sum(report["errors"] for report in reports)
+        hits = sum(report["hits"] for report in reports)
+        total_ops = len(latencies)
+        per_period: dict[int, int] = {}
+        for report in reports:
+            for period, count in report["periods"].items():
+                per_period[int(period)] = per_period.get(int(period), 0) + count
+        stats = service.stats()
+        executed = int(stats["counters"].get("service.discoveries_executed", 0))
+
+        entry = {
+            "benchmark": "service_throughput",
+            "created": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+            "hardware": {
+                "cpu_count": os.cpu_count(),
+                "platform": platform.platform(),
+                "python": platform.python_version(),
+            },
+            "workers": args.workers,
+            "ops_per_worker": args.ops_per_worker,
+            "total_ops": total_ops,
+            "errors": errors,
+            "duration_seconds": round(duration, 3),
+            "throughput_ops_per_sec": round(total_ops / duration, 1)
+            if duration > 0
+            else None,
+            "latency_ms": {
+                "p50": round(percentile(latencies, 0.50) * 1000, 3),
+                "p90": round(percentile(latencies, 0.90) * 1000, 3),
+                "p99": round(percentile(latencies, 0.99) * 1000, 3),
+                "max": round(latencies[-1] * 1000, 3) if latencies else 0.0,
+            },
+            "per_period_ops": [
+                per_period.get(i, 0) for i in range(max(per_period, default=0) + 1)
+            ],
+            "cache": {
+                "hit_ratio": round(hits / total_ops, 4) if total_ops else None,
+                "hits": hits,
+                "unique_keys": unique_keys,
+                "discoveries_executed": executed,
+                "result_cache": stats["result_cache"],
+                "partition_cache_entries": stats["partition_cache"]["entries"],
+            },
+        }
+    finally:
+        server.stop()
+        service.close(wait=False)
+
+    output = Path(args.output)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(entry, indent=2) + "\n", encoding="utf-8")
+    print(json.dumps(entry, indent=2))
+
+    if args.check:
+        failures = []
+        if errors:
+            failures.append(f"{errors} of {total_ops} requests failed")
+        if executed != unique_keys:
+            failures.append(
+                f"single-flight violated: {executed} discoveries executed "
+                f"for {unique_keys} unique keys"
+            )
+        expected_hits = total_ops - unique_keys
+        min_ratio = 0.8 * expected_hits / total_ops if total_ops else 0.0
+        ratio = hits / total_ops if total_ops else 0.0
+        if ratio < min_ratio:
+            failures.append(
+                f"cache-hit ratio {ratio:.3f} below floor {min_ratio:.3f}"
+            )
+        for failure in failures:
+            print(f"SERVICE BENCH FAILURE: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,10 @@ Subcommands
     results cell-by-cell and against independent oracles, apply
     metamorphic transformations, and serialize shrunk repro cases for
     any mismatch.
+``serve``
+    Run the discovery service: an HTTP API for registering datasets
+    and submitting discovery jobs, with result caching, single-flight
+    dedup, and live progress streaming (see docs/SERVICE.md).
 """
 
 from __future__ import annotations
@@ -223,6 +227,26 @@ def build_parser() -> argparse.ArgumentParser:
     verify_parser.add_argument("--replay", metavar="CASE", default=None,
                                help="re-run a serialized failure case directory "
                                     "instead of fuzzing")
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the discovery service (HTTP API with dataset registry, "
+             "result cache, and job streaming)",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1",
+                              help="interface to bind (default 127.0.0.1)")
+    serve_parser.add_argument("--port", type=int, default=8321,
+                              help="TCP port (default 8321; 0 = pick a free port)")
+    serve_parser.add_argument("--workers", type=int, default=4,
+                              help="concurrent discovery jobs (default 4)")
+    serve_parser.add_argument("--result-cache-entries", type=int, default=128,
+                              help="result-cache capacity in entries (default 128)")
+    serve_parser.add_argument("--partition-cache-mb", type=int, default=64,
+                              help="partition-cache budget in MiB (default 64)")
+    serve_parser.add_argument("--dataset", action="append", default=[],
+                              metavar="NAME=CSV",
+                              help="preload a dataset from a CSV file "
+                                   "(repeatable)")
     return parser
 
 
@@ -583,6 +607,35 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import threading
+
+    from repro.serve import DiscoveryService, ServiceServer
+
+    service = DiscoveryService(
+        workers=args.workers,
+        result_cache_entries=args.result_cache_entries,
+        partition_cache_bytes=args.partition_cache_mb * 1024 * 1024,
+    )
+    for item in args.dataset:
+        name, sep, path = item.partition("=")
+        if not sep or not name or not path:
+            raise DataError(f"--dataset expects NAME=CSV, got {item!r}")
+        service.register_dataset(name, relation=read_csv(path))
+        print(f"registered dataset {name!r} from {path}", file=sys.stderr)
+    server = ServiceServer(service, host=args.host, port=args.port).start()
+    # The smoke gate and scripts parse this line for the bound URL.
+    print(f"serving discovery API at {server.url}", flush=True)
+    try:
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.stop()
+        service.close(wait=False)
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -596,6 +649,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "trace-report": _cmd_trace_report,
         "export-metrics": _cmd_export_metrics,
         "verify": _cmd_verify,
+        "serve": _cmd_serve,
     }[args.command]
     try:
         return handler(args)

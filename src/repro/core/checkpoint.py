@@ -13,9 +13,11 @@ identical to an uninterrupted run.
 
 A checkpoint is bound to its run by a *fingerprint* of the relation
 (row count, attribute names) and of every configuration field that
-shapes the search; resuming with a different relation or config
-raises :class:`~repro.exceptions.CheckpointError` instead of silently
-producing a hybrid result.
+shapes the search — built by
+:func:`repro.fingerprint.search_fingerprint`, the shared identity
+module all caches key on; resuming with a different relation or
+config raises :class:`~repro.exceptions.CheckpointError` instead of
+silently producing a hybrid result.
 
 The final checkpoint of a successful run is marked ``complete`` and
 carries an empty next level, so resuming a finished run replays no

@@ -52,6 +52,7 @@ from repro.core.checkpoint import CheckpointManager
 from repro.core.checkpoint_hooks import CheckpointHooks
 from repro.core.results import DiscoveryResult, SearchStatistics
 from repro.exceptions import ConfigurationError
+from repro.fingerprint import partition_cache_key, search_fingerprint
 from repro.model.relation import Relation
 from repro.obs import events as obs_events
 from repro.obs import trace as obs
@@ -478,9 +479,11 @@ class _TaneRun:
         else:
             self.partition_cache = None
         # Engine in the key: CSR and pure partitions are distinct types
-        # and must never satisfy each other's lookups.
+        # and must never satisfy each other's lookups.  The key shape
+        # is owned by repro.fingerprint so cache invalidation (the
+        # service's dataset re-registration) computes the same string.
         self.cache_fingerprint = (
-            f"{relation.fingerprint()}:{partition_cls.__name__}"
+            partition_cache_key(relation, partition_cls)
             if self.partition_cache is not None
             else ""
         )
@@ -571,20 +574,7 @@ class _TaneRun:
 
     def _fingerprint(self) -> dict[str, Any]:
         """Identity of (relation, search-shaping config) for a checkpoint."""
-        config = self.config
-        fingerprint: dict[str, Any] = {
-            "num_rows": self.num_rows,
-            "attributes": list(self.relation.schema.attribute_names),
-            "epsilon": config.epsilon,
-            "measure": config.measure,
-            "max_lhs_size": config.max_lhs_size,
-            "use_rule8": config.use_rule8,
-            "use_key_pruning": config.use_key_pruning,
-            "use_g3_bounds": config.use_g3_bounds,
-            "partition_strategy": config.partition_strategy,
-        }
-        fingerprint.update(self.strategy.fingerprint())
-        return fingerprint
+        return search_fingerprint(self.relation, self.config, self.strategy)
 
     # ------------------------------------------------------------------
 

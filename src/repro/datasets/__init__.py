@@ -12,7 +12,7 @@ from repro.datasets.corrupt import (
     duplicate_rows,
     shuffle_within_column,
 )
-from repro.datasets.csvio import read_csv, write_csv
+from repro.datasets.csvio import read_csv, read_csv_text, write_csv
 from repro.datasets.replicate import replicate_with_unique_suffix
 from repro.datasets.synthetic import (
     constant_relation,
@@ -36,6 +36,7 @@ __all__ = [
     "duplicate_rows",
     "shuffle_within_column",
     "read_csv",
+    "read_csv_text",
     "write_csv",
     "replicate_with_unique_suffix",
     "random_relation",

@@ -54,6 +54,21 @@ class PartitionMissingError(DataError, KeyError):
     """
 
 
+class ServiceError(ReproError):
+    """A discovery-service request could not be satisfied.
+
+    Raised (and mapped to HTTP error responses by the server) for
+    unknown datasets or jobs, malformed request payloads, and
+    submissions against a service that is shutting down.  Carries the
+    HTTP status the server should answer with, so the client and the
+    handler agree on the failure taxonomy.
+    """
+
+    def __init__(self, message: str, *, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
 class CheckpointError(ReproError):
     """A discovery checkpoint could not be written, read, or applied.
 

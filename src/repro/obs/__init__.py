@@ -43,13 +43,14 @@ from repro.obs.events import (
     validate_event,
 )
 from repro.obs.export import (
+    HttpServerLifecycle,
     MetricsServer,
     SnapshotWriter,
     load_snapshots,
     prometheus_exposition,
     write_prometheus,
 )
-from repro.obs.metrics import Counter, Gauge, MetricsRegistry, Timer
+from repro.obs.metrics import Counter, Gauge, MetricsRegistry, Timer, aggregate_snapshots
 from repro.obs.profile import ProfileReport, SamplingProfiler, profile_sidecar_path
 from repro.obs.report import TraceReport, build_report, report_from_file
 from repro.obs.sinks import InMemorySink, JsonlSink, LoggingSink, SpanSink, load_spans
@@ -71,6 +72,7 @@ __all__ = [
     "Gauge",
     "Timer",
     "MetricsRegistry",
+    "aggregate_snapshots",
     "Span",
     "NullSpan",
     "NULL_SPAN",
@@ -98,6 +100,7 @@ __all__ = [
     "load_events",
     "prometheus_exposition",
     "write_prometheus",
+    "HttpServerLifecycle",
     "MetricsServer",
     "SnapshotWriter",
     "load_snapshots",

@@ -533,39 +533,49 @@ class EtaEstimator:
 # Module-level activation (mirrors repro.obs.trace)
 # ----------------------------------------------------------------------
 
-_ACTIVE: ProgressEmitter | None = None
+_ACTIVE = threading.local()
+"""Thread-local activation slot.
+
+A process-wide variable here was correct while one process ran one
+discovery at a time, but a service runs overlapping jobs on separate
+threads: with a shared slot, job B's activation captures job A's
+heartbeats (cross-contaminated event streams), and the save/restore
+pairs interleave so a finished job could reinstate a dead emitter as
+"active" for a still-running one.  Thread-local state gives every job
+thread its own activation; instrumentation sites (the parallel
+executor's heartbeat emission runs on the driver thread) are
+unaffected."""
 
 
 def events_enabled() -> bool:
-    """True while an emitter is activated."""
-    return _ACTIVE is not None
+    """True while an emitter is activated on this thread."""
+    return getattr(_ACTIVE, "emitter", None) is not None
 
 
 def active_emitter() -> ProgressEmitter | None:
-    """The currently activated emitter, if any."""
-    return _ACTIVE
+    """The emitter activated on the current thread, if any."""
+    return getattr(_ACTIVE, "emitter", None)
 
 
 def emit_event(kind: str, /, **payload: Any) -> None:
-    """Emit on the active emitter — one global read when disabled.
+    """Emit on the active emitter — one thread-local read when disabled.
 
     The instrumentation entry point for layers outside the search
     core (the parallel executor's worker heartbeats).  ``kind`` is
     positional-only and reserved as a payload name, like
     :meth:`ProgressEmitter.emit`.
     """
-    emitter = _ACTIVE
+    emitter = getattr(_ACTIVE, "emitter", None)
     if emitter is not None:
         emitter.emit(kind, **payload)
 
 
 @contextmanager
 def activated_events(emitter: ProgressEmitter) -> Iterator[ProgressEmitter]:
-    """Scope ``emitter`` as the active emitter, restoring the previous."""
-    global _ACTIVE
-    previous = _ACTIVE
-    _ACTIVE = emitter
+    """Scope ``emitter`` as this thread's active emitter."""
+    previous = getattr(_ACTIVE, "emitter", None)
+    _ACTIVE.emitter = emitter
     try:
         yield emitter
     finally:
-        _ACTIVE = previous
+        _ACTIVE.emitter = previous

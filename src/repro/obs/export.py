@@ -53,6 +53,7 @@ __all__ = [
     "sanitize_metric_name",
     "prometheus_exposition",
     "write_prometheus",
+    "HttpServerLifecycle",
     "MetricsServer",
     "SnapshotWriter",
     "load_snapshots",
@@ -170,6 +171,112 @@ def write_prometheus(
 # ----------------------------------------------------------------------
 
 
+class _ReusableThreadingHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer pinned to the hardened lifecycle defaults.
+
+    ``allow_reuse_address`` is asserted at class level (not inherited
+    implicitly) so a server restarted on the port it just released
+    never flakes with ``EADDRINUSE`` while the old socket lingers in
+    ``TIME_WAIT``; daemon request threads keep a hung client from
+    blocking interpreter shutdown.
+    """
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class HttpServerLifecycle:
+    """Hardened bind/start/stop/restart lifecycle for stdlib HTTP servers.
+
+    The restart path is where naive ``ThreadingHTTPServer`` wrappers
+    flake: ``stop()`` must *join* the serving thread before closing
+    the socket (or the thread races ``serve_forever`` against a dead
+    selector), and ``start()`` after a ``stop()`` must re-bind a fresh
+    socket on the remembered port instead of serving from the closed
+    one.  Both :class:`MetricsServer` and the discovery service's
+    endpoint (:mod:`repro.serve.http`) run on this class.
+
+    ``handler_factory`` is called with no arguments and must return a
+    :class:`~http.server.BaseHTTPRequestHandler` subclass; it is
+    re-invoked on every (re)bind.  Binding happens in the constructor,
+    so :attr:`port` is valid before :meth:`start` — ``port=0`` picks a
+    free port once and keeps it across restarts.
+    """
+
+    def __init__(
+        self,
+        handler_factory: Callable[[], type],
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        thread_name: str = "repro-http-server",
+    ) -> None:
+        self._handler_factory = handler_factory
+        self._host = host
+        self._thread_name = thread_name
+        self._thread: threading.Thread | None = None
+        self._server: ThreadingHTTPServer | None = None
+        self._port = port
+        self._bind(port)
+
+    def _bind(self, port: int) -> None:
+        self._server = _ReusableThreadingHTTPServer(
+            (self._host, port), self._handler_factory()
+        )
+        self._port = self._server.server_address[1]
+
+    @property
+    def host(self) -> str:
+        """The bound host/interface."""
+        return self._host
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (stable across stop/start cycles)."""
+        return self._port
+
+    @property
+    def running(self) -> bool:
+        """True while the serving thread is alive."""
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "HttpServerLifecycle":
+        """Serve from a daemon thread; re-binds after a ``stop()``."""
+        if self.running:
+            return self
+        if self._server is None:
+            # Restart after stop(): the old socket is closed, so bind a
+            # fresh one on the same port (allow_reuse_address makes the
+            # TIME_WAIT remnant of the previous incarnation harmless).
+            self._bind(self._port)
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name=self._thread_name,
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop serving, join the thread, release the socket (idempotent)."""
+        thread, self._thread = self._thread, None
+        server, self._server = self._server, None
+        if server is None:
+            return
+        if thread is not None:
+            server.shutdown()
+            thread.join(timeout=5.0)
+        server.server_close()
+
+    close = stop
+
+    def __enter__(self) -> "HttpServerLifecycle":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
 class MetricsServer:
     """A stdlib-only HTTP pull endpoint serving ``GET /metrics``.
 
@@ -177,8 +284,11 @@ class MetricsServer:
     returning a registry/snapshot, for servers that outlive one run).
     The server binds on construction — ``port=0`` picks a free port,
     exposed as :attr:`port` — and serves from a daemon thread after
-    :meth:`start`.  Intended for live runs and tests, not the open
-    internet: it binds localhost by default and answers only
+    :meth:`start`.  ``stop()`` joins the serving thread and releases
+    the socket; a subsequent :meth:`start` re-binds the same port, so
+    restart cycles (one per served run in a long-lived process) never
+    flake with ``EADDRINUSE``.  Intended for live runs and tests, not
+    the open internet: it binds localhost by default and answers only
     ``/metrics`` (and ``/healthz`` with ``ok``).
     """
 
@@ -193,62 +303,59 @@ class MetricsServer:
         resolve = source if callable(source) else (lambda: source)
         labels = dict(labels) if labels else None
 
-        class Handler(BaseHTTPRequestHandler):
-            def do_GET(self) -> None:  # noqa: N802 - http.server API
-                if self.path.split("?", 1)[0] == "/metrics":
-                    body = prometheus_exposition(resolve(), labels).encode("utf-8")
-                    self.send_response(200)
-                    self.send_header(
-                        "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
-                    )
-                elif self.path == "/healthz":
-                    body = b"ok\n"
-                    self.send_response(200)
-                    self.send_header("Content-Type", "text/plain; charset=utf-8")
-                else:
-                    body = b"not found\n"
-                    self.send_response(404)
-                    self.send_header("Content-Type", "text/plain; charset=utf-8")
-                self.send_header("Content-Length", str(len(body)))
-                self.end_headers()
-                self.wfile.write(body)
+        def handler_factory() -> type:
+            class Handler(BaseHTTPRequestHandler):
+                def do_GET(self) -> None:  # noqa: N802 - http.server API
+                    if self.path.split("?", 1)[0] == "/metrics":
+                        body = prometheus_exposition(resolve(), labels).encode("utf-8")
+                        self.send_response(200)
+                        self.send_header(
+                            "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+                        )
+                    elif self.path == "/healthz":
+                        body = b"ok\n"
+                        self.send_response(200)
+                        self.send_header("Content-Type", "text/plain; charset=utf-8")
+                    else:
+                        body = b"not found\n"
+                        self.send_response(404)
+                        self.send_header("Content-Type", "text/plain; charset=utf-8")
+                    self.send_header("Content-Length", str(len(body)))
+                    self.end_headers()
+                    self.wfile.write(body)
 
-            def log_message(self, format: str, *args: Any) -> None:
-                """Silence per-request stderr logging."""
+                def log_message(self, format: str, *args: Any) -> None:
+                    """Silence per-request stderr logging."""
 
-        self._server = ThreadingHTTPServer((host, port), Handler)
-        self._server.daemon_threads = True
-        self._thread: threading.Thread | None = None
+            return Handler
+
+        self._lifecycle = HttpServerLifecycle(
+            handler_factory,
+            host=host,
+            port=port,
+            thread_name="repro-metrics-server",
+        )
 
     @property
     def port(self) -> int:
         """The bound TCP port (useful with ``port=0``)."""
-        return self._server.server_address[1]
+        return self._lifecycle.port
 
     @property
     def url(self) -> str:
         """The scrape URL of this endpoint."""
-        host = self._server.server_address[0]
-        return f"http://{host}:{self.port}/metrics"
+        return f"http://{self._lifecycle.host}:{self.port}/metrics"
 
     def start(self) -> "MetricsServer":
         """Begin serving from a daemon thread; returns ``self``."""
-        if self._thread is None:
-            self._thread = threading.Thread(
-                target=self._server.serve_forever,
-                name="repro-metrics-server",
-                daemon=True,
-            )
-            self._thread.start()
+        self._lifecycle.start()
         return self
 
     def stop(self) -> None:
         """Stop serving and release the socket (idempotent)."""
-        thread, self._thread = self._thread, None
-        if thread is not None:
-            self._server.shutdown()
-            thread.join(timeout=5.0)
-        self._server.server_close()
+        self._lifecycle.stop()
+
+    close = stop
 
     def __enter__(self) -> "MetricsServer":
         return self.start()

@@ -30,7 +30,10 @@ truth, the statistics object a stable public view of it.
 
 from __future__ import annotations
 
-__all__ = ["Counter", "Gauge", "Timer", "MetricsRegistry"]
+from collections.abc import Iterable
+from typing import Any
+
+__all__ = ["Counter", "Gauge", "Timer", "MetricsRegistry", "aggregate_snapshots"]
 
 
 class Counter:
@@ -203,3 +206,37 @@ class MetricsRegistry:
             f"{len(self._gauges)} gauges, {len(self._timers)} timers, "
             f"{len(self._series)} series>"
         )
+
+
+def aggregate_snapshots(
+    snapshots: Iterable[dict[str, Any]],
+) -> dict[str, dict]:
+    """Fold several :meth:`MetricsRegistry.snapshot` dicts into one.
+
+    The discovery service gives every job its own registry (so
+    overlapping runs cannot clobber each other's gauges) and exposes a
+    single ``/metrics`` endpoint by aggregating the per-job snapshots
+    with the service's own registry.  Aggregation semantics per kind:
+
+    - counters and timers sum (they describe accumulated work);
+    - a gauge's ``value`` sums across snapshots (total current
+      residency over all live jobs) while its ``max`` takes the
+      maximum of maxima (the worst single observation anywhere);
+    - per-level series are dropped — they only make sense within one
+      run and concatenating them across runs would misrepresent both.
+    """
+    counters: dict[str, int | float] = {}
+    gauges: dict[str, dict[str, int | float]] = {}
+    timers: dict[str, dict[str, int | float]] = {}
+    for snapshot in snapshots:
+        for name, value in snapshot.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + value
+        for name, payload in snapshot.get("gauges", {}).items():
+            merged = gauges.setdefault(name, {"value": 0, "max": 0})
+            merged["value"] += payload.get("value", 0)
+            merged["max"] = max(merged["max"], payload.get("max", 0))
+        for name, payload in snapshot.get("timers", {}).items():
+            merged = timers.setdefault(name, {"seconds": 0.0, "count": 0})
+            merged["seconds"] += payload.get("seconds", 0.0)
+            merged["count"] += payload.get("count", 0)
+    return {"counters": counters, "gauges": gauges, "timers": timers, "series": {}}

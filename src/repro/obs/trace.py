@@ -33,6 +33,7 @@ nested untraced runs (e.g. the two discoveries inside
 from __future__ import annotations
 
 import itertools
+import threading
 import time
 from collections.abc import Iterator, Sequence
 from contextlib import contextmanager
@@ -280,17 +281,28 @@ class Tracer:
 # Module-level activation — the enabled flag instrumentation sites check.
 # ----------------------------------------------------------------------
 
-_ACTIVE: Tracer | None = None
+_ACTIVE = threading.local()
+"""Thread-local activation slot.
+
+Overlapping discovery runs on separate threads (the service's job
+pool) must not observe each other's tracer: with a process-global
+slot, a job's store spans and gauge writes would land on whichever
+tracer activated last, and the save/restore pairs interleave so a
+finished job could reinstate its dead tracer for a still-running one.
+Thread-local activation scopes each run's instrumentation to the
+thread driving it — spans are assembled single-threaded by design
+(see constraint 3 above), so no instrumentation site needs to see an
+activation made by a different thread."""
 
 
 def enabled() -> bool:
-    """True while a tracer is activated (the module-level flag)."""
-    return _ACTIVE is not None
+    """True while a tracer is activated on this thread."""
+    return getattr(_ACTIVE, "tracer", None) is not None
 
 
 def active_tracer() -> Tracer | None:
-    """The currently activated tracer, if any."""
-    return _ACTIVE
+    """The tracer activated on the current thread, if any."""
+    return getattr(_ACTIVE, "tracer", None)
 
 
 def span(name: str, **attributes: Any) -> Span | NullSpan:
@@ -298,10 +310,10 @@ def span(name: str, **attributes: Any) -> Span | NullSpan:
 
     The instrumentation entry point: when no tracer is active this
     returns :data:`NULL_SPAN` without allocating anything, so
-    ``with span("store.spill") as s: ...`` costs one global read and
-    one call on the disabled path.
+    ``with span("store.spill") as s: ...`` costs one thread-local read
+    and one call on the disabled path.
     """
-    tracer = _ACTIVE
+    tracer = getattr(_ACTIVE, "tracer", None)
     if tracer is None:
         return NULL_SPAN
     return tracer.span(name, **attributes)
@@ -309,30 +321,29 @@ def span(name: str, **attributes: Any) -> Span | NullSpan:
 
 def emit(name: str, seconds: float, **attributes: Any) -> None:
     """Record a completed interval on the active tracer (no-op if none)."""
-    tracer = _ACTIVE
+    tracer = getattr(_ACTIVE, "tracer", None)
     if tracer is not None:
         tracer.emit(name, seconds, **attributes)
 
 
 def set_gauge(name: str, value: int | float) -> None:
     """Write a gauge on the active tracer's registry (no-op if none)."""
-    tracer = _ACTIVE
+    tracer = getattr(_ACTIVE, "tracer", None)
     if tracer is not None:
         tracer.metrics.gauge(name).set(value)
 
 
 @contextmanager
 def activated(tracer: Tracer) -> Iterator[Tracer]:
-    """Make ``tracer`` the active tracer for the duration of the block.
+    """Make ``tracer`` this thread's active tracer for the block.
 
     Saves and restores the previously active tracer, so traced regions
     nest correctly and an exception cannot leave a stale tracer
     activated.
     """
-    global _ACTIVE
-    previous = _ACTIVE
-    _ACTIVE = tracer
+    previous = getattr(_ACTIVE, "tracer", None)
+    _ACTIVE.tracer = tracer
     try:
         yield tracer
     finally:
-        _ACTIVE = previous
+        _ACTIVE.tracer = previous

@@ -14,7 +14,16 @@ The cache is byte-budgeted LRU: puts evict the least recently used
 entries once the budget is exceeded, and an entry larger than the
 whole budget is refused outright.  A run with a different relation
 fingerprint simply misses — stale entries age out of the LRU rather
-than poisoning results.  All operations are thread-safe.
+than poisoning results.  All operations are thread-safe, *including*
+the read-side snapshots (:meth:`PartitionCache.stats`,
+:attr:`PartitionCache.total_bytes`, ``len()``): concurrent discovery
+jobs in a service process observe the bookkeeping only at entry
+boundaries, never mid-eviction.
+
+The key shape (``relation-content-hash:EngineClassName``) is owned by
+:func:`repro.fingerprint.partition_cache_key`; invalidation sweeps for
+a replaced dataset use :func:`repro.fingerprint.partition_cache_keys`
+so they cover every engine's entries.
 
 Caching is opt-in (``TaneConfig(partition_cache=...)``): the
 deterministic product counters of a cached run differ from a cold run
@@ -92,36 +101,58 @@ class PartitionCache:
                 self._bytes -= dropped
                 self.evictions += 1
 
-    def invalidate(self, fingerprint: str | None = None) -> None:
-        """Drop every entry, or only those of one relation fingerprint."""
+    def invalidate(self, fingerprint: str | None = None) -> int:
+        """Drop every entry, or only those of one relation fingerprint.
+
+        Returns the number of entries dropped, so callers sweeping a
+        replaced dataset (the service's re-registration path) can
+        report what they actually invalidated.
+        """
         with self._lock:
             if fingerprint is None:
+                dropped_count = len(self._entries)
                 self._entries.clear()
                 self._bytes = 0
-                return
+                return dropped_count
+            dropped_count = 0
             for key in [k for k in self._entries if k[0] == fingerprint]:
                 _, dropped = self._entries.pop(key)
                 self._bytes -= dropped
+                dropped_count += 1
+            return dropped_count
 
+    # ------------------------------------------------------------------
+    # Read side — locked too: an unlocked reader can observe the
+    # bookkeeping mid-eviction (bytes decremented, entry not yet
+    # popped), so concurrent jobs would see byte totals that never
+    # corresponded to any real cache state.
     # ------------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     @property
     def total_bytes(self) -> int:
         """Bytes currently held (always <= :attr:`max_bytes`)."""
-        return self._bytes
+        with self._lock:
+            return self._bytes
 
     def stats(self) -> dict[str, int]:
-        """Counters snapshot for telemetry and benchmarks."""
-        return {
-            "entries": len(self._entries),
-            "bytes": self._bytes,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-        }
+        """Consistent counters snapshot for telemetry and benchmarks.
+
+        Taken under the cache lock: ``bytes`` is always the exact sum
+        of the sizes of ``entries``, even while other threads are
+        mid-``put``.
+        """
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,156 @@
+"""Result cache with single-flight deduplication.
+
+The service's most valuable cache: a finished discovery's *result
+payload* keyed by ``(dataset fingerprint, canonical configuration)``
+(see :func:`repro.fingerprint.canonical_config_key`).  Two requests
+that would return the same dependencies map to the same key even when
+they differ in execution knobs, so a parameter sweep's repeated cells,
+a dashboard's refresh, or N clients racing the same question all cost
+one discovery.
+
+Single flight
+-------------
+Concurrent requests for an uncached key must not each run the (possibly
+minutes-long) discovery.  The first requester becomes the *leader* and
+computes; followers block on the flight's event and receive the
+leader's payload as a cache hit.  A leader that raises propagates its
+exception to every waiting follower and clears the flight, so a later
+request can try again — a failed discovery is never cached.
+
+Invalidation
+------------
+:meth:`ResultCache.invalidate` drops every entry of one dataset
+fingerprint (the re-registration sweep).  A flight already in the air
+for that fingerprint may still land and insert its entry afterwards;
+that entry is content-addressed — correct for the bytes it was computed
+from — merely unreachable once the registry maps the name to the new
+fingerprint, and it ages out of the LRU like any cold entry.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Callable
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["ResultCache"]
+
+ResultKey = tuple[str, str]
+"""``(dataset fingerprint, canonical config key)``."""
+
+
+class _Flight:
+    """One in-progress computation other requesters can wait on."""
+
+    __slots__ = ("done", "value", "error")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.value: Any = None
+        self.error: BaseException | None = None
+
+
+class ResultCache:
+    """Entry-bounded LRU of result payloads with single-flight dedup."""
+
+    def __init__(self, max_entries: int = 128) -> None:
+        if max_entries < 1:
+            raise ConfigurationError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[ResultKey, Any] = OrderedDict()
+        self._flights: dict[ResultKey, _Flight] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+
+    def get(self, key: ResultKey) -> Any | None:
+        """Peek without computing (does not join a flight)."""
+        with self._lock:
+            value = self._entries.get(key)
+            if value is not None:
+                self._entries.move_to_end(key)
+            return value
+
+    def get_or_compute(
+        self, key: ResultKey, compute: Callable[[], Any]
+    ) -> tuple[Any, bool]:
+        """Return ``(payload, was_cache_hit)``, computing at most once.
+
+        Exactly one concurrent caller per key executes ``compute``;
+        the rest wait and share its payload (counted as hits).  If the
+        leader raises, every waiter re-raises the same exception and
+        the flight is cleared.
+        """
+        while True:
+            with self._lock:
+                value = self._entries.get(key)
+                if value is not None:
+                    self._entries.move_to_end(key)
+                    self.hits += 1
+                    return value, True
+                flight = self._flights.get(key)
+                if flight is None:
+                    flight = self._flights[key] = _Flight()
+                    leader = True
+                else:
+                    leader = False
+            if not leader:
+                flight.done.wait()
+                if flight.error is not None:
+                    raise flight.error
+                with self._lock:
+                    self.hits += 1
+                return flight.value, True
+            try:
+                value = compute()
+            except BaseException as error:
+                with self._lock:
+                    self._flights.pop(key, None)
+                flight.error = error
+                flight.done.set()
+                raise
+            with self._lock:
+                self.misses += 1
+                self._entries[key] = value
+                self._entries.move_to_end(key)
+                while len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
+                    self.evictions += 1
+                self._flights.pop(key, None)
+            flight.value = value
+            flight.done.set()
+            return value, False
+
+    def invalidate(self, fingerprint: str | None = None) -> int:
+        """Drop every entry, or only one dataset fingerprint's; count them."""
+        with self._lock:
+            if fingerprint is None:
+                dropped = len(self._entries)
+                self._entries.clear()
+                return dropped
+            stale = [key for key in self._entries if key[0] == fingerprint]
+            for key in stale:
+                del self._entries[key]
+            return len(stale)
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        """Consistent counters snapshot (taken under the lock)."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "inflight": len(self._flights),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

@@ -182,3 +182,75 @@ class TestSnapshotWriter:
         path.write_text("nope\n", encoding="utf-8")
         with pytest.raises(ValueError):
             load_snapshots(path)
+
+
+class TestServerRestart:
+    """Regression: ``start()`` after ``stop()`` used to serve from the
+    closed socket, so a long-lived process restarting its endpoint
+    (one server per run) flaked with connection errors."""
+
+    def test_stop_then_start_rebinds_same_port(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc(3)
+        server = MetricsServer(registry).start()
+        port = server.port
+        body = urllib.request.urlopen(server.url).read().decode("utf-8")
+        assert "repro_x_total 3" in body
+        server.stop()
+        with pytest.raises(urllib.error.URLError):
+            urllib.request.urlopen(server.url, timeout=1.0)
+        server.start()
+        try:
+            assert server.port == port
+            registry.counter("x").inc()
+            body = urllib.request.urlopen(server.url).read().decode("utf-8")
+            assert "repro_x_total 4" in body
+        finally:
+            server.stop()
+
+    def test_repeated_restart_cycles(self):
+        server = MetricsServer(MetricsRegistry())
+        port = server.port
+        for _ in range(3):
+            server.start()
+            assert server.port == port
+            assert (
+                urllib.request.urlopen(
+                    server.url.rsplit("/metrics", 1)[0] + "/healthz"
+                ).read()
+                == b"ok\n"
+            )
+            server.stop()
+
+    def test_close_is_an_alias_of_stop(self):
+        server = MetricsServer(MetricsRegistry()).start()
+        server.close()
+        server.close()
+
+
+class TestHttpServerLifecycle:
+    def test_context_manager_and_running_flag(self):
+        from repro.obs.export import HttpServerLifecycle
+        from http.server import BaseHTTPRequestHandler
+
+        def factory():
+            class Handler(BaseHTTPRequestHandler):
+                def do_GET(self):
+                    body = b"hi"
+                    self.send_response(200)
+                    self.send_header("Content-Length", str(len(body)))
+                    self.end_headers()
+                    self.wfile.write(body)
+
+                def log_message(self, format, *args):
+                    pass
+
+            return Handler
+
+        lifecycle = HttpServerLifecycle(factory)
+        assert not lifecycle.running
+        with lifecycle:
+            assert lifecycle.running
+            url = f"http://{lifecycle.host}:{lifecycle.port}/"
+            assert urllib.request.urlopen(url).read() == b"hi"
+        assert not lifecycle.running

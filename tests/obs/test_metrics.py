@@ -77,3 +77,58 @@ class TestRegistry:
         assert snap["gauges"] == {"g": {"value": 9, "max": 9}}
         assert snap["timers"]["t"]["count"] == 1
         assert snap["series"] == {"s": [1, 2]}
+
+
+class TestAggregateSnapshots:
+    def make(self, counter, gauge_value, gauge_max, seconds, count):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.counter("tane.validity_tests").inc(counter)
+        g = registry.gauge("store.resident_bytes")
+        g.set(gauge_max)
+        g.set(gauge_value)
+        t = registry.timer("phase.compute")
+        for _ in range(count):
+            t.add(seconds / count)
+        registry.series("tane.level_sizes").append(counter)
+        return registry.snapshot()
+
+    def test_counters_and_timers_sum(self):
+        from repro.obs.metrics import aggregate_snapshots
+
+        merged = aggregate_snapshots(
+            [self.make(10, 5, 8, 1.0, 2), self.make(32, 7, 6, 0.5, 1)]
+        )
+        assert merged["counters"]["tane.validity_tests"] == 42
+        timer = merged["timers"]["phase.compute"]
+        assert timer["count"] == 3
+        assert abs(timer["seconds"] - 1.5) < 1e-9
+
+    def test_gauges_sum_values_and_take_max_of_maxes(self):
+        from repro.obs.metrics import aggregate_snapshots
+
+        merged = aggregate_snapshots(
+            [self.make(1, 5, 8, 0.1, 1), self.make(1, 7, 6, 0.1, 1)]
+        )
+        gauge = merged["gauges"]["store.resident_bytes"]
+        assert gauge["value"] == 12  # total current residency
+        assert gauge["max"] == 8  # worst single observation
+
+    def test_series_dropped_and_disjoint_names_merge(self):
+        from repro.obs.metrics import MetricsRegistry, aggregate_snapshots
+
+        other = MetricsRegistry()
+        other.counter("service.requests").inc(5)
+        merged = aggregate_snapshots([self.make(3, 1, 1, 0.1, 1), other.snapshot()])
+        assert merged["series"] == {}
+        assert merged["counters"]["service.requests"] == 5
+        assert merged["counters"]["tane.validity_tests"] == 3
+
+    def test_renders_as_exposition(self):
+        from repro.obs.export import prometheus_exposition
+        from repro.obs.metrics import aggregate_snapshots
+
+        merged = aggregate_snapshots([self.make(9, 2, 4, 0.2, 1)])
+        text = prometheus_exposition(merged)
+        assert "repro_tane_validity_tests_total 9" in text

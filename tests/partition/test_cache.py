@@ -3,8 +3,12 @@
 Three invariants matter for correctness: a put is observable (hit
 after put, same object back), a different relation fingerprint never
 sees another relation's partitions, and the byte budget actually
-bounds memory (LRU eviction, oversized entries refused).
+bounds memory (LRU eviction, oversized entries refused).  The
+concurrency stress class adds the service-era invariant: snapshots
+taken while other threads mutate never show torn bookkeeping.
 """
+
+import threading
 
 import numpy as np
 import pytest
@@ -140,3 +144,85 @@ class TestSharedInstance:
             assert shared_cache() is not first
         finally:
             reset_shared_cache()
+
+
+class TestConcurrentConsistency:
+    """Regression: unlocked read-side snapshots could observe the
+    bookkeeping mid-eviction (bytes decremented, entry not yet popped),
+    so concurrent jobs saw byte totals no real cache state ever had."""
+
+    def test_snapshots_consistent_under_concurrent_churn(self):
+        # Uniform entry size: every consistent snapshot must satisfy
+        # bytes == entries * size exactly, so any torn observation is
+        # an immediate, deterministic failure.
+        template = partition_of([0, 0, 1, 1, 2, 2, 3, 3])
+        size = template.nbytes()
+        cache = PartitionCache(max_bytes=size * 8)
+        stop = threading.Event()
+        problems: list[str] = []
+
+        def churn(fingerprint: str) -> None:
+            masks = list(range(1, 13))
+            while not stop.is_set():
+                for mask in masks:
+                    cache.put(fingerprint, mask, template)
+                    cache.get(fingerprint, mask)
+                cache.invalidate(fingerprint)
+
+        def observe() -> None:
+            while not stop.is_set():
+                snap = cache.stats()
+                if snap["bytes"] != snap["entries"] * size:
+                    problems.append(
+                        f"torn snapshot: {snap['entries']} entries but "
+                        f"{snap['bytes']} bytes (entry size {size})"
+                    )
+                    return
+                if snap["bytes"] > cache.max_bytes:
+                    problems.append(
+                        f"budget exceeded: {snap['bytes']} > {cache.max_bytes}"
+                    )
+                    return
+
+        writers = [
+            threading.Thread(target=churn, args=(f"rel-{i}",)) for i in range(3)
+        ]
+        readers = [threading.Thread(target=observe) for _ in range(2)]
+        for thread in writers + readers:
+            thread.start()
+        try:
+            deadline = threading.Event()
+            deadline.wait(0.5)
+        finally:
+            stop.set()
+            for thread in writers + readers:
+                thread.join(timeout=5.0)
+        assert not problems, problems[0]
+        final = cache.stats()
+        assert final["bytes"] == final["entries"] * size
+        assert final["bytes"] <= cache.max_bytes
+
+    def test_concurrent_invalidate_keeps_totals_exact(self):
+        template = partition_of([0, 1, 2, 3])
+        size = template.nbytes()
+        cache = PartitionCache()
+        fingerprints = [f"rel-{i}" for i in range(4)]
+
+        def fill_and_invalidate(fingerprint: str) -> None:
+            for _ in range(50):
+                for mask in range(1, 9):
+                    cache.put(fingerprint, mask, template)
+                cache.invalidate(fingerprint)
+
+        threads = [
+            threading.Thread(target=fill_and_invalidate, args=(fp,))
+            for fp in fingerprints
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        snap = cache.stats()
+        assert snap["entries"] == 0
+        assert snap["bytes"] == 0
+        assert snap["bytes"] == len(cache) * size

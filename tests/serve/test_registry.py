@@ -1,0 +1,78 @@
+"""Dataset registry: fingerprints, idempotent re-upload, replacement."""
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.model.relation import Relation
+from repro.serve.registry import DatasetRegistry
+
+
+def relation(values, names=("A", "B")):
+    return Relation.from_rows(values, names)
+
+
+ROWS = [["0", "x"], ["0", "y"], ["1", "y"]]
+OTHER_ROWS = [["0", "x"], ["1", "y"], ["1", "z"]]
+
+
+class TestRegister:
+    def test_register_returns_record_with_fingerprint(self):
+        registry = DatasetRegistry()
+        record, replaced = registry.register("d", relation(ROWS))
+        assert replaced is None
+        assert record.name == "d"
+        assert len(record.fingerprint) == 40  # sha1 hex
+        assert registry.get("d") is record
+        assert len(registry) == 1
+
+    def test_identical_content_is_idempotent(self):
+        registry = DatasetRegistry()
+        first, _ = registry.register("d", relation(ROWS))
+        second, replaced = registry.register("d", relation(ROWS))
+        assert replaced is None
+        assert second is first
+
+    def test_changed_content_replaces_and_returns_old_record(self):
+        registry = DatasetRegistry()
+        first, _ = registry.register("d", relation(ROWS))
+        second, replaced = registry.register("d", relation(OTHER_ROWS))
+        assert replaced is first
+        assert second.fingerprint != first.fingerprint
+        assert registry.get("d") is second
+
+    def test_same_content_different_schema_is_a_different_dataset(self):
+        # The relation content hash ignores attribute names; the
+        # dataset fingerprint must not, since results render them.
+        registry = DatasetRegistry()
+        first, _ = registry.register("d", relation(ROWS, names=("A", "B")))
+        second, replaced = registry.register("d", relation(ROWS, names=("P", "Q")))
+        assert replaced is first
+        assert second.fingerprint != first.fingerprint
+
+    def test_empty_name_rejected(self):
+        registry = DatasetRegistry()
+        with pytest.raises(ServiceError, match="non-empty"):
+            registry.register("  ", relation(ROWS))
+
+    def test_unknown_dataset_is_404(self):
+        registry = DatasetRegistry()
+        with pytest.raises(ServiceError, match="unknown dataset") as excinfo:
+            registry.get("nope")
+        assert excinfo.value.status == 404
+
+    def test_list_is_sorted_by_name(self):
+        registry = DatasetRegistry()
+        for name in ("zeta", "alpha", "mid"):
+            registry.register(name, relation(ROWS))
+        assert [r.name for r in registry.list()] == ["alpha", "mid", "zeta"]
+
+    def test_describe_is_json_friendly(self):
+        import json
+
+        registry = DatasetRegistry()
+        record, _ = registry.register("d", relation(ROWS))
+        summary = record.describe()
+        assert summary["rows"] == 3
+        assert summary["attributes"] == 2
+        assert summary["attribute_names"] == ["A", "B"]
+        json.dumps(summary)  # must serialize

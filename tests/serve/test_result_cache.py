@@ -1,0 +1,157 @@
+"""Result cache: LRU bookkeeping and single-flight deduplication."""
+
+import threading
+import time
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.serve.cache import ResultCache
+
+
+def key(fingerprint="fp", config="cfg"):
+    return (fingerprint, config)
+
+
+class TestBasics:
+    def test_compute_then_hit(self):
+        cache = ResultCache()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return {"answer": 42}
+
+        value, hit = cache.get_or_compute(key(), compute)
+        assert (value, hit) == ({"answer": 42}, False)
+        value, hit = cache.get_or_compute(key(), compute)
+        assert (value, hit) == ({"answer": 42}, True)
+        assert len(calls) == 1
+        assert cache.stats() == {
+            "entries": 1,
+            "inflight": 0,
+            "hits": 1,
+            "misses": 1,
+            "evictions": 0,
+        }
+
+    def test_lru_eviction_by_entry_count(self):
+        cache = ResultCache(max_entries=2)
+        for i in range(3):
+            cache.get_or_compute(key(config=str(i)), lambda i=i: {"i": i})
+        assert len(cache) == 2
+        assert cache.get(key(config="0")) is None  # oldest evicted
+        assert cache.get(key(config="2")) == {"i": 2}
+        assert cache.evictions == 1
+
+    def test_invalidate_by_fingerprint(self):
+        cache = ResultCache()
+        cache.get_or_compute(key("old", "a"), lambda: {"v": 1})
+        cache.get_or_compute(key("old", "b"), lambda: {"v": 2})
+        cache.get_or_compute(key("new", "a"), lambda: {"v": 3})
+        assert cache.invalidate("old") == 2
+        assert cache.get(key("old", "a")) is None
+        assert cache.get(key("new", "a")) == {"v": 3}
+        assert cache.invalidate() == 1  # drop everything
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ConfigurationError, match="max_entries"):
+            ResultCache(max_entries=0)
+
+
+class TestSingleFlight:
+    def test_n_threads_one_computation(self):
+        cache = ResultCache()
+        compute_calls = []
+        release = threading.Event()
+        entered = threading.Event()
+
+        def compute():
+            compute_calls.append(threading.get_ident())
+            entered.set()
+            assert release.wait(timeout=10.0)
+            return {"expensive": True}
+
+        results = []
+        barrier = threading.Barrier(8)
+
+        def request():
+            barrier.wait(timeout=5.0)
+            results.append(cache.get_or_compute(key(), compute))
+
+        threads = [threading.Thread(target=request) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        # Hold the leader inside compute until every follower has had
+        # time to join the flight, then let it land.
+        assert entered.wait(timeout=5.0)
+        time.sleep(0.05)
+        release.set()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert len(compute_calls) == 1, "exactly one thread must compute"
+        assert len(results) == 8
+        assert all(value == {"expensive": True} for value, _ in results)
+        hits = sum(1 for _, hit in results if hit)
+        assert hits == 7  # everyone but the leader shared the flight
+
+    def test_leader_failure_propagates_and_clears_flight(self):
+        cache = ResultCache()
+        entered = threading.Event()
+        release = threading.Event()
+        outcomes = []
+
+        def failing_compute():
+            entered.set()
+            assert release.wait(timeout=10.0)
+            raise RuntimeError("discovery exploded")
+
+        def request():
+            try:
+                cache.get_or_compute(key(), failing_compute)
+                outcomes.append("ok")
+            except RuntimeError as error:
+                outcomes.append(str(error))
+
+        threads = [threading.Thread(target=request) for _ in range(3)]
+        threads[0].start()
+        assert entered.wait(timeout=5.0)
+        for thread in threads[1:]:
+            thread.start()
+        time.sleep(0.05)
+        release.set()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert outcomes == ["discovery exploded"] * 3
+        # The failure was not cached: the next request recomputes.
+        value, hit = cache.get_or_compute(key(), lambda: {"recovered": True})
+        assert (value, hit) == ({"recovered": True}, False)
+        assert cache.stats()["inflight"] == 0
+
+    def test_different_keys_do_not_share_flights(self):
+        cache = ResultCache()
+        starts = []
+        release = threading.Event()
+
+        def slow(tag):
+            starts.append(tag)
+            release.wait(timeout=10.0)
+            return {"tag": tag}
+
+        threads = [
+            threading.Thread(
+                target=lambda t=tag: cache.get_or_compute(
+                    key(config=t), lambda: slow(t)
+                )
+            )
+            for tag in ("a", "b")
+        ]
+        for thread in threads:
+            thread.start()
+        deadline = time.monotonic() + 5.0
+        while len(starts) < 2 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        release.set()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert sorted(starts) == ["a", "b"], "both keys must compute concurrently"

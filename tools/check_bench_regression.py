@@ -19,10 +19,16 @@ disabled path exceeds 0.1% or the events-enabled path exceeds 2% —
 the acceptance bars recorded in
 ``benchmarks/results/BENCH_obs_events_overhead.json``.
 
+Finally it re-runs the service load driver
+(``benchmarks/run_service_bench.py --smoke --check``), which fails on
+the host-portable invariants: any failed request, duplicate discovery
+work under concurrent identical requests (single-flight), or a
+cache-hit ratio below the request mix's floor.
+
 Usage::
 
     python tools/check_bench_regression.py [--repeats 5] [--target-rows 30000]
-        [--skip-events]
+        [--skip-events] [--skip-service]
 """
 
 from __future__ import annotations
@@ -109,6 +115,34 @@ def run_events_gate(repeats: int) -> bool:
         return completed.returncode == 0
 
 
+def run_service_gate() -> bool:
+    """Re-run the service load bench in check mode; True when clean.
+
+    The driver enforces its own invariants (zero errors, one discovery
+    per unique key, warm-cache hit ratio) and exits non-zero past any;
+    the fresh JSON goes to scratch so the committed artifact survives.
+    """
+    with tempfile.TemporaryDirectory() as scratch:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO / "src")
+        completed = subprocess.run(
+            [
+                sys.executable,
+                str(REPO / "benchmarks" / "run_service_bench.py"),
+                "--smoke",
+                "--check",
+                "--output",
+                str(Path(scratch) / "BENCH_service_throughput.json"),
+            ],
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        sys.stdout.write(completed.stdout)
+        sys.stderr.write(completed.stderr)
+        return completed.returncode == 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--repeats", type=int, default=5)
@@ -123,6 +157,11 @@ def main(argv=None) -> int:
         "--skip-events",
         action="store_true",
         help="skip the progress-event overhead gate",
+    )
+    parser.add_argument(
+        "--skip-service",
+        action="store_true",
+        help="skip the service load-driver gate",
     )
     args = parser.parse_args(argv)
 
@@ -149,6 +188,12 @@ def main(argv=None) -> int:
         return 1
     if not args.skip_events and not run_events_gate(args.repeats):
         print("FAIL: progress-event overhead exceeded its bars", file=sys.stderr)
+        return 1
+    if not args.skip_service and not run_service_gate():
+        print(
+            "FAIL: service load driver violated its invariants",
+            file=sys.stderr,
+        )
         return 1
     print("bench regression gate: OK")
     return 0
