@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install check layers test test-fast trace-smoke obs-smoke fault-smoke verify-smoke service-smoke multicore-smoke hotpath-bench service-bench bench-gate bench-history obs-bench bench bench-full examples clean
+.PHONY: install check layers test test-fast trace-smoke obs-smoke fault-smoke verify-smoke service-smoke measures-smoke multicore-smoke hotpath-bench service-bench measure-bench bench-gate bench-history obs-bench bench bench-full examples clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -18,6 +18,7 @@ check:
 	$(MAKE) fault-smoke
 	$(MAKE) verify-smoke
 	$(MAKE) service-smoke
+	$(MAKE) measures-smoke
 
 # Import-layering gate: repro.search must not reach up into the
 # plugin layers (repro.parallel / repro.obs / repro.core.checkpoint).
@@ -94,6 +95,19 @@ service-smoke:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/serve tests/obs/test_thread_isolation.py -q
 	$(PYTHON) tools/service_smoke.py
 
+# Measure-suite smoke: golden fixtures, property invariants, the
+# cross-measure metamorphic layer, and the planted-recovery bench in
+# check mode (every measure must find the planted FDs back under
+# corruption).
+measures-smoke:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/search/test_measures.py \
+	  tests/search/test_measures_golden.py \
+	  tests/search/test_measures_properties.py \
+	  tests/verify/test_compare_measures.py tests/test_fingerprint.py -q
+	PYTHONPATH=src $(PYTHON) benchmarks/run_measure_bench.py --smoke --check \
+	  --output /tmp/repro-measures-smoke.json > /dev/null
+	rm -f /tmp/repro-measures-smoke.json
+
 # Multi-core gate (CI runs this on a 4-core runner): the multicore
 # test marker (parity + speedup > 1) plus the parallel bench with the
 # speedup assertion on.  The bench runs its full-size workload — the
@@ -112,11 +126,17 @@ hotpath-bench:
 service-bench:
 	PYTHONPATH=src $(PYTHON) benchmarks/run_service_bench.py --check
 
+# Re-measure planted-FD recovery per measure under corruption and
+# refresh the committed BENCH_measures.json.
+measure-bench:
+	PYTHONPATH=src $(PYTHON) benchmarks/run_measure_bench.py --check
+
 # CI gate: fresh hot-path improvement ratio must stay within 10% of
 # the committed benchmarks/results/BENCH_hotpath.json, the
-# progress-event overhead must stay within its bars, and the service
+# progress-event overhead must stay within its bars, the service
 # load driver must hold its invariants (no errors, single-flight,
-# warm-cache hit ratio).
+# warm-cache hit ratio), and every measure must keep recovering
+# planted dependencies under corruption.
 bench-gate:
 	$(PYTHON) tools/check_bench_regression.py
 

@@ -1,0 +1,179 @@
+"""Measure-suite benchmark: planted-FD recovery under corruption.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_measure_bench.py
+        [--rows 400] [--corruption 0.05] [--seeds 3] [--smoke]
+        [--check] [--output PATH]
+
+For every registered error measure the driver plants exact
+dependencies (:func:`repro.datasets.synthetic.planted_fd_relation`),
+corrupts a fraction of each dependent column's cells
+(:func:`repro.datasets.corrupt.corrupt_cells`), then asks the full
+TANE search to find the planted structure back at a threshold
+calibrated per measure — ``epsilon = 1.5 x`` the largest definitional
+error any planted FD shows after corruption.  Per measure it records:
+
+* wall-clock discovery time;
+* recall — the fraction of planted FDs entailed by the discovered
+  cover (a discovered ``Y -> A`` entails a planted ``X -> A`` when
+  ``Y`` is a subset of ``X``);
+* precision@k, ``k = #planted`` — of the ``k`` lowest-error
+  discovered FDs, the fraction that hold *exactly in the uncorrupted
+  relation* (ground truth is the clean data: planted FDs qualify, and
+  so do dependencies the generator implied incidentally — what must
+  not rank ahead of them is structure the corruption invented).
+
+Results land in ``benchmarks/results/BENCH_measures.json``.
+``--check`` makes the run a gate: every measure must reach recall 1.0
+and precision@k of at least 0.5 on every seed (the structural claim —
+each measure, run end to end through config, search, bounds, and
+executor plumbing, still finds what was planted — is host-portable
+even though the timings are not).
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+RESULTS = Path(__file__).parent / "results"
+
+EPSILON_HEADROOM = 1.5
+"""Threshold multiplier over the worst planted-FD error: tight enough
+that the search cannot return everything, loose enough that float
+noise in the error computation never strands a planted FD."""
+
+MIN_PRECISION = 0.5
+"""Gate floor for precision@k.  Corruption can make a non-planted FD
+score better than a planted one (that is the phenomenon the bench
+measures), but a measure letting half the top-k be noise is broken."""
+
+
+def bench_measure(measure, rows, corruption, seed):
+    """One (measure, seed) cell: returns the stats dict."""
+    from repro.baselines.bruteforce import dependency_error, dependency_holds
+    from repro.core.tane import TaneConfig, discover
+    from repro.datasets.corrupt import corrupt_cells
+    from repro.datasets.synthetic import planted_fd_relation
+
+    clean, planted = planted_fd_relation(rows, 2, 2, seed=seed)
+    relation = clean
+    for fd in planted:
+        relation, _ = corrupt_cells(relation, fd.rhs, corruption, seed=seed + fd.rhs)
+
+    planted_errors = [
+        dependency_error(relation, fd.lhs, fd.rhs, measure) for fd in planted
+    ]
+    epsilon = min(0.99, max(1e-6, EPSILON_HEADROOM * max(planted_errors)))
+
+    t0 = time.perf_counter()
+    result = discover(relation, TaneConfig(epsilon=epsilon, measure=measure))
+    seconds = time.perf_counter() - t0
+
+    cover = list(result.dependencies)
+    recalled = sum(
+        1 for p in planted
+        if any(fd.rhs == p.rhs and (fd.lhs & ~p.lhs) == 0 for fd in cover)
+    )
+    k = len(planted)
+    top_k = sorted(cover, key=lambda fd: (fd.error, fd.lhs, fd.rhs))[:k]
+    hits = sum(
+        1 for fd in top_k if dependency_holds(clean, fd.lhs, fd.rhs)
+    )
+    return {
+        "seed": seed,
+        "epsilon": round(epsilon, 6),
+        "planted": k,
+        "discovered": len(cover),
+        "recall": recalled / k,
+        "precision_at_k": hits / k if k else 1.0,
+        "seconds": round(seconds, 4),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rows", type=int, default=400)
+    parser.add_argument("--corruption", type=float, default=0.05)
+    parser.add_argument("--seeds", type=int, default=3)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="shrink the run to a couple of seconds (CI-friendly)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail unless every measure recovers every planted FD",
+    )
+    parser.add_argument("--output", default=str(RESULTS / "BENCH_measures.json"))
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.rows = min(args.rows, 120)
+        args.seeds = min(args.seeds, 2)
+
+    from repro.search.measures import MEASURES
+
+    failures = []
+    per_measure = {}
+    for measure in MEASURES:
+        runs = [
+            bench_measure(measure, args.rows, args.corruption, seed)
+            for seed in range(args.seeds)
+        ]
+        per_measure[measure] = {
+            "runs": runs,
+            "mean_seconds": round(
+                sum(r["seconds"] for r in runs) / len(runs), 4
+            ),
+            "min_recall": min(r["recall"] for r in runs),
+            "min_precision_at_k": min(r["precision_at_k"] for r in runs),
+        }
+        for run in runs:
+            if run["recall"] < 1.0:
+                failures.append(
+                    f"{measure}: seed {run['seed']} recalled only "
+                    f"{run['recall']:.2f} of the planted FDs"
+                )
+            if run["precision_at_k"] < MIN_PRECISION:
+                failures.append(
+                    f"{measure}: seed {run['seed']} precision@k "
+                    f"{run['precision_at_k']:.2f} below {MIN_PRECISION}"
+                )
+
+    entry = {
+        "benchmark": "measures",
+        "created": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "hardware": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "rows": args.rows,
+        "corruption": args.corruption,
+        "seeds": args.seeds,
+        "measures": per_measure,
+        "passed": not failures,
+    }
+    output = Path(args.output)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(entry, indent=2) + "\n", encoding="utf-8")
+    print(json.dumps(entry, indent=2))
+
+    if args.check:
+        for failure in failures:
+            print(f"MEASURE BENCH FAILURE: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

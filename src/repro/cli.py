@@ -45,6 +45,8 @@ from repro.datasets.csvio import read_csv, write_csv
 from repro.datasets.replicate import replicate_with_unique_suffix
 from repro.datasets.uci import DATASET_BUILDERS, uci_dataset
 from repro.exceptions import DataError, ReproError
+from repro.search.measures import MEASURES
+from repro.search.sampling import DEFAULT_RFI_SAMPLES, DEFAULT_RFI_SEED
 
 _LOG_LEVELS = ("DEBUG", "INFO", "WARNING", "ERROR")
 
@@ -65,8 +67,18 @@ def build_parser() -> argparse.ArgumentParser:
     discover_parser.add_argument("csv", help="input CSV file")
     discover_parser.add_argument("--epsilon", type=float, default=0.0,
                                  help="error threshold (0 = exact, default)")
-    discover_parser.add_argument("--measure", choices=["g1", "g2", "g3"], default="g3",
-                                 help="error measure for approximate discovery")
+    discover_parser.add_argument("--measure", choices=sorted(MEASURES), default="g3",
+                                 help="error measure for approximate discovery: "
+                                      "the paper's g3, Kivinen & Mannila's "
+                                      "g1/g2, or the score measures pdep, tau, "
+                                      "mu_plus, fi, rfi (error = 1 - score; "
+                                      "see docs/MEASURES.md)")
+    discover_parser.add_argument("--rfi-samples", type=int, default=DEFAULT_RFI_SAMPLES,
+                                 help="Monte Carlo samples for the rfi bias "
+                                      "estimate (measure rfi only)")
+    discover_parser.add_argument("--rfi-seed", type=int, default=DEFAULT_RFI_SEED,
+                                 help="base seed for the rfi bias estimate "
+                                      "(measure rfi only)")
     discover_parser.add_argument("--max-lhs", type=int, default=None,
                                  help="left-hand-side size limit |X|")
     discover_parser.add_argument("--store", choices=["memory", "disk"], default="memory",
@@ -224,6 +236,11 @@ def build_parser() -> argparse.ArgumentParser:
     verify_parser.add_argument("--no-metamorphic", action="store_true",
                                help="skip the metamorphic layer (differential + "
                                     "oracles only)")
+    verify_parser.add_argument("--no-measure-checks", action="store_true",
+                               help="skip the cross-measure layer (exact-FD "
+                                    "agreement, deletion response, shuffle/"
+                                    "permutation invariance, planted entailment "
+                                    "for every measure)")
     verify_parser.add_argument("--replay", metavar="CASE", default=None,
                                help="re-run a serialized failure case directory "
                                     "instead of fuzzing")
@@ -379,6 +396,8 @@ def _cmd_discover(args: argparse.Namespace) -> int:
         store=args.store,
         engine=args.engine,
         measure=args.measure,
+        rfi_samples=args.rfi_samples,
+        rfi_seed=args.rfi_seed,
         workers=args.workers,
         strategy=args.strategy,
         top_k=args.top_k,
@@ -601,6 +620,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             failure_dir=args.failure_dir,
             workers=args.workers,
             metamorphic=not args.no_metamorphic,
+            measure_checks=not args.no_measure_checks,
             progress=progress,
         )
     print(format_fuzz_report(report))

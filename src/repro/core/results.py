@@ -210,6 +210,10 @@ class DiscoveryResult:
         ``TaneConfig(profile=True)`` was set: CPU samples attributed
         to the span stack plus per-level tracemalloc peaks.  ``None``
         otherwise.
+    measure:
+        Name of the error measure the run used (labels rendered
+        errors; the threshold semantics are
+        ``error <= epsilon`` for every measure).
     """
 
     dependencies: FDSet
@@ -219,6 +223,7 @@ class DiscoveryResult:
     statistics: SearchStatistics
     trace: "Tracer | None" = None
     profile: "ProfileReport | None" = None
+    measure: str = "g3"
 
     def __len__(self) -> int:
         return len(self.dependencies)
@@ -227,7 +232,12 @@ class DiscoveryResult:
         return iter(self.dependencies)
 
     def __repr__(self) -> str:
-        kind = "exact" if self.epsilon == 0.0 else f"approximate(eps={self.epsilon})"
+        if self.epsilon == 0.0:
+            kind = "exact"
+        elif self.measure != "g3":
+            kind = f"approximate(eps={self.epsilon}, measure={self.measure})"
+        else:
+            kind = f"approximate(eps={self.epsilon})"
         return (
             f"<DiscoveryResult {kind}: {len(self.dependencies)} dependencies, "
             f"{len(self.keys)} keys, {self.statistics.elapsed_seconds:.3f}s>"
@@ -246,5 +256,5 @@ class DiscoveryResult:
         lines = [repr(self)]
         for key in self.key_names():
             lines.append(f"key: {{{', '.join(key)}}}")
-        lines.append(self.dependencies.format(self.schema))
+        lines.append(self.dependencies.format(self.schema, measure=self.measure))
         return "\n".join(lines)

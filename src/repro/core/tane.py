@@ -68,7 +68,13 @@ from repro.partition.store import PartitionStore, make_store
 from repro.partition.vectorized import CsrPartition, PartitionWorkspace
 from repro.search.driver import LevelProgress, SearchDriver
 from repro.search.execution import PRODUCT_KERNELS
-from repro.search.measures import MEASURES, ValidityCriteria
+from repro.search.measures import (
+    MEASURES,
+    RHS_STATS_MEASURES,
+    ValidityCriteria,
+    relation_rhs_stats,
+)
+from repro.search.sampling import DEFAULT_RFI_SAMPLES, DEFAULT_RFI_SEED
 from repro.search.partitions import PartitionManager
 from repro.search.strategy import STRATEGIES, make_strategy
 from repro.search.tracker import CandidateTracker
@@ -135,10 +141,24 @@ class TaneConfig:
     use_g3_bounds: bool = True
     measure: str = "g3"
     """Error measure for approximate discovery: ``g3`` (the paper's,
-    rows to remove), or Kivinen & Mannila's ``g1`` (violating pairs)
-    or ``g2`` (rows involved in violations).  All three are monotone
-    non-increasing under lhs growth, so the levelwise minimality logic
-    applies unchanged; only ``g3`` has the O(1) bound short-circuit."""
+    rows to remove), Kivinen & Mannila's ``g1`` (violating pairs) or
+    ``g2`` (rows involved in violations), or the comparative-study
+    score measures exposed as ``error = 1 - score`` — ``pdep``,
+    ``tau`` (Goodman–Kruskal), ``mu_plus``, ``fi`` (fraction of
+    information) and ``rfi`` (Mandros et al.'s reliable fraction of
+    information, bias-corrected by seeded permutation sampling; see
+    :attr:`rfi_samples`/:attr:`rfi_seed`).  Exact dependencies score
+    error 0 under every measure.  ``docs/MEASURES.md`` has definitions
+    and guidance."""
+
+    rfi_samples: int = DEFAULT_RFI_SAMPLES
+    """Monte Carlo samples for the ``rfi`` bias estimate (>= 1).  Part
+    of the result/checkpoint identity — two budgets give two different
+    (both deterministic) measures."""
+
+    rfi_seed: int = DEFAULT_RFI_SEED
+    """Base seed (>= 0) mixed into ``rfi``'s structural seed
+    derivation; also part of the result/checkpoint identity."""
 
     engine: str = "vectorized"
     """Partition engine: ``"vectorized"`` (the CSR array engine — the
@@ -285,6 +305,14 @@ class TaneConfig:
             raise ConfigurationError(
                 f"unknown measure {self.measure!r}; "
                 f"valid choices: {_choices(_MEASURES)}"
+            )
+        if self.rfi_samples < 1:
+            raise ConfigurationError(
+                f"rfi_samples must be >= 1, got {self.rfi_samples}"
+            )
+        if self.rfi_seed < 0:
+            raise ConfigurationError(
+                f"rfi_seed must be >= 0, got {self.rfi_seed}"
             )
         if self.partition_strategy not in _PARTITION_STRATEGIES:
             raise ConfigurationError(
@@ -488,12 +516,26 @@ class _TaneRun:
             else ""
         )
         workspace = PartitionWorkspace(self.num_rows)
+        # Marginal rhs statistics (pdep(A), H(A), value histogram) are
+        # column properties: computed once here and shipped inside the
+        # picklable criteria, so pool workers evaluate tau/fi/rfi
+        # without touching the relation.  Measures that never read
+        # them get an empty tuple — nothing extra crosses the pickle
+        # boundary on the common g3 path.
+        rhs_stats = (
+            relation_rhs_stats(relation)
+            if config.measure in RHS_STATS_MEASURES
+            else ()
+        )
         self.criteria = ValidityCriteria(
             epsilon=config.epsilon,
             epsilon_count=self.epsilon_count,
             measure=config.measure,
             use_g3_bounds=config.use_g3_bounds,
             num_rows=self.num_rows,
+            rhs_stats=rhs_stats,
+            rfi_samples=config.rfi_samples,
+            rfi_seed=config.rfi_seed,
         )
         # Counters live in a metrics registry — shared with the tracer
         # when one is attached, private otherwise — and the public
@@ -675,4 +717,5 @@ class _TaneRun:
             statistics=stats,
             trace=self.tracer,
             profile=self.profiler.report() if self.profiler is not None else None,
+            measure=self.config.measure,
         )

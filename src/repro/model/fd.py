@@ -33,8 +33,9 @@ class FunctionalDependency:
     rhs:
         Right-hand side attribute index.
     error:
-        The ``g3`` error measured for this dependency; ``0.0`` for an
-        exactly-holding dependency.
+        The error measured for this dependency under the configured
+        measure (``g3`` by default); ``0.0`` for an exactly-holding
+        dependency.
     """
 
     lhs: int
@@ -67,12 +68,16 @@ class FunctionalDependency:
         """The left-hand side attribute indices, sorted."""
         return _bitset.to_indices(self.lhs)
 
-    def format(self, schema: RelationSchema) -> str:
-        """Render the dependency with attribute names, e.g. ``A,B -> C``."""
+    def format(self, schema: RelationSchema, *, measure: str = "g3") -> str:
+        """Render the dependency with attribute names, e.g. ``A,B -> C``.
+
+        ``measure`` labels the error (the dependency itself does not
+        know which measure produced it).
+        """
         lhs = ",".join(schema.names_of(self.lhs)) if self.lhs else "{}"
         rhs = schema[self.rhs]
         if self.error:
-            return f"{lhs} -> {rhs}  (g3={self.error:.4f})"
+            return f"{lhs} -> {rhs}  ({measure}={self.error:.4f})"
         return f"{lhs} -> {rhs}"
 
     @classmethod
@@ -143,9 +148,9 @@ class FDSet:
         """Return the dependencies sorted by (lhs size, lhs, rhs)."""
         return sorted(self, key=lambda fd: (fd.lhs_size, fd.lhs, fd.rhs))
 
-    def format(self, schema: RelationSchema) -> str:
+    def format(self, schema: RelationSchema, *, measure: str = "g3") -> str:
         """Multi-line human-readable rendering against a schema."""
-        return "\n".join(fd.format(schema) for fd in self.sorted())
+        return "\n".join(fd.format(schema, measure=measure) for fd in self.sorted())
 
     def difference(self, other: "FDSet") -> "FDSet":
         """Dependencies present here but not in ``other`` (by (lhs, rhs))."""

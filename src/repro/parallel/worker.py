@@ -168,7 +168,13 @@ def _run_validity(chunk: ValidityChunk) -> list[ValidityOutcome]:
     for whole_mask, lhs_mask in chunk.tasks:
         pi_whole = _resolve(chunk.directory, whole_mask)
         pi_lhs = _resolve(chunk.directory, lhs_mask)
-        outcomes.append(evaluate_validity(pi_lhs, pi_whole, chunk.criteria, workspace))
+        # The masks differ in exactly the dependent attribute, so the
+        # rhs index rides along for free — the wire format stays two
+        # masks per task.
+        rhs_index = (whole_mask ^ lhs_mask).bit_length() - 1
+        outcomes.append(
+            evaluate_validity(pi_lhs, pi_whole, chunk.criteria, workspace, rhs_index)
+        )
     return outcomes
 
 

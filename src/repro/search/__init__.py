@@ -5,8 +5,11 @@ of the paper) into narrow, independently testable components that a
 :class:`~repro.search.driver.SearchDriver` composes:
 
 * :mod:`repro.search.measures` — the validity test as a pure function
-  plus the :class:`Measure` protocol unifying the ``g3``/``g1``/``g2``
-  error measures.
+  plus the :class:`Measure` protocol unifying the error measures:
+  ``g3``/``g1``/``g2`` and the comparative-study score measures
+  ``pdep``/``tau``/``mu_plus``/``fi``/``rfi``.
+* :mod:`repro.search.sampling` — the seeded sampling/estimation
+  substrate (the permutation-model bias estimate behind ``rfi``).
 * :mod:`repro.search.execution` — the minimal execution backend
   contract (partition products and validity tests of one level) and
   its in-process implementation, :class:`SerialExecution`.
@@ -35,10 +38,15 @@ from repro.search.execution import SerialExecution
 from repro.search.hooks import LevelBoundary, ResumePoint, SearchHooks
 from repro.search.measures import (
     MEASURES,
+    RHS_STATS_MEASURES,
+    SCORE_MEASURES,
+    AttributeStats,
     Measure,
     ValidityCriteria,
     ValidityOutcome,
+    attribute_stats,
     evaluate_validity,
+    relation_rhs_stats,
 )
 from repro.search.partitions import PartitionManager
 from repro.search.strategy import (
@@ -51,6 +59,7 @@ from repro.search.strategy import (
 from repro.search.tracker import CandidateTracker
 
 __all__ = [
+    "AttributeStats",
     "CandidateTracker",
     "LevelBoundary",
     "LevelProgress",
@@ -58,7 +67,9 @@ __all__ = [
     "MEASURES",
     "Measure",
     "PartitionManager",
+    "RHS_STATS_MEASURES",
     "ResumePoint",
+    "SCORE_MEASURES",
     "STRATEGIES",
     "SearchDriver",
     "SearchHooks",
@@ -67,6 +78,8 @@ __all__ = [
     "TraversalStrategy",
     "ValidityCriteria",
     "ValidityOutcome",
+    "attribute_stats",
     "evaluate_validity",
     "make_strategy",
+    "relation_rhs_stats",
 ]

@@ -46,7 +46,8 @@ _PRODUCT_BATCH = 256
 
 Fetch = Callable[[int], CsrPartition]
 # ``(whole_mask, [(rhs_index, lhs_mask), ...])`` in level order; the
-# rhs indices ride along for the driver's benefit and are ignored here.
+# rhs indices identify the dependent attribute for measures that need
+# its marginal statistics (criteria.rhs_stats).
 ValidityGroups = Sequence[tuple[int, Sequence[tuple[int, int]]]]
 
 
@@ -60,9 +61,9 @@ def serial_validity(
     outcomes: list[ValidityOutcome] = []
     for whole_mask, pairs in groups:
         pi_whole = fetch(whole_mask)
-        for _rhs, lhs_mask in pairs:
+        for rhs, lhs_mask in pairs:
             outcomes.append(
-                evaluate_validity(fetch(lhs_mask), pi_whole, criteria, workspace)
+                evaluate_validity(fetch(lhs_mask), pi_whole, criteria, workspace, rhs)
             )
     return outcomes
 

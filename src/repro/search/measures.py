@@ -2,19 +2,38 @@
 
 Lines 5/5' of the paper decide whether ``X \\ {A} -> A`` holds — by the
 O(1) rank comparison of Lemma 2 for exact discovery, or by comparing a
-``g3``/``g1``/``g2`` error against ``epsilon`` for the approximate
-variant.  The function lives in the search core (rather than inside
-the driver loop) so that pool workers and the in-process serial path
-execute *exactly* the same code: parity between the ``serial`` and
-``process`` executors then follows by construction.
+measure's error against ``epsilon`` for the approximate variant.  The
+function lives in the search core (rather than inside the driver loop)
+so that pool workers and the in-process serial path execute *exactly*
+the same code: parity between the ``serial`` and ``process`` executors
+then follows by construction.
 
 The measure-specific branch is factored behind the :class:`Measure`
-protocol: each measure evaluates one approximate validity test given
-the two partitions and returns a :class:`ValidityOutcome`.  All three
-measures are monotone non-increasing under lhs growth, which is the
-property the levelwise minimality logic (and the top-k bound cutoff)
-relies on; only ``g3`` has the O(1) lower-bound short-circuit of the
-extended paper.
+protocol.  Beyond the paper's ``g3`` and Kivinen & Mannila's
+``g1``/``g2``, the registry carries the measures of the comparative
+AFD-scoring literature — ``pdep``, Goodman–Kruskal ``tau``,
+``mu_plus``, the fraction of information ``fi``, and the *reliable*
+fraction of information ``rfi`` (Mandros et al.), which subtracts a
+permutation-model bias estimated by
+:mod:`repro.search.sampling`.  Those five are natively *scores* in
+``[0, 1]`` with 1 meaning an exact dependency; each is exposed as
+``error = 1 - score`` so one ``error <= epsilon`` convention covers
+the whole registry.
+
+Exact dependencies short-circuit through Lemma 2 with error ``0.0``
+under **every** measure — including ``rfi``, whose textbook value on a
+key is below 1.  The bruteforce oracle mirrors that convention, and
+``docs/MEASURES.md`` records it.
+
+``g3``/``g1``/``g2``/``pdep``/``tau``/``fi`` are monotone
+non-increasing under lhs growth; ``mu_plus`` and ``rfi`` are *not*
+(their bias penalties grow with the number of lhs classes), but the
+levelwise pruning is subset-validity based — identical to the
+bruteforce oracle's skip — so the discovered cover is still the
+well-defined "TANE-minimal" one and differential cells agree.  The
+O(1) g3 lower bound is a sound short-circuit for ``pdep``, ``tau``
+and ``mu_plus`` as well (``1 - pdep >= g3`` classwise, and the other
+two errors dominate ``1 - pdep``); ``fi``/``rfi`` admit no such bound.
 
 Counter bookkeeping is returned as flags on the outcome instead of
 being applied to a stats object, so the driver can aggregate counts in
@@ -23,19 +42,77 @@ deterministic task order regardless of which process did the work.
 
 from __future__ import annotations
 
+import math
 from abc import ABC, abstractmethod
 from typing import NamedTuple
 
+import numpy as np
+
 from repro.partition.errors import g1_error, g2_error
 from repro.partition.vectorized import CsrPartition, PartitionWorkspace
+from repro.search.sampling import entropy_from_counts, permutation_mi_bias
 
 __all__ = [
     "MEASURES",
+    "SCORE_MEASURES",
+    "RHS_STATS_MEASURES",
+    "AttributeStats",
     "Measure",
     "ValidityCriteria",
     "ValidityOutcome",
+    "attribute_stats",
+    "relation_rhs_stats",
     "evaluate_validity",
 ]
+
+# Margin for the O(1) bound short-circuits of the score measures: the
+# bound path must never reject a test the exact path would accept, so
+# it fires only when the bound clears the threshold by more than any
+# possible float round-off of the exact computation.
+_BOUND_MARGIN = 1e-9
+
+
+class AttributeStats(NamedTuple):
+    """Marginal statistics of one (rhs) attribute — picklable.
+
+    ``tau`` needs the marginal ``pdep(A)``, ``fi``/``rfi`` need the
+    marginal entropy, and ``rfi``'s bias estimator needs the raw value
+    histogram.  All three are properties of a *column*, independent of
+    any lhs, so the composition root computes them once per attribute
+    and ships them inside :class:`ValidityCriteria`.
+    """
+
+    pdep: float
+    """``pdep(A) = sum(c^2) / n^2`` over the value counts."""
+
+    entropy: float
+    """Natural-log entropy ``H(A)`` of the empirical distribution."""
+
+    counts: tuple[int, ...]
+    """Value counts, sorted descending (the canonical multiset form
+    the structural rfi seed derivation expects)."""
+
+
+def attribute_stats(codes, num_rows: int) -> AttributeStats:
+    """Compute :class:`AttributeStats` from one column's value codes."""
+    if num_rows == 0:
+        return AttributeStats(pdep=1.0, entropy=0.0, counts=())
+    histogram = np.bincount(np.asarray(codes, dtype=np.int64))
+    counts = np.sort(histogram[histogram > 0])[::-1]
+    pdep = float((counts.astype(np.float64) ** 2).sum()) / (num_rows * num_rows)
+    return AttributeStats(
+        pdep=pdep,
+        entropy=entropy_from_counts(counts, num_rows),
+        counts=tuple(int(c) for c in counts),
+    )
+
+
+def relation_rhs_stats(relation) -> tuple[AttributeStats, ...]:
+    """Marginal stats for every attribute of a relation, by index."""
+    return tuple(
+        attribute_stats(relation.column_codes(index), relation.num_rows)
+        for index in range(relation.num_attributes)
+    )
 
 
 class ValidityCriteria(NamedTuple):
@@ -48,13 +125,25 @@ class ValidityCriteria(NamedTuple):
     """``floor(epsilon * |r|)``: max removable rows for g3 validity."""
 
     measure: str
-    """``"g3"``, ``"g1"`` or ``"g2"``."""
+    """A key of :data:`MEASURES`."""
 
     use_g3_bounds: bool
-    """Short-circuit g3 tests with the O(1) lower bound."""
+    """Short-circuit tests with the O(1) g3 lower bound where sound."""
 
     num_rows: int
     """``|r|`` of the relation under test."""
+
+    rhs_stats: tuple[AttributeStats, ...] = ()
+    """Per-attribute marginal stats, indexed by attribute number.
+    Empty unless the configured measure is in
+    :data:`RHS_STATS_MEASURES` (no point pickling them to workers
+    otherwise)."""
+
+    rfi_samples: int = 0
+    """Monte Carlo samples for the ``rfi`` bias estimate."""
+
+    rfi_seed: int = 0
+    """Base seed mixed into the structural ``rfi`` seed derivation."""
 
 
 class ValidityOutcome(NamedTuple):
@@ -81,7 +170,10 @@ class Measure(ABC):
 
     :meth:`evaluate` is called only after the exact rank test failed
     and only when ``epsilon > 0``; it decides approximate validity and
-    reports the measured error plus the counter flags.
+    reports the measured error plus the counter flags.  ``rhs_index``
+    identifies the dependent attribute so measures that need its
+    marginal statistics (:data:`RHS_STATS_MEASURES`) can look them up
+    in ``criteria.rhs_stats``; measures that do not may ignore it.
     """
 
     name: str = "abstract"
@@ -93,6 +185,7 @@ class Measure(ABC):
         pi_whole: CsrPartition,
         criteria: ValidityCriteria,
         workspace: PartitionWorkspace | None,
+        rhs_index: int = -1,
     ) -> ValidityOutcome:
         """Test ``g(X∖{A} -> A) <= epsilon`` for this measure."""
 
@@ -107,7 +200,7 @@ class G3Measure(Measure):
 
     name = "g3"
 
-    def evaluate(self, pi_lhs, pi_whole, criteria, workspace):
+    def evaluate(self, pi_lhs, pi_whole, criteria, workspace, rhs_index=-1):
         """Bound short-circuit first, exact g3 count otherwise."""
         if criteria.use_g3_bounds:
             lower, _ = pi_lhs.g3_bound_counts(pi_whole)
@@ -130,7 +223,7 @@ class G1Measure(Measure):
 
     name = "g1"
 
-    def evaluate(self, pi_lhs, pi_whole, criteria, workspace):
+    def evaluate(self, pi_lhs, pi_whole, criteria, workspace, rhs_index=-1):
         """Always the exact O(|r|) pair-count computation."""
         error = g1_error(pi_lhs, pi_whole)
         return ValidityOutcome(
@@ -143,7 +236,7 @@ class G2Measure(Measure):
 
     name = "g2"
 
-    def evaluate(self, pi_lhs, pi_whole, criteria, workspace):
+    def evaluate(self, pi_lhs, pi_whole, criteria, workspace, rhs_index=-1):
         """Always the exact O(|r|) violating-row computation."""
         error = g2_error(pi_lhs, pi_whole)
         return ValidityOutcome(
@@ -151,11 +244,246 @@ class G2Measure(Measure):
         )
 
 
+def _contingency(pi_lhs, pi_whole) -> list[tuple[int, list[int]]]:
+    """Per lhs class: ``(size, child sizes sorted descending)``.
+
+    The stripped children of ``pi_whole`` inside one stripped class of
+    ``pi_lhs`` are the rhs-value groups of size >= 2; the remaining
+    ``size - sum(children)`` rows of the class each carry a distinct
+    rhs value (they would otherwise be in a child).  Rows outside every
+    stripped lhs class are lhs-singletons and agree with themselves
+    trivially, so the contingency over stripped classes is all any
+    score measure needs.
+
+    Classes come out in a *structural* canonical order — parents
+    sorted descending by ``(size, child sizes)``, children descending
+    within each parent — so summations downstream produce bit-identical
+    floats on every engine and executor (the differential matrix
+    demands exact error equality) *and* under row shuffles and column
+    permutations (the metamorphic invariance cells demand the same):
+    relabeling rows never changes the sequence of float additions.
+    Structurally identical parents contribute identical floats, so
+    their mutual order is immaterial.
+    """
+    parent_of: dict[int, int] = {}
+    parents: list[tuple[int, list[int]]] = []
+    for cls in pi_lhs.classes():
+        index = len(parents)
+        parents.append((len(cls), []))
+        for row in cls:
+            parent_of[row] = index
+    for cls in pi_whole.classes():
+        # A whole-class (rows agreeing on X) always lies inside one
+        # lhs class (rows agreeing on X minus A), so any member row
+        # identifies the parent.
+        parents[parent_of[cls[0]]][1].append(len(cls))
+    return sorted(
+        ((size, sorted(children, reverse=True)) for size, children in parents),
+        reverse=True,
+    )
+
+
+def _pdep_score(contingency, num_rows: int) -> float:
+    """``pdep(X -> A)``: expected probability of guessing ``A`` right
+    by drawing from its empirical distribution within the ``X`` group."""
+    if num_rows == 0:
+        return 1.0
+    stripped = 0
+    total = 0.0
+    for size, children in contingency:
+        stripped += size
+        within = sum(children)
+        agreeing = sum(child * child for child in children)
+        total += (agreeing + (size - within)) / size
+    return (total + (num_rows - stripped)) / num_rows
+
+
+def _conditional_entropy(contingency, num_rows: int) -> float:
+    """Empirical ``H(A | X)`` in nats, in the canonical order."""
+    if num_rows == 0:
+        return 0.0
+    conditional = 0.0
+    for size, children in contingency:
+        within = sum(children)
+        class_entropy = 0.0
+        for child in children:
+            p = child / size
+            class_entropy -= p * math.log(p)
+        if size > within:
+            # Each lhs-class row outside a stripped child is a distinct
+            # rhs value: (size - within) singletons at -1/s * log(1/s).
+            class_entropy += (size - within) * math.log(size) / size
+        conditional += (size / num_rows) * class_entropy
+    return conditional
+
+
+def _clamp(score: float) -> float:
+    """Clamp a score into ``[0, 1]`` (float round-off guard)."""
+    return min(1.0, max(0.0, score))
+
+
+def _score_outcome(score: float, criteria: ValidityCriteria) -> ValidityOutcome:
+    """Wrap a ``[0, 1]`` score as an error-convention outcome."""
+    error = 1.0 - _clamp(score)
+    return ValidityOutcome(
+        error <= criteria.epsilon + 1e-12, False, error, False, True
+    )
+
+
+def _bound_rejection(pi_lhs, pi_whole, criteria) -> ValidityOutcome | None:
+    """The g3 lower bound as a short-circuit for pdep-dominated errors.
+
+    Per lhs class ``sum(m_i^2) <= s * max(m_i)``, so
+    ``1 - pdep >= g3 >= (e_lhs - e_whole) / n``; the ``tau`` and
+    ``mu_plus`` errors dominate ``1 - pdep`` in turn (dividing by
+    ``1 - pdep(A) <= 1``, multiplying by ``(n-1)/(n-K) >= 1``).  The
+    wide :data:`_BOUND_MARGIN` keeps the bound path's accept/reject
+    decision identical to the exact path's under float round-off.
+    """
+    if not criteria.use_g3_bounds:
+        return None
+    lower, _ = pi_lhs.g3_bound_counts(pi_whole)
+    if lower / criteria.num_rows > criteria.epsilon + _BOUND_MARGIN:
+        return ValidityOutcome(
+            False, False, lower / criteria.num_rows, True, False
+        )
+    return None
+
+
+def _stats_for(criteria: ValidityCriteria, rhs_index: int, name: str) -> AttributeStats:
+    """Look up the rhs marginal stats, failing loudly when absent."""
+    if 0 <= rhs_index < len(criteria.rhs_stats):
+        return criteria.rhs_stats[rhs_index]
+    raise ValueError(
+        f"measure {name!r} needs marginal statistics of the rhs attribute: "
+        f"pass criteria.rhs_stats (see relation_rhs_stats) and rhs_index, "
+        f"got rhs_index={rhs_index} with {len(criteria.rhs_stats)} stats"
+    )
+
+
+class PdepMeasure(Measure):
+    """``pdep(X -> A)``: probability two random rows agreeing on ``X``
+    agree on ``A`` — equivalently one minus Goodman–Kruskal's
+    proportional-prediction error.  Error is ``1 - pdep``."""
+
+    name = "pdep"
+
+    def evaluate(self, pi_lhs, pi_whole, criteria, workspace, rhs_index=-1):
+        rejection = _bound_rejection(pi_lhs, pi_whole, criteria)
+        if rejection is not None:
+            return rejection
+        contingency = _contingency(pi_lhs, pi_whole)
+        return _score_outcome(_pdep_score(contingency, criteria.num_rows), criteria)
+
+
+class TauMeasure(Measure):
+    """Goodman–Kruskal ``tau``: pdep normalized by the marginal
+    baseline, ``(pdep(X->A) - pdep(A)) / (1 - pdep(A))``.  Error is
+    ``1 - tau``; a constant rhs scores a perfect 1 by convention."""
+
+    name = "tau"
+
+    def evaluate(self, pi_lhs, pi_whole, criteria, workspace, rhs_index=-1):
+        stats = _stats_for(criteria, rhs_index, self.name)
+        if stats.pdep >= 1.0:
+            return _score_outcome(1.0, criteria)
+        rejection = _bound_rejection(pi_lhs, pi_whole, criteria)
+        if rejection is not None:
+            return rejection
+        contingency = _contingency(pi_lhs, pi_whole)
+        pdep_xy = _pdep_score(contingency, criteria.num_rows)
+        return _score_outcome((pdep_xy - stats.pdep) / (1.0 - stats.pdep), criteria)
+
+
+class MuPlusMeasure(Measure):
+    """``mu_plus``: pdep shrunk by the expected chance agreement of a
+    partition with ``K`` classes — ``1 - (1 - pdep) * (n-1)/(n-K)``,
+    clamped at zero.  Error is ``1 - mu_plus``.  Not monotone under
+    lhs growth (the ``(n-1)/(n-K)`` penalty grows with ``K``)."""
+
+    name = "mu_plus"
+
+    def evaluate(self, pi_lhs, pi_whole, criteria, workspace, rhs_index=-1):
+        rejection = _bound_rejection(pi_lhs, pi_whole, criteria)
+        if rejection is not None:
+            return rejection
+        # n - K = stripped size - class count = the lhs error count.
+        free_rows = pi_lhs.error_count
+        if free_rows <= 0:
+            # lhs is a (super)key: pdep = 1 and mu is defined as 1.
+            return _score_outcome(1.0, criteria)
+        contingency = _contingency(pi_lhs, pi_whole)
+        pdep_xy = _pdep_score(contingency, criteria.num_rows)
+        mu = 1.0 - (1.0 - pdep_xy) * (criteria.num_rows - 1) / free_rows
+        return _score_outcome(max(0.0, mu), criteria)
+
+
+class FiMeasure(Measure):
+    """Fraction of information ``1 - H(A|X) / H(A)``: the share of the
+    rhs entropy the lhs explains.  Error is ``H(A|X) / H(A)``; a
+    constant rhs scores a perfect 1 by convention."""
+
+    name = "fi"
+
+    def evaluate(self, pi_lhs, pi_whole, criteria, workspace, rhs_index=-1):
+        stats = _stats_for(criteria, rhs_index, self.name)
+        if stats.entropy <= 0.0:
+            return _score_outcome(1.0, criteria)
+        contingency = _contingency(pi_lhs, pi_whole)
+        conditional = _conditional_entropy(contingency, criteria.num_rows)
+        return _score_outcome(1.0 - conditional / stats.entropy, criteria)
+
+
+class RfiMeasure(Measure):
+    """Reliable fraction of information (Mandros et al.): ``fi`` minus
+    the permutation-model bias ``E[I(X; A_sigma)] / H(A)``, clamped at
+    zero.  The bias is a seeded Monte Carlo estimate
+    (:func:`repro.search.sampling.permutation_mi_bias`) whose seed
+    derives from the *shapes* involved, so the value is deterministic
+    across engines, executors, row shuffles, column permutations, and
+    resume.  ``rfi <= fi`` always; not monotone under lhs growth."""
+
+    name = "rfi"
+
+    def evaluate(self, pi_lhs, pi_whole, criteria, workspace, rhs_index=-1):
+        stats = _stats_for(criteria, rhs_index, self.name)
+        if stats.entropy <= 0.0:
+            return _score_outcome(1.0, criteria)
+        contingency = _contingency(pi_lhs, pi_whole)
+        conditional = _conditional_entropy(contingency, criteria.num_rows)
+        fi_score = 1.0 - conditional / stats.entropy
+        bias = permutation_mi_bias(
+            [size for size, _ in contingency],
+            stats.counts,
+            criteria.num_rows,
+            samples=criteria.rfi_samples,
+            base_seed=criteria.rfi_seed,
+        )
+        return _score_outcome(max(0.0, fi_score - bias / stats.entropy), criteria)
+
+
 MEASURES: dict[str, Measure] = {
-    measure.name: measure for measure in (G3Measure(), G1Measure(), G2Measure())
+    measure.name: measure
+    for measure in (
+        G3Measure(),
+        G1Measure(),
+        G2Measure(),
+        PdepMeasure(),
+        TauMeasure(),
+        MuPlusMeasure(),
+        FiMeasure(),
+        RfiMeasure(),
+    )
 }
 """Registry of the supported error measures, keyed by name.  The key
 order is the canonical enumeration used in configuration errors."""
+
+SCORE_MEASURES = ("pdep", "tau", "mu_plus", "fi", "rfi")
+"""The native score-in-[0,1] measures (exposed as ``error = 1 -
+score``), in registry order."""
+
+RHS_STATS_MEASURES = frozenset({"tau", "fi", "rfi"})
+"""Measures whose evaluation reads ``criteria.rhs_stats``."""
 
 
 def evaluate_validity(
@@ -163,17 +491,21 @@ def evaluate_validity(
     pi_whole: CsrPartition,
     criteria: ValidityCriteria,
     workspace: PartitionWorkspace | None = None,
+    rhs_index: int = -1,
 ) -> ValidityOutcome:
     """Test ``X \\ {A} -> A`` given ``pi_lhs = π_{X∖{A}}`` and ``pi_whole = π_X``.
 
-    Exact validity is the O(1) rank comparison of Lemma 2.  The
-    approximate variant dispatches to the configured :class:`Measure`;
-    under ``g3`` the O(1) lower bound can reject without the O(|r|)
-    exact computation, while ``g1``/``g2`` are always computed exactly.
+    Exact validity is the O(1) rank comparison of Lemma 2 and yields
+    error ``0.0`` under every measure.  The approximate variant
+    dispatches to the configured :class:`Measure`; under ``g3`` /
+    ``pdep`` / ``tau`` / ``mu_plus`` the O(1) lower bound can reject
+    without the exact computation, while the others always compute.
     """
     exactly_valid = pi_lhs.error_count == pi_whole.error_count
     if exactly_valid:
         return ValidityOutcome(True, True, 0.0, False, False)
     if criteria.epsilon == 0.0:
         return ValidityOutcome(False, False, 0.0, False, False)
-    return MEASURES[criteria.measure].evaluate(pi_lhs, pi_whole, criteria, workspace)
+    return MEASURES[criteria.measure].evaluate(
+        pi_lhs, pi_whole, criteria, workspace, rhs_index
+    )

@@ -16,7 +16,9 @@ Two strategies ship:
   those k (ranked by error, then lhs size, then lexicographic mask).
   The cutoff needs only the trivial bound that an undiscovered
   dependency has error ≥ 0 and an lhs at least as large as the next
-  level's, so it is safe for ``g3``/``g1``/``g2`` alike.
+  level's, so it is measure-agnostic — safe for every registered
+  measure, monotone (``g3``/``g1``/``g2``/``pdep``/``tau``/``fi``)
+  or not (``mu_plus``/``rfi``).
 """
 
 from __future__ import annotations

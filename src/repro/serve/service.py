@@ -90,12 +90,13 @@ def result_payload(result: DiscoveryResult, record: DatasetRecord) -> dict[str, 
         "dataset": record.name,
         "fingerprint": record.fingerprint,
         "epsilon": result.epsilon,
+        "measure": result.measure,
         "dependencies": [
             {
                 "lhs": list(schema.names_of(fd.lhs)),
                 "rhs": names[fd.rhs],
                 "error": fd.error,
-                "display": fd.format(schema),
+                "display": fd.format(schema, measure=result.measure),
             }
             for fd in result.sorted_dependencies()
         ],

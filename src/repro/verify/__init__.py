@@ -13,7 +13,11 @@ machine-checkable, from three independent directions:
   bruteforce and FDEP oracles.
 * :mod:`repro.verify.metamorphic` — input transformations with
   provable output relations (shuffle, duplication, column permutation,
-  row deletion, planted-dependency recovery).
+  row deletion, planted-dependency recovery), plus the cross-measure
+  layer (:func:`compare_measures`): every AFD measure in the suite
+  must agree on exact dependencies, zero out under violating-row
+  deletion, stay invariant under shuffles and column permutations, and
+  entail planted dependencies.
 * :mod:`repro.verify.fuzz` — seeded generation of relations and
   scenarios, failure shrinking, and self-contained replayable case
   serialization.
@@ -44,8 +48,11 @@ from repro.verify.matrix import (
     smoke_matrix,
 )
 from repro.verify.metamorphic import (
+    MEASURE_RELATIONS,
     check_planted_recovery,
+    compare_measures,
     delete_rows,
+    delete_violating_rows,
     duplicate_rows,
     permute_columns,
     run_metamorphic,
@@ -74,6 +81,7 @@ __all__ = [
     "ConfigCell",
     "FuzzFailure",
     "FuzzReport",
+    "MEASURE_RELATIONS",
     "Mismatch",
     "REFERENCE_CELL",
     "RunSignature",
@@ -81,8 +89,10 @@ __all__ = [
     "VerificationReport",
     "build_matrix",
     "check_planted_recovery",
+    "compare_measures",
     "compare_with_oracles",
     "delete_rows",
+    "delete_violating_rows",
     "duplicate_rows",
     "format_fuzz_report",
     "format_mismatch",

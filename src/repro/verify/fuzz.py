@@ -42,7 +42,11 @@ from repro.datasets.synthetic import (
 )
 from repro.model.relation import Relation
 from repro.verify.matrix import ConfigCell, build_matrix
-from repro.verify.metamorphic import check_planted_recovery, run_metamorphic
+from repro.verify.metamorphic import (
+    check_planted_recovery,
+    compare_measures,
+    run_metamorphic,
+)
 from repro.verify.runner import Mismatch, Scenario, verify_relation
 
 __all__ = [
@@ -68,6 +72,21 @@ _FUZZ_TOPK = 3
 """``k`` for the top-k strategy check every fuzz seed runs: small
 enough to exercise the early-stopping cutoff on most relations, large
 enough that ranking ties matter."""
+
+_ALT_MEASURES = ("g1", "g2", "pdep", "tau", "mu_plus", "fi", "rfi")
+"""Non-``g3`` measure pool for approximate scenarios — the whole
+registry minus the default, so every measure gets differential/
+metamorphic coverage across a fuzz campaign."""
+
+_MEASURE_EPSILON = 0.25
+"""Threshold used by the cross-measure layer when the seed's own
+scenario is exact (with ``epsilon = 0`` every measure degenerates to
+exact discovery and the comparison would be vacuous)."""
+
+
+def _measure_epsilon(scenario: Scenario) -> float:
+    """The threshold the cross-measure layer should run at for a seed."""
+    return scenario.epsilon if scenario.epsilon > 0.0 else _MEASURE_EPSILON
 
 
 def relation_for_seed(seed: int) -> tuple[Relation, str]:
@@ -127,8 +146,8 @@ def scenario_for_seed(seed: int) -> Scenario:
     rng = np.random.default_rng(seed ^ 0x5EED)
     epsilon = float(_EPSILONS[int(rng.integers(0, len(_EPSILONS)))])
     measure = "g3"
-    if epsilon > 0.0 and int(rng.integers(0, 4)) == 0:
-        measure = "g1" if int(rng.integers(0, 2)) == 0 else "g2"
+    if epsilon > 0.0 and int(rng.integers(0, 2)) == 0:
+        measure = _ALT_MEASURES[int(rng.integers(0, len(_ALT_MEASURES)))]
     max_lhs_size = None if int(rng.integers(0, 4)) else 3
     return Scenario(epsilon=epsilon, measure=measure, max_lhs_size=max_lhs_size)
 
@@ -181,11 +200,26 @@ def _make_recheck(scenario: Scenario, cells, target: Mismatch, seed: int, workdi
     """Build the shrink predicate: "does ``target`` reproduce on this relation?".
 
     Differential and oracle targets re-run only the reference plus the
-    disagreeing cell; metamorphic targets re-run the metamorphic layer.
-    Relations that crash the recheck count as non-reproducing — the
-    shrinker minimizes the *mismatch*, not whatever new failure a
-    reduction introduced.
+    disagreeing cell; metamorphic targets re-run the metamorphic layer;
+    cross-measure targets re-run :func:`compare_measures` restricted to
+    the one measure named in the cell.  Relations that crash the
+    recheck count as non-reproducing — the shrinker minimizes the
+    *mismatch*, not whatever new failure a reduction introduced.
     """
+    if target.cell.startswith("compare_measures:"):
+        measure = target.cell.split(":")[1]
+
+        def recheck(relation: Relation) -> bool:
+            try:
+                found = compare_measures(
+                    relation, seed=seed, workdir=workdir,
+                    epsilon=_measure_epsilon(scenario), measures=(measure,),
+                )
+            except Exception:
+                return False
+            return _target_persists(found, target)
+        return recheck
+
     if target.cell.startswith("metamorphic:"):
         def recheck(relation: Relation) -> bool:
             try:
@@ -325,6 +359,15 @@ def replay_case(case_dir: str | Path, *, workdir: str | Path) -> list[Mismatch]:
     if target.cell == "metamorphic:planted":
         # Planted-recovery cases regenerate their relation from the seed.
         return check_planted_recovery(seed, workdir=workdir)
+    if target.cell.startswith("compare_measures:"):
+        # Cross-measure cases re-run the whole cross-measure layer for
+        # the one measure the cell names (planted sub-cells regenerate
+        # their relation from the seed inside compare_measures).
+        measure = target.cell.split(":")[1]
+        return list(compare_measures(
+            relation, seed=seed, workdir=workdir,
+            epsilon=_measure_epsilon(scenario), measures=(measure,),
+        ))
     if target.cell.startswith("metamorphic:"):
         return run_metamorphic(relation, scenario, seed=seed, workdir=workdir)
     oracles = target.cell.startswith("oracle:")
@@ -343,6 +386,7 @@ def fuzz_seed(
     workdir: str | Path,
     failure_dir: str | Path | None = None,
     metamorphic: bool = True,
+    measure_checks: bool = True,
 ) -> FuzzFailure | None:
     """Run the whole verification stack for one seed.
 
@@ -362,12 +406,22 @@ def fuzz_seed(
             reference=report.reference,
         ))
         mismatches.extend(check_planted_recovery(seed, workdir=workdir))
+    if measure_checks:
+        mismatches.extend(compare_measures(
+            relation, seed=seed, workdir=workdir,
+            epsilon=_measure_epsilon(scenario),
+        ))
     if not mismatches:
         return None
 
     target = mismatches[0]
     shrunk = relation
-    if not target.cell.startswith("metamorphic:planted"):
+    planted = (
+        target.cell.startswith("metamorphic:planted")
+        or (target.cell.startswith("compare_measures:")
+            and target.cell.endswith(":planted"))
+    )
+    if not planted:
         # Planted-recovery checks regenerate their relation from the
         # seed, so relation shrinking cannot target them.
         recheck = _make_recheck(scenario, cells, target, seed, workdir)
@@ -402,12 +456,15 @@ def fuzz(
     failure_dir: str | Path | None = None,
     workers: int = 2,
     metamorphic: bool = True,
+    measure_checks: bool = True,
     progress=None,
 ) -> FuzzReport:
     """Run a fuzz campaign over ``num_seeds`` consecutive seeds.
 
     ``matrix`` picks the cell set (``"smoke"`` or ``"full"``);
-    ``seed_base`` offsets the seed range so campaigns can be sharded.
+    ``seed_base`` offsets the seed range so campaigns can be sharded;
+    ``measure_checks`` toggles the cross-measure layer
+    (:func:`repro.verify.metamorphic.compare_measures`).
     ``progress``, when given, is called after each seed with
     ``(seed, failure_or_none)``.
     """
@@ -417,6 +474,7 @@ def fuzz(
         failure = fuzz_seed(
             seed, cells,
             workdir=workdir, failure_dir=failure_dir, metamorphic=metamorphic,
+            measure_checks=measure_checks,
         )
         report.seeds.append(seed)
         if failure is not None:

@@ -31,32 +31,55 @@ Five transformations, each with its invariant (and proof sketch):
   (:func:`~repro.datasets.synthetic.planted_fd_relation`) must yield a
   cover in which every planted dependency is entailed by some minimal
   discovered one (same rhs, lhs a subset of the planted lhs).
+
+On top of the per-configuration transformations,
+:func:`compare_measures` runs the **cross-measure** relations: five
+named invariants every AFD measure in the suite must satisfy
+simultaneously (exact-FD agreement, zeroing under violating-row
+deletion, row-shuffle invariance, column-permutation invariance, and
+planted-dependency entailment).  Mismatch cells are named
+``compare_measures:<measure>:<relation>`` so a fuzz failure pinpoints
+both the broken measure and the broken property.
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from pathlib import Path
 
 import numpy as np
 
 from repro import _bitset
+from repro.baselines.bruteforce import dependency_error, dependency_g3
 from repro.datasets.synthetic import planted_fd_relation
 from repro.model.relation import Relation
 from repro.partition.pure import PurePartition
+from repro.search.measures import SCORE_MEASURES
 from repro.verify.matrix import REFERENCE_CELL
 from repro.verify.runner import Mismatch, RunSignature, Scenario, run_cell
 
 __all__ = [
+    "MEASURE_RELATIONS",
     "shuffle_rows",
     "duplicate_rows",
     "permute_columns",
     "delete_rows",
+    "delete_violating_rows",
     "run_metamorphic",
     "check_planted_recovery",
+    "compare_measures",
 ]
 
 _FULL = frozenset({"fds", "errors", "keys", "counters"})
 _COVER = frozenset({"fds", "errors"})
+
+_DUPLICATION_EXACT = frozenset({"g3", "g1", "g2"})
+"""Measures whose error fractions survive row duplication *as IEEE
+doubles*: each is a single integer/integer division, and ``(k*c)/(k*n)``
+rounds identically to ``c/n``.  The score measures (pdep/tau/fi &c.)
+are duplication-invariant only as reals — their float sums accumulate
+in a different order on the duplicated relation — so the byte-exact
+duplication diff applies only to the counting measures."""
 
 
 def shuffle_rows(relation: Relation, seed: int) -> Relation:
@@ -149,11 +172,12 @@ def run_metamorphic(
     ).signature
     found.extend(reference.diff(shuffled, _FULL, "metamorphic:shuffle"))
 
-    duplicated = run_cell(
-        relation=duplicate_rows(relation, 2),
-        scenario=scenario, cell=REFERENCE_CELL, workdir=workdir,
-    ).signature
-    found.extend(reference.diff(duplicated, _COVER, "metamorphic:duplicate"))
+    if scenario.measure in _DUPLICATION_EXACT:
+        duplicated = run_cell(
+            relation=duplicate_rows(relation, 2),
+            scenario=scenario, cell=REFERENCE_CELL, workdir=workdir,
+        ).signature
+        found.extend(reference.diff(duplicated, _COVER, "metamorphic:duplicate"))
 
     permuted_relation, perm = permute_columns(relation, seed)
     permuted = run_cell(
@@ -209,4 +233,151 @@ def check_planted_recovery(
                 f"planted dependency ({fd.lhs:#x} -> {fd.rhs}) not entailed "
                 f"by the discovered cover {list(signature.fds)!r}",
             ))
+    return found
+
+
+MEASURE_RELATIONS = ("exact", "deletion", "shuffle", "permute", "planted")
+"""The named cross-measure relations :func:`compare_measures` checks,
+in execution order.  Mismatch cells are
+``compare_measures:<measure>:<relation>``."""
+
+_EXACT_TOLERANCE = 1e-9
+"""Definitional errors on exact dependencies must be zero; this only
+absorbs float round-off of the entropy/ratio arithmetic."""
+
+_DELETION_PAIRS = 3
+"""Violated single-attribute pairs exercised by the deletion relation
+per call (bounds the bruteforce recomputation cost per fuzz seed)."""
+
+
+def delete_violating_rows(relation: Relation, lhs_mask: int, rhs_index: int) -> Relation:
+    """Drop exactly the rows a ``g3`` repair of ``X -> A`` removes.
+
+    Within each group of rows agreeing on ``X``, keep the rows
+    carrying the group's most common ``A`` value (first-seen wins
+    ties); the result satisfies ``X -> A`` exactly, by construction.
+    """
+    columns = [relation.column_codes(i) for i in _bitset.iter_bits(lhs_mask)]
+    rhs = relation.column_codes(rhs_index)
+    groups: dict[tuple[int, ...], list[int]] = {}
+    for row in range(relation.num_rows):
+        key = tuple(int(column[row]) for column in columns)
+        groups.setdefault(key, []).append(row)
+    keep: list[int] = []
+    for rows in groups.values():
+        counts = Counter(int(rhs[row]) for row in rows)
+        majority = counts.most_common(1)[0][0]
+        keep.extend(row for row in rows if int(rhs[row]) == majority)
+    return relation.take(sorted(keep))
+
+
+def _violated_pairs(relation: Relation) -> list[tuple[int, int]]:
+    """Single-attribute dependencies ``{B} -> A`` with ``g3 > 0``."""
+    pairs = []
+    for rhs_index in range(relation.num_attributes):
+        for lhs_index in range(relation.num_attributes):
+            if lhs_index == rhs_index:
+                continue
+            lhs_mask = _bitset.from_indices([lhs_index])
+            if dependency_g3(relation, lhs_mask, rhs_index) > 0.0:
+                pairs.append((lhs_mask, rhs_index))
+    return pairs
+
+
+def compare_measures(
+    relation: Relation,
+    *,
+    seed: int,
+    workdir: str | Path,
+    epsilon: float = 0.25,
+    measures: tuple[str, ...] = SCORE_MEASURES,
+) -> list[Mismatch]:
+    """Run the cross-measure relations for every measure in ``measures``.
+
+    * **exact** — every dependency of the exact cover must have
+      definitional error 0 under every measure (all measures agree on
+      exact FDs, including ``rfi`` by the Lemma 2 convention).
+    * **deletion** — deleting the violating rows of a violated
+      dependency makes it exact, so every measure's error must drop to
+      0 (the monotone response, checked at its extreme point where the
+      expected value is known exactly for *all* measures, the
+      non-monotone ones included).
+    * **shuffle** / **permute** — full discovery under each measure is
+      invariant under row shuffles and (index-mapped) column
+      permutations; ``rfi`` holds because its sampling seed derives
+      from partition shapes, not row or column numbering.
+    * **planted** — dependencies planted by construction are exact, so
+      discovery under every measure (at any threshold) must entail
+      them.
+    """
+    found: list[Mismatch] = []
+
+    exact_cover = run_cell(
+        relation, Scenario(epsilon=0.0), REFERENCE_CELL, workdir=workdir
+    ).signature.fds
+    for measure in measures:
+        for lhs, rhs in exact_cover:
+            error = dependency_error(relation, lhs, rhs, measure)
+            if abs(error) > _EXACT_TOLERANCE:
+                found.append(Mismatch(
+                    f"compare_measures:{measure}:exact", "errors",
+                    f"exact dependency ({lhs:#x} -> {rhs}) scores "
+                    f"{measure} error {error!r}, expected 0",
+                ))
+
+    for lhs, rhs in _violated_pairs(relation)[:_DELETION_PAIRS]:
+        repaired = delete_violating_rows(relation, lhs, rhs)
+        for measure in measures:
+            before = dependency_error(relation, lhs, rhs, measure)
+            after = dependency_error(repaired, lhs, rhs, measure)
+            if abs(after) > _EXACT_TOLERANCE or after > before + _EXACT_TOLERANCE:
+                found.append(Mismatch(
+                    f"compare_measures:{measure}:deletion", "errors",
+                    f"({lhs:#x} -> {rhs}): {measure} error {before!r} -> "
+                    f"{after!r} after deleting its violating rows, "
+                    f"expected 0",
+                ))
+
+    for measure in measures:
+        scenario = Scenario(epsilon=epsilon, measure=measure)
+        reference = run_cell(
+            relation, scenario, REFERENCE_CELL, workdir=workdir
+        ).signature
+
+        shuffled = run_cell(
+            relation=shuffle_rows(relation, seed),
+            scenario=scenario, cell=REFERENCE_CELL, workdir=workdir,
+        ).signature
+        found.extend(reference.diff(
+            shuffled, _FULL, f"compare_measures:{measure}:shuffle"
+        ))
+
+        permuted_relation, perm = permute_columns(relation, seed)
+        permuted = run_cell(
+            relation=permuted_relation,
+            scenario=scenario, cell=REFERENCE_CELL, workdir=workdir,
+        ).signature
+        found.extend(reference.diff(
+            _unpermute_signature(permuted, perm), _FULL,
+            f"compare_measures:{measure}:permute",
+        ))
+
+    planted_relation, planted = planted_fd_relation(30, 2, 1, seed=seed)
+    for measure in measures:
+        signature = run_cell(
+            planted_relation, Scenario(epsilon=epsilon, measure=measure),
+            REFERENCE_CELL, workdir=workdir,
+        ).signature
+        for fd in planted:
+            entailed = any(
+                rhs == fd.rhs and _bitset.is_subset(lhs, fd.lhs)
+                for lhs, rhs in signature.fds
+            )
+            if not entailed:
+                found.append(Mismatch(
+                    f"compare_measures:{measure}:planted", "fds",
+                    f"planted dependency ({fd.lhs:#x} -> {fd.rhs}) not "
+                    f"entailed by the {measure} cover "
+                    f"{list(signature.fds)!r}",
+                ))
     return found

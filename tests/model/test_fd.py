@@ -48,6 +48,12 @@ class TestFunctionalDependency:
         fd = FunctionalDependency(1, 1, error=0.25)
         assert "g3=0.2500" in fd.format(SCHEMA)
 
+    def test_format_labels_the_configured_measure(self):
+        fd = FunctionalDependency(1, 1, error=0.25)
+        assert "tau=0.2500" in fd.format(SCHEMA, measure="tau")
+        # An exactly-holding dependency renders without any label.
+        assert FunctionalDependency(1, 1).format(SCHEMA, measure="tau") == "A -> B"
+
     def test_from_names_single_string(self):
         fd = FunctionalDependency.from_names(SCHEMA, "A", "B")
         assert fd.lhs == 1

@@ -72,6 +72,25 @@ class TestApproximateResumeParity:
         assert_identical_results(resumed, baseline)
 
 
+class TestScoreMeasureResumeParity:
+    @pytest.mark.parametrize("measure", ["tau", "rfi"])
+    def test_interrupt_then_resume_identical(
+        self, structured_relation, tmp_path, measure
+    ):
+        # rfi especially: the permutation bias is seeded structurally
+        # (relation shape, not call order), so a resumed run must draw
+        # the exact same Monte Carlo samples the baseline drew.
+        config = dict(epsilon=0.3, measure=measure)
+        baseline = discover(structured_relation, TaneConfig(**config))
+        run_interrupted(structured_relation, tmp_path, level=3, **config)
+        resumed = discover(
+            structured_relation,
+            TaneConfig(**config, checkpoint_dir=tmp_path, resume=True),
+        )
+        assert_identical_results(resumed, baseline)
+        assert len(resumed.dependencies) > 0
+
+
 class TestFingerprintGuard:
     def test_resume_with_different_measure_rejected(
         self, structured_relation, tmp_path
@@ -94,4 +113,21 @@ class TestFingerprintGuard:
             discover(
                 structured_relation,
                 TaneConfig(epsilon=0.08, checkpoint_dir=tmp_path, resume=True),
+            )
+
+    def test_resume_with_different_rfi_budget_rejected(
+        self, structured_relation, tmp_path
+    ):
+        # A different sample budget draws different Monte Carlo bias
+        # estimates — silently resuming would splice two distributions
+        # into one result, so the fingerprint must refuse.
+        run_interrupted(
+            structured_relation, tmp_path, level=3,
+            epsilon=0.3, measure="rfi", rfi_samples=16,
+        )
+        with pytest.raises(CheckpointError, match="rfi_samples"):
+            discover(
+                structured_relation,
+                TaneConfig(epsilon=0.3, measure="rfi", rfi_samples=64,
+                           checkpoint_dir=tmp_path, resume=True),
             )

@@ -6,7 +6,10 @@ import pytest
 from repro.partition.vectorized import CsrPartition, PartitionWorkspace
 from repro.search.measures import (
     MEASURES,
+    RHS_STATS_MEASURES,
+    SCORE_MEASURES,
     ValidityCriteria,
+    attribute_stats,
     evaluate_validity,
 )
 
@@ -15,23 +18,35 @@ def _partition(codes):
     return CsrPartition.from_column(codes, len(codes))
 
 
-def _criteria(epsilon, measure="g3", *, num_rows, use_g3_bounds=True):
+def _criteria(
+    epsilon, measure="g3", *, num_rows, use_g3_bounds=True, rhs_codes=None
+):
+    rhs_stats = ()
+    if rhs_codes is not None:
+        rhs_stats = (attribute_stats(rhs_codes, num_rows),)
     return ValidityCriteria(
         epsilon=epsilon,
         epsilon_count=int(epsilon * num_rows + 1e-9),
         measure=measure,
         use_g3_bounds=use_g3_bounds,
         num_rows=num_rows,
+        rhs_stats=rhs_stats,
     )
 
 
 class TestRegistry:
     def test_all_measures_registered(self):
-        assert list(MEASURES) == ["g3", "g1", "g2"]
+        assert list(MEASURES) == [
+            "g3", "g1", "g2", "pdep", "tau", "mu_plus", "fi", "rfi",
+        ]
 
     def test_names_match_keys(self):
         for name, measure in MEASURES.items():
             assert measure.name == name
+
+    def test_score_measures_are_registered(self):
+        assert set(SCORE_MEASURES) <= set(MEASURES)
+        assert RHS_STATS_MEASURES <= set(MEASURES)
 
 
 class TestExactPath:
@@ -104,3 +119,61 @@ class TestG1G2:
         # g1 counts violating pairs (3 of 16 ordered non-trivial pairs);
         # g2 counts rows in violations (all 4 rows share a class).
         assert g1.error < g2.error
+
+
+class TestScoreMeasures:
+    """The score-convention measures share the Lemma 2 / bound plumbing."""
+
+    @pytest.mark.parametrize("measure", SCORE_MEASURES)
+    def test_exact_fd_is_error_zero(self, measure):
+        # Lemma 2 short-circuits before any score math — including rfi,
+        # whose textbook score of an exact FD would be below 1.
+        pi = _partition([0, 0, 1, 1])
+        criteria = _criteria(0.25, measure, num_rows=4, rhs_codes=[0, 0, 1, 1])
+        outcome = evaluate_validity(pi, pi, criteria, rhs_index=0)
+        assert outcome.valid and outcome.exactly_valid
+        assert outcome.error == 0.0
+        assert not outcome.error_computed
+
+    @pytest.mark.parametrize("measure", ("pdep", "tau", "mu_plus"))
+    def test_g3_bound_short_circuits(self, measure):
+        # Every lhs class splits in half: g3 lower bound is 0.5, and
+        # 1 - pdep >= g3 (per class sum(m_i^2) <= s * max m), so the
+        # integer bound soundly rejects without touching floats.
+        pi_lhs = _partition([0, 0, 0, 0, 1, 1, 1, 1])
+        pi_whole = _partition([0, 0, 1, 1, 2, 2, 3, 3])
+        rhs = [0, 0, 1, 1, 0, 0, 1, 1]
+        criteria = _criteria(0.01, measure, num_rows=8, rhs_codes=rhs)
+        outcome = evaluate_validity(pi_lhs, pi_whole, criteria, rhs_index=0)
+        assert not outcome.valid
+        assert outcome.bound_rejected and not outcome.error_computed
+
+    @pytest.mark.parametrize("measure", ("fi", "rfi"))
+    def test_entropy_measures_never_bound_reject(self, measure):
+        # H(A|X)/H(A) is not bounded below by g3, so no short-circuit.
+        pi_lhs = _partition([0, 0, 0, 0, 1, 1, 1, 1])
+        pi_whole = _partition([0, 0, 1, 1, 2, 2, 3, 3])
+        rhs = [0, 0, 1, 1, 0, 0, 1, 1]
+        criteria = _criteria(0.01, measure, num_rows=8, rhs_codes=rhs)
+        outcome = evaluate_validity(pi_lhs, pi_whole, criteria, rhs_index=0)
+        assert not outcome.valid
+        assert outcome.error_computed and not outcome.bound_rejected
+
+    @pytest.mark.parametrize("measure", sorted(RHS_STATS_MEASURES))
+    def test_stats_dependent_measures_demand_stats(self, measure):
+        pi_lhs = _partition([0, 0, 0, 0])
+        pi_whole = _partition([0, 0, 0, 1])
+        criteria = _criteria(0.5, measure, num_rows=4)
+        with pytest.raises(ValueError, match="rhs_stats"):
+            evaluate_validity(pi_lhs, pi_whole, criteria, rhs_index=0)
+
+    @pytest.mark.parametrize("measure", SCORE_MEASURES)
+    def test_error_is_clamped_to_unit_interval(self, measure):
+        pi_lhs = _partition([0, 0, 0, 0, 0, 0])
+        pi_whole = _partition([0, 1, 2, 3, 4, 5])
+        rhs = [0, 1, 2, 3, 4, 5]
+        criteria = _criteria(
+            1.0, measure, num_rows=6, use_g3_bounds=False, rhs_codes=rhs
+        )
+        outcome = evaluate_validity(pi_lhs, pi_whole, criteria, rhs_index=0)
+        assert 0.0 <= outcome.error <= 1.0

@@ -1,0 +1,179 @@
+"""Golden-fixture tests: hand-computed measure values on tiny relations.
+
+Every value below was derived on paper from the definitions in
+``docs/MEASURES.md`` and is pinned exactly (or to float tolerance where
+the definition itself sums floats).  Both the partition-side measures
+and the definitional bruteforce oracle must hit the same constants —
+a regression in either side trips a pin, a regression in both trips
+the cross-check in ``tests/search/test_measures_properties.py``.
+"""
+
+import pytest
+
+from repro.baselines.bruteforce import dependency_error, dependency_rfi
+from repro.datasets.synthetic import DEGENERATE_KINDS, degenerate_relation
+from repro.model.relation import Relation
+from repro.partition.vectorized import CsrPartition
+from repro.search.measures import (
+    MEASURES,
+    ValidityCriteria,
+    attribute_stats,
+)
+from repro.search.sampling import DEFAULT_RFI_SAMPLES, DEFAULT_RFI_SEED
+
+LHS_MASK = 0b01
+RHS = 1
+
+
+def _measure_error(relation, measure, *, samples=DEFAULT_RFI_SAMPLES,
+                   seed=DEFAULT_RFI_SEED):
+    """Evaluate one measure through the partition-side implementation."""
+    n = relation.num_rows
+    pi_lhs = CsrPartition.from_column(relation.column_codes(0), n)
+    pi_whole = pi_lhs.product(
+        CsrPartition.from_column(relation.column_codes(RHS), n)
+    )
+    criteria = ValidityCriteria(
+        epsilon=1.0,
+        epsilon_count=n,
+        measure=measure,
+        use_g3_bounds=False,
+        num_rows=n,
+        rhs_stats=(
+            attribute_stats([0] * n, n),  # placeholder at index 0
+            attribute_stats(relation.column_codes(RHS), n),
+        ),
+        rfi_samples=samples,
+        rfi_seed=seed,
+    )
+    return MEASURES[measure].evaluate(
+        pi_lhs, pi_whole, criteria, None, rhs_index=RHS
+    ).error
+
+
+# X = [0, 0, 1, 1], A = [0, 1, 2, 2]:
+#   lhs classes {0,1} (rhs counts 1,1) and {2,3} (rhs counts 2);
+#   pdep = [(1+1)/2 + 4/2]/4 = 3/4                       -> error 1/4
+#   pdep(A) = (1+1+4)/16 = 3/8, tau = (3/4-3/8)/(5/8)    -> error 2/5
+#   mu = 1 - (1/4)(3)/2 = 5/8, mu_plus = 5/8             -> error 3/8
+#   H(A) = (3/2)ln2, H(A|X) = (1/2)ln2, FI = 1 - 1/3     -> error 1/3
+SPLIT = Relation.from_rows([(0, 0), (0, 1), (1, 2), (1, 2)], ["X", "A"])
+
+# X = [0, 0, 0, 0], A = [0, 0, 0, 1]: one lhs class, 3:1 rhs split;
+#   pdep = (9+1)/16 = 5/8 = pdep(A)                      -> error 3/8
+#   tau = 0 (no association beyond the marginal)         -> error 1
+#   mu = 1 - (3/8)(3)/3 = 5/8                            -> error 3/8
+#   H(A|X) = H(A) (the single class is the whole column) -> FI error 1
+SINGLE_CLASS = Relation.from_rows(
+    [(0, 0), (0, 0), (0, 0), (0, 1)], ["X", "A"]
+)
+
+# X = [0, 1, 2, 3] (a key): exact FD, every measure error 0.
+KEY = Relation.from_rows([(0, 0), (1, 0), (2, 1), (3, 1)], ["X", "A"])
+
+# A constant: pdep = 1; tau and FI hit their degenerate-marginal
+# guards (pdep(A) = 1, H(A) = 0) and score perfect.
+CONSTANT_RHS = Relation.from_rows(
+    [(0, 0), (0, 0), (1, 0), (1, 0)], ["X", "A"]
+)
+
+GOLDEN = [
+    ("g3", SPLIT, 0.25),
+    ("g1", SPLIT, 0.125),
+    ("g2", SPLIT, 0.5),
+    ("pdep", SPLIT, 0.25),
+    ("tau", SPLIT, 0.4),
+    ("mu_plus", SPLIT, 0.375),
+    ("fi", SPLIT, 1.0 / 3.0),
+    ("pdep", SINGLE_CLASS, 0.375),
+    ("tau", SINGLE_CLASS, 1.0),
+    ("mu_plus", SINGLE_CLASS, 0.375),
+    ("fi", SINGLE_CLASS, 1.0),
+    ("rfi", SINGLE_CLASS, 1.0),
+]
+GOLDEN += [(m, KEY, 0.0) for m in MEASURES]
+GOLDEN += [
+    (m, CONSTANT_RHS, 0.0)
+    for m in ("pdep", "tau", "mu_plus", "fi", "rfi")
+]
+
+
+class TestGoldenValues:
+    @pytest.mark.parametrize("measure,relation,expected", GOLDEN)
+    def test_partition_side(self, measure, relation, expected):
+        error = _measure_error(relation, measure)
+        assert error == pytest.approx(expected, abs=1e-12)
+
+    @pytest.mark.parametrize("measure,relation,expected", GOLDEN)
+    def test_oracle_side(self, measure, relation, expected):
+        error = dependency_error(relation, LHS_MASK, RHS, measure)
+        assert error == pytest.approx(expected, abs=1e-12)
+
+
+class TestRfiGolden:
+    """rfi depends on the structural sampler; pin its behaviour hard."""
+
+    # With the default budget (32 samples, seed 0) on SPLIT the
+    # permutation bias is 0.4375 * H(A), so rfi = 2/3 - 0.4375.
+    PINNED = 0.7708333333333331
+
+    def test_pinned_value(self):
+        assert _measure_error(SPLIT, "rfi") == pytest.approx(
+            self.PINNED, abs=1e-9
+        )
+
+    def test_oracle_agrees_exactly(self):
+        # Both sides feed the same structural seed to the same sampler,
+        # so they agree to float associativity, not just statistically.
+        assert dependency_rfi(SPLIT, LHS_MASK, RHS) == pytest.approx(
+            _measure_error(SPLIT, "rfi"), abs=1e-12
+        )
+
+    def test_deterministic_across_calls(self):
+        first = _measure_error(SPLIT, "rfi")
+        assert all(_measure_error(SPLIT, "rfi") == first for _ in range(3))
+
+    def test_seed_and_budget_change_the_estimate(self):
+        base = _measure_error(SPLIT, "rfi")
+        assert _measure_error(SPLIT, "rfi", seed=1) != base
+        assert _measure_error(SPLIT, "rfi", samples=256) != base
+
+    def test_rfi_never_beats_fi(self):
+        # bias >= 0 always, so the rfi score <= fi score (error >=).
+        assert _measure_error(SPLIT, "rfi") >= _measure_error(SPLIT, "fi")
+
+
+class TestDegenerateShapes:
+    """Every measure must be a clean 0 on the degenerate generator zoo."""
+
+    @pytest.mark.parametrize("kind", DEGENERATE_KINDS)
+    @pytest.mark.parametrize("measure", sorted(MEASURES))
+    def test_degenerate_error_zero(self, kind, measure):
+        relation = degenerate_relation(kind, 8, 2, 3, seed=5)
+        if relation.num_attributes < 2:
+            pytest.skip("needs two attributes for a non-trivial pair")
+        error = dependency_error(relation, LHS_MASK, RHS, measure)
+        assert error == 0.0
+
+
+class TestResultLabeling:
+    """Rendered output labels errors with the measure that produced them."""
+
+    def test_discovery_result_carries_and_renders_the_measure(self):
+        from repro import TaneConfig, discover
+
+        result = discover(SPLIT, TaneConfig(epsilon=0.3, measure="tau"))
+        assert result.measure == "tau"
+        assert "measure=tau" in repr(result)
+        rendered = result.format()
+        assert "g3=" not in rendered
+        # SPLIT's X -> A holds at tau error 2/5 > 0.3, but A -> X at 0.
+        if "=" in rendered.splitlines()[-1]:
+            assert "tau=" in rendered
+
+    def test_default_measure_keeps_the_g3_label(self):
+        from repro import TaneConfig, discover
+
+        result = discover(SPLIT, TaneConfig(epsilon=0.3))
+        assert result.measure == "g3"
+        assert "measure=" not in repr(result)

@@ -80,6 +80,54 @@ class TestRegisterAndDiscover:
         finally:
             service.close()
 
+    def test_measure_is_request_addressable(self):
+        service = make_service()
+        try:
+            service.register_dataset("d", csv_text=CSV)
+            job = service.discover_and_wait(
+                "d", {"epsilon": 0.3, "measure": "tau"}, timeout=60
+            )
+            assert job.status == "done"
+            assert job.result["dependencies"]
+        finally:
+            service.close()
+
+    def test_two_measures_never_share_a_cache_entry(self):
+        # The regression this pins: a cache key missing the measure (or
+        # the rfi sampling params) would hand a pdep client g3 results.
+        service = make_service()
+        try:
+            service.register_dataset("d", csv_text=CSV)
+            service.discover_and_wait("d", {"epsilon": 0.3, "measure": "g3"})
+            for measure in ("pdep", "tau", "mu_plus", "fi", "rfi"):
+                job = service.discover_and_wait(
+                    "d", {"epsilon": 0.3, "measure": measure}, timeout=60
+                )
+                assert job.cache_hit is False, measure
+            counters = service.stats()["counters"]
+            assert counters["service.discoveries_executed"] == 6
+        finally:
+            service.close()
+
+    def test_rfi_sampling_params_key_the_cache(self):
+        service = make_service()
+        try:
+            service.register_dataset("d", csv_text=CSV)
+            base = {"epsilon": 0.3, "measure": "rfi"}
+            service.discover_and_wait("d", base, timeout=60)
+            job = service.discover_and_wait(
+                "d", dict(base, rfi_samples=64), timeout=60
+            )
+            assert job.cache_hit is False
+            job = service.discover_and_wait(
+                "d", dict(base, rfi_seed=7), timeout=60
+            )
+            assert job.cache_hit is False
+            job = service.discover_and_wait("d", dict(base), timeout=60)
+            assert job.cache_hit is True
+        finally:
+            service.close()
+
     def test_unknown_dataset_and_bad_config_are_client_errors(self):
         service = make_service()
         try:

@@ -1,0 +1,136 @@
+"""Tests for the cross-measure metamorphic layer.
+
+Clean runs must be silent for every measure on every relation shape;
+a lying engine must be caught; and the fuzz driver must shrink and
+replay cross-measure targets like any other cell.
+"""
+
+import pytest
+
+from repro.datasets.synthetic import (
+    correlated_relation,
+    planted_fd_relation,
+    random_relation,
+)
+from repro.search.measures import SCORE_MEASURES, ValidityOutcome
+from repro.testing import faults
+from repro.verify.fuzz import _measure_epsilon, fuzz, scenario_for_seed
+from repro.verify.metamorphic import (
+    MEASURE_RELATIONS,
+    compare_measures,
+    delete_violating_rows,
+)
+
+
+@pytest.fixture
+def relation():
+    return correlated_relation(50, 4, num_factors=2, noise=0.1, seed=9)
+
+
+class TestClean:
+    @pytest.mark.smoke
+    def test_correlated_relation_clean(self, relation, tmp_path):
+        assert compare_measures(relation, seed=9, workdir=tmp_path) == []
+
+    def test_random_relation_clean(self, tmp_path):
+        relation = random_relation(30, 3, 3, seed=4)
+        assert compare_measures(relation, seed=4, workdir=tmp_path) == []
+
+    def test_planted_relation_clean(self, tmp_path):
+        relation, _ = planted_fd_relation(40, 2, 2, seed=6)
+        assert compare_measures(relation, seed=6, workdir=tmp_path) == []
+
+    def test_single_measure_restriction(self, relation, tmp_path):
+        found = compare_measures(
+            relation, seed=9, workdir=tmp_path, measures=("pdep",)
+        )
+        assert found == []
+
+    def test_relation_names_are_pinned(self):
+        assert MEASURE_RELATIONS == (
+            "exact", "deletion", "shuffle", "permute", "planted"
+        )
+
+
+class TestDeleteViolatingRows:
+    def test_repair_zeroes_g3(self, relation):
+        from repro.baselines.bruteforce import dependency_g3
+
+        pairs = [
+            (1 << lhs, rhs)
+            for rhs in range(relation.num_attributes)
+            for lhs in range(relation.num_attributes)
+            if lhs != rhs
+            and dependency_g3(relation, 1 << lhs, rhs) > 0.0
+        ]
+        assert pairs, "fixture must violate at least one single-attr pair"
+        lhs_mask, rhs = pairs[0]
+        repaired = delete_violating_rows(relation, lhs_mask, rhs)
+        assert repaired.num_rows < relation.num_rows
+        assert dependency_g3(repaired, lhs_mask, rhs) == 0.0
+
+
+class TestDetection:
+    def test_lying_engine_caught_for_every_measure(self, relation, tmp_path):
+        def corrupt(outcome):
+            if outcome.valid:
+                return outcome._replace(valid=False, exactly_valid=False)
+            return outcome
+
+        with faults.inject_mutation("tane.validity.outcome", corrupt, times=10**9):
+            found = compare_measures(relation, seed=9, workdir=tmp_path)
+        cells = {m.cell for m in found}
+        for measure in SCORE_MEASURES:
+            assert any(c.startswith(f"compare_measures:{measure}:") for c in cells), (
+                f"corrupted engine escaped the {measure} cross-checks"
+            )
+
+    def test_asymmetric_corruption_breaks_invariance(self, relation, tmp_path):
+        # Every fault-point call consumes one `times` slot, so a window
+        # that expires mid-campaign corrupts the reference run but not
+        # (all of) the transformed reruns — exactly the asymmetry the
+        # shuffle/permute invariance diffs exist to notice.  The window
+        # size is calibrated to this fixture; if the campaign's call
+        # count shifts, recalibrate rather than weaken the assert.
+        def corrupt(outcome):
+            if outcome.error_computed and outcome.error > 0.0:
+                return ValidityOutcome(
+                    valid=False,
+                    exactly_valid=False,
+                    error=min(1.0, outcome.error + 0.5),
+                    bound_rejected=outcome.bound_rejected,
+                    error_computed=True,
+                )
+            return outcome
+
+        with faults.inject_mutation("tane.validity.outcome", corrupt, times=75):
+            found = compare_measures(
+                relation, seed=9, workdir=tmp_path, measures=("pdep",)
+            )
+        assert found, "asymmetric corruption escaped the invariance diffs"
+        assert all(m.cell.startswith("compare_measures:pdep:") for m in found)
+
+
+class TestFuzzIntegration:
+    @pytest.mark.smoke
+    def test_fuzz_runs_measure_checks(self, tmp_path):
+        report = fuzz(2, matrix="smoke", workdir=tmp_path,
+                      metamorphic=False, measure_checks=True)
+        assert report.ok
+
+    def test_measure_checks_can_be_disabled(self, tmp_path):
+        report = fuzz(1, matrix="smoke", workdir=tmp_path,
+                      metamorphic=False, measure_checks=False)
+        assert report.ok
+
+    def test_measure_epsilon_falls_back_for_exact_scenarios(self):
+        exact = next(
+            s for s in range(50) if scenario_for_seed(s).epsilon == 0.0
+        )
+        approx = next(
+            s for s in range(50) if scenario_for_seed(s).epsilon > 0.0
+        )
+        assert _measure_epsilon(scenario_for_seed(exact)) == 0.25
+        assert _measure_epsilon(scenario_for_seed(approx)) == pytest.approx(
+            scenario_for_seed(approx).epsilon
+        )

@@ -19,16 +19,22 @@ disabled path exceeds 0.1% or the events-enabled path exceeds 2% —
 the acceptance bars recorded in
 ``benchmarks/results/BENCH_obs_events_overhead.json``.
 
-Finally it re-runs the service load driver
+It also re-runs the service load driver
 (``benchmarks/run_service_bench.py --smoke --check``), which fails on
 the host-portable invariants: any failed request, duplicate discovery
 work under concurrent identical requests (single-flight), or a
 cache-hit ratio below the request mix's floor.
 
+Finally it re-runs the measure-suite benchmark
+(``benchmarks/run_measure_bench.py --smoke --check``), which fails
+when any registered measure stops recovering planted dependencies
+under cell corruption (recall below 1.0) or lets corrupted-in noise
+dominate its top-k (precision@k below the floor).
+
 Usage::
 
     python tools/check_bench_regression.py [--repeats 5] [--target-rows 30000]
-        [--skip-events] [--skip-service]
+        [--skip-events] [--skip-service] [--skip-measures]
 """
 
 from __future__ import annotations
@@ -143,6 +149,35 @@ def run_service_gate() -> bool:
         return completed.returncode == 0
 
 
+def run_measures_gate() -> bool:
+    """Re-run the measure-suite bench in check mode; True when clean.
+
+    The driver enforces its own invariants (every measure recovers
+    every planted FD; precision@k above its floor) and exits non-zero
+    past any; the fresh JSON goes to scratch so the committed artifact
+    survives.
+    """
+    with tempfile.TemporaryDirectory() as scratch:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO / "src")
+        completed = subprocess.run(
+            [
+                sys.executable,
+                str(REPO / "benchmarks" / "run_measure_bench.py"),
+                "--smoke",
+                "--check",
+                "--output",
+                str(Path(scratch) / "BENCH_measures.json"),
+            ],
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        sys.stdout.write(completed.stdout)
+        sys.stderr.write(completed.stderr)
+        return completed.returncode == 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--repeats", type=int, default=5)
@@ -162,6 +197,11 @@ def main(argv=None) -> int:
         "--skip-service",
         action="store_true",
         help="skip the service load-driver gate",
+    )
+    parser.add_argument(
+        "--skip-measures",
+        action="store_true",
+        help="skip the measure-suite planted-recovery gate",
     )
     args = parser.parse_args(argv)
 
@@ -192,6 +232,12 @@ def main(argv=None) -> int:
     if not args.skip_service and not run_service_gate():
         print(
             "FAIL: service load driver violated its invariants",
+            file=sys.stderr,
+        )
+        return 1
+    if not args.skip_measures and not run_measures_gate():
+        print(
+            "FAIL: measure suite stopped recovering planted dependencies",
             file=sys.stderr,
         )
         return 1
