@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install check layers test test-fast trace-smoke obs-smoke fault-smoke verify-smoke service-smoke measures-smoke multicore-smoke hotpath-bench service-bench measure-bench bench-gate bench-history obs-bench bench bench-full examples clean
+.PHONY: install check layers test test-fast trace-smoke obs-smoke fault-smoke verify-smoke service-smoke measures-smoke strategy-smoke multicore-smoke hotpath-bench service-bench measure-bench strategy-bench bench-gate bench-history obs-bench bench bench-full examples clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -19,6 +19,7 @@ check:
 	$(MAKE) verify-smoke
 	$(MAKE) service-smoke
 	$(MAKE) measures-smoke
+	$(MAKE) strategy-smoke
 
 # Import-layering gate: repro.search must not reach up into the
 # plugin layers (repro.parallel / repro.obs / repro.core.checkpoint).
@@ -108,6 +109,19 @@ measures-smoke:
 	  --output /tmp/repro-measures-smoke.json > /dev/null
 	rm -f /tmp/repro-measures-smoke.json
 
+# Traversal-strategy smoke: the dfd/topk strategy suites plus the
+# strategy bench in check mode (the dfd walk must reproduce the
+# levelwise cover and visit strictly fewer nodes on the twin-column
+# workload).
+strategy-smoke:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/search/test_dfd.py \
+	  tests/search/test_topk.py tests/search/test_strategy.py \
+	  tests/verify/test_compare_strategy.py \
+	  tests/resilience/test_checkpoint_formats.py -q
+	PYTHONPATH=src $(PYTHON) benchmarks/run_strategy_bench.py --smoke --check \
+	  --output /tmp/repro-strategy-smoke.json > /dev/null
+	rm -f /tmp/repro-strategy-smoke.json
+
 # Multi-core gate (CI runs this on a 4-core runner): the multicore
 # test marker (parity + speedup > 1) plus the parallel bench with the
 # speedup assertion on.  The bench runs its full-size workload — the
@@ -130,6 +144,11 @@ service-bench:
 # refresh the committed BENCH_measures.json.
 measure-bench:
 	PYTHONPATH=src $(PYTHON) benchmarks/run_measure_bench.py --check
+
+# Re-measure the traversal-strategy comparison at full scale and
+# refresh the committed BENCH_strategy.json.
+strategy-bench:
+	PYTHONPATH=src $(PYTHON) benchmarks/run_strategy_bench.py --check
 
 # CI gate: fresh hot-path improvement ratio must stay within 10% of
 # the committed benchmarks/results/BENCH_hotpath.json, the

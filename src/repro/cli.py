@@ -88,15 +88,27 @@ def build_parser() -> argparse.ArgumentParser:
                                  help="partition engine: vectorized CSR arrays "
                                       "(default) or the pure reference "
                                       "implementation")
-    discover_parser.add_argument("--strategy", choices=["levelwise", "topk"],
+    discover_parser.add_argument("--strategy",
+                                 choices=["levelwise", "topk", "dfd"],
                                  default="levelwise",
                                  help="lattice traversal: the full levelwise "
-                                      "walk (default) or top-k, which stops "
-                                      "early and returns only the k "
-                                      "lowest-error minimal dependencies")
+                                      "walk (default), top-k (stops early and "
+                                      "returns only the k best minimal "
+                                      "dependencies), or dfd (a seeded "
+                                      "depth-first random walk per right-hand "
+                                      "side)")
     discover_parser.add_argument("-k", "--top-k", type=int, default=0,
                                  help="number of dependencies to keep with "
                                       "--strategy topk")
+    discover_parser.add_argument("--topk-rank", choices=["error", "redundancy"],
+                                 default="error",
+                                 help="top-k ranking: lowest error (default) "
+                                      "or redundancy-aware, which penalizes "
+                                      "near-duplicate dependencies so the k "
+                                      "results cover distinct structure")
+    discover_parser.add_argument("--dfd-seed", type=int, default=0,
+                                 help="random-walk seed for --strategy dfd "
+                                      "(same seed => identical walk)")
     discover_parser.add_argument("--workers", type=int, default=0,
                                  help="shard each lattice level across N worker "
                                       "processes (0 = serial)")
@@ -305,11 +317,21 @@ class _ProgressPrinter:
         self._tested = 0
         self._remaining = None
         self._eta = None
+        self._node_mode = False
+        self._dependencies = 0
 
     def __call__(self, event) -> None:
         payload = event.payload
         kind = event.kind
-        if kind == "level_start":
+        if kind == "nodes":
+            # Node-mode walks carry no level structure or ETA; the live
+            # line degrades to monotone test/dependency counts.
+            self._node_mode = True
+            self._level = payload["batch"]
+            self._tested = payload["tests"]
+            self._dependencies = payload["dependencies"]
+            self._draw(event.elapsed, always=True)
+        elif kind == "level_start":
             self._level = payload["level"]
             self._size = payload["size"]
             self._phase = ""
@@ -333,6 +355,12 @@ class _ProgressPrinter:
             )
 
     def _line(self, elapsed: float) -> str:
+        if self._node_mode:
+            return (
+                f"[{elapsed:6.1f}s] batch {self._level} | "
+                f"tested {self._tested} | "
+                f"{self._dependencies} dependencies"
+            )
         parts = [f"[{elapsed:6.1f}s] level {self._level} ({self._size} sets)"]
         if self._phase:
             parts.append(self._phase)
@@ -401,6 +429,8 @@ def _cmd_discover(args: argparse.Namespace) -> int:
         workers=args.workers,
         strategy=args.strategy,
         top_k=args.top_k,
+        topk_rank=args.topk_rank,
+        dfd_seed=args.dfd_seed,
         product_kernel=args.product_kernel,
         partition_cache="shared" if args.partition_cache else "off",
         tracer=tracer,

@@ -39,7 +39,12 @@ from repro.testing import faults
 _FORMAT_VERSION = 1
 _CHECKPOINT_NAME = "checkpoint.json"
 
-__all__ = ["CheckpointState", "CheckpointManager", "load_checkpoint"]
+__all__ = [
+    "CheckpointState",
+    "NodeCheckpointState",
+    "CheckpointManager",
+    "load_checkpoint",
+]
 
 
 @dataclass
@@ -126,6 +131,76 @@ class CheckpointState:
             raise CheckpointError(f"malformed checkpoint payload: {error}") from error
 
 
+@dataclass
+class NodeCheckpointState:
+    """Node-mode walk state at one snapshot boundary.
+
+    Non-monotone walks have no level to resume at; the resumable unit
+    is the *strategy's own snapshot* (its visited-set / frontier
+    document, opaque to this module) plus the deterministic counters.
+    Results are deliberately absent: a node strategy's restore replays
+    the walk from the top with a warm visited set, re-deriving every
+    recorded dependency without touching the engine, so persisting
+    them would only create a second source of truth.
+
+    The payload shares ``checkpoint.json`` with the level format and is
+    discriminated by ``"format": "node"``; level payloads carry no
+    format key, so their on-disk shape (and every existing test) is
+    unchanged.
+    """
+
+    fingerprint: dict[str, Any]
+    """Relation, configuration, and strategy identity (the strategy's
+    fingerprint includes its seed, so walks never cross seeds)."""
+
+    batch_number: int
+    """Completed scheduling rounds at the snapshot."""
+
+    state: dict[str, Any]
+    """The strategy's snapshot document, stored verbatim."""
+
+    counters: dict[str, float] = field(default_factory=dict)
+    """Deterministic ``tane.*`` counter values at the boundary."""
+
+    complete: bool = False
+    """True when the walk finished."""
+
+    def to_payload(self) -> dict[str, Any]:
+        """The JSON document written to disk."""
+        return {
+            "version": _FORMAT_VERSION,
+            "format": "node",
+            "fingerprint": self.fingerprint,
+            "batch_number": self.batch_number,
+            "state": self.state,
+            "counters": self.counters,
+            "complete": self.complete,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "NodeCheckpointState":
+        """Rebuild the state from a parsed checkpoint document."""
+        version = payload.get("version")
+        if version != _FORMAT_VERSION:
+            raise CheckpointError(
+                f"unsupported checkpoint version {version!r} "
+                f"(this build reads version {_FORMAT_VERSION})"
+            )
+        try:
+            state = payload["state"]
+            if not isinstance(state, dict):
+                raise TypeError("state must be a JSON object")
+            return cls(
+                fingerprint=dict(payload["fingerprint"]),
+                batch_number=int(payload["batch_number"]),
+                state=state,
+                counters={str(k): v for k, v in payload.get("counters", {}).items()},
+                complete=bool(payload.get("complete", False)),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise CheckpointError(f"malformed checkpoint payload: {error}") from error
+
+
 class CheckpointManager:
     """Owns one checkpoint directory: atomic saves, validated loads.
 
@@ -175,8 +250,11 @@ class CheckpointManager:
             raise
         self.saves += 1
 
-    def load(self) -> CheckpointState | None:
-        """Read and validate the checkpoint; ``None`` when absent."""
+    def load(self) -> "CheckpointState | NodeCheckpointState | None":
+        """Read and validate the checkpoint; ``None`` when absent.
+
+        The concrete type follows the payload's format discriminator —
+        callers resuming a specific mode must check what they got."""
         try:
             raw = self.path.read_text(encoding="utf-8")
         except FileNotFoundError:
@@ -195,6 +273,14 @@ class CheckpointManager:
             raise CheckpointError(
                 f"corrupt checkpoint {self.path}: expected a JSON object"
             )
+        checkpoint_format = payload.get("format", "level")
+        if checkpoint_format == "node":
+            return NodeCheckpointState.from_payload(payload)
+        if checkpoint_format != "level":
+            raise CheckpointError(
+                f"unsupported checkpoint format {checkpoint_format!r} "
+                "(this build reads 'level' and 'node')"
+            )
         return CheckpointState.from_payload(payload)
 
     def clear(self) -> None:
@@ -202,6 +288,8 @@ class CheckpointManager:
         self.path.unlink(missing_ok=True)
 
 
-def load_checkpoint(directory: str | Path) -> CheckpointState | None:
+def load_checkpoint(
+    directory: str | Path,
+) -> CheckpointState | NodeCheckpointState | None:
     """Inspect the checkpoint in ``directory`` (``None`` when absent)."""
     return CheckpointManager(directory).load()

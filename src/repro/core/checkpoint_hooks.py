@@ -11,6 +11,11 @@
   and the boundary's partitions (spill files adopted when present,
   otherwise recomputed from singletons without perturbing counters)
   and hands the driver the loop state to continue from;
+* ``on_node_boundary`` / ``resume_node_state`` — the node-mode
+  counterparts: the persisted unit is the strategy's own snapshot
+  (visited-set / frontier) plus the counters, and resume hands the
+  snapshot back for the strategy to replay; the two formats share
+  ``checkpoint.json`` but refuse to resume across modes;
 * ``on_failure`` — a crashing checkpointed run keeps its spill files:
   they are the partitions resume would otherwise recompute.
 
@@ -25,10 +30,14 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.core.checkpoint import CheckpointManager, CheckpointState
+from repro.core.checkpoint import (
+    CheckpointManager,
+    CheckpointState,
+    NodeCheckpointState,
+)
 from repro.exceptions import CheckpointError
 from repro.obs import trace as obs
-from repro.search.hooks import ResumePoint, SearchHooks
+from repro.search.hooks import NodeResumePoint, ResumePoint, SearchHooks
 
 __all__ = ["CheckpointHooks"]
 
@@ -64,6 +73,11 @@ class CheckpointHooks(SearchHooks):
         state = self.manager.load()
         if state is None:
             return None
+        if not isinstance(state, CheckpointState):
+            raise CheckpointError(
+                "checkpoint was written by a node-mode strategy; "
+                "refusing to resume a level-mode search from it"
+            )
         self._validate_fingerprint(state)
         with obs.span("checkpoint.restore", level=state.level_number) as span:
             driver.restore_results(state.dependencies, state.keys)
@@ -82,7 +96,31 @@ class CheckpointHooks(SearchHooks):
             cplus_prev=state.cplus_prev,
         )
 
-    def _validate_fingerprint(self, state: CheckpointState) -> None:
+    def resume_node_state(self, driver) -> NodeResumePoint | None:
+        """Offer a node-mode walk its saved snapshot.
+
+        Only the counters are restored here: a node strategy's
+        ``restore`` replays the walk from the top with the snapshot's
+        warm visited set, re-deriving results and re-materializing
+        partitions on demand, so restoring either would double-apply
+        them.
+        """
+        if not self.resume:
+            return None
+        state = self.manager.load()
+        if state is None:
+            return None
+        if not isinstance(state, NodeCheckpointState):
+            raise CheckpointError(
+                "checkpoint was written by a level-mode strategy; "
+                "refusing to resume a node-mode walk from it"
+            )
+        self._validate_fingerprint(state)
+        with obs.span("checkpoint.restore", batch=state.batch_number):
+            driver.restore_metrics(state.counters, {})
+        return NodeResumePoint(batch_number=state.batch_number, state=state.state)
+
+    def _validate_fingerprint(self, state) -> None:
         if state.fingerprint != self.fingerprint:
             mismatched = sorted(
                 key
@@ -119,6 +157,22 @@ class CheckpointHooks(SearchHooks):
         )
         with obs.span(
             "checkpoint.save", level=boundary.level_number, complete=boundary.complete
+        ):
+            self.manager.save(state)
+
+    def on_node_boundary(self, driver, boundary) -> None:
+        state = NodeCheckpointState(
+            fingerprint=self.fingerprint,
+            batch_number=boundary.batch_number,
+            state=dict(boundary.state),
+            counters={
+                name: driver.metrics.counter_value(name)
+                for name in _CHECKPOINT_COUNTERS
+            },
+            complete=boundary.complete,
+        )
+        with obs.span(
+            "checkpoint.save", batch=boundary.batch_number, complete=boundary.complete
         ):
             self.manager.save(state)
 

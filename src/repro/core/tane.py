@@ -76,13 +76,20 @@ from repro.search.measures import (
 )
 from repro.search.sampling import DEFAULT_RFI_SAMPLES, DEFAULT_RFI_SEED
 from repro.search.partitions import PartitionManager
-from repro.search.strategy import STRATEGIES, make_strategy
+from repro.search.strategy import STRATEGIES, TOPK_RANK_MODES, make_strategy
 from repro.search.tracker import CandidateTracker
 
 _MEASURES = tuple(MEASURES)
 _EXECUTORS = ("auto", "serial", "process")
 _ENGINES = ("vectorized", "pure")
 _STRATEGIES = STRATEGIES
+_TOPK_RANK_MODES = TOPK_RANK_MODES
+# Measures whose error can rise as the lhs grows; dfd's classification
+# shares verdicts along the subset order, which is only sound for
+# monotone measures (see the TopKStrategy/DfdStrategy docs).  Public:
+# the verify layer consults it to skip dfd comparisons on these.
+NON_MONOTONE_MEASURES = ("mu_plus", "rfi")
+_NON_MONOTONE_MEASURES = NON_MONOTONE_MEASURES
 _PARTITION_STRATEGIES = ("pairwise", "from_singletons")
 _PRODUCT_KERNELS = PRODUCT_KERNELS
 _PARTITION_CACHES = ("off", "shared")
@@ -93,6 +100,7 @@ _PARTITION_CACHES = ("off", "shared")
 _UNSET: Any = object()
 
 __all__ = [
+    "NON_MONOTONE_MEASURES",
     "TaneConfig",
     "LevelProgress",
     "discover",
@@ -182,13 +190,34 @@ class TaneConfig:
 
     strategy: str = "levelwise"
     """Traversal strategy: ``"levelwise"`` (the paper's full walk,
-    every minimal dependency) or ``"topk"`` (the same walk cut off by
+    every minimal dependency), ``"topk"`` (the same walk cut off by
     a monotone bound once the ``top_k`` best dependencies by error are
-    provably found — see :class:`~repro.search.strategy.TopKStrategy`)."""
+    provably found — see :class:`~repro.search.strategy.TopKStrategy`),
+    or ``"dfd"`` (a seeded deterministic random walk per rhs over the
+    node-at-a-time engine — same minimal cover as levelwise, far fewer
+    nodes visited on high-arity relations; see
+    :class:`~repro.search.dfd.DfdStrategy`).  ``dfd`` classifies by
+    measure monotonicity, so the non-monotone ``mu_plus``/``rfi``
+    measures are rejected; it discovers dependencies only (``keys``
+    stays empty)."""
 
     top_k: int = 0
     """Result size for ``strategy="topk"`` (must be >= 1 there);
     meaningless — and rejected — with any other strategy."""
+
+    topk_rank: str = "error"
+    """Ranking mode for ``strategy="topk"``: ``"error"`` (the
+    historical error/size/mask order) or ``"redundancy"`` (greedy
+    redundancy-penalized selection, so the k results are diverse
+    rather than clustered near-duplicates — see
+    :func:`repro.search.strategy.redundancy_rank`).  Non-default
+    values are rejected with any other strategy."""
+
+    dfd_seed: int = 0
+    """Seed (>= 0) of the ``dfd`` random walk.  Any seed yields the
+    same minimal cover; the seed shapes *which* nodes the walk tests
+    and therefore the deterministic counters.  Non-zero values are
+    rejected with any other strategy."""
 
     executor: str | LevelExecutor = "auto"
     """Level executor: ``"serial"`` (the classic loop), ``"process"``
@@ -231,10 +260,13 @@ class TaneConfig:
     are many, large, and rarely revisited."""
 
     progress: Callable[["LevelProgress"], None] | None = None
-    """Optional callback invoked once per level with a
-    :class:`LevelProgress` snapshot — lets long-running discoveries
-    (the lattice can hold hundreds of thousands of sets) report
-    liveness.  Exceptions raised by the callback abort the search."""
+    """Optional callback reporting liveness of long-running
+    discoveries (the lattice can hold hundreds of thousands of sets):
+    once per level with a :class:`LevelProgress` snapshot under
+    level-mode strategies, once per scheduling round with a
+    :class:`~repro.search.scheduler.NodeProgress` snapshot under
+    ``strategy="dfd"`` (no level number exists there).  Exceptions
+    raised by the callback abort the search."""
 
     tracer: Tracer | None = None
     """Optional :class:`~repro.obs.trace.Tracer` observing the run:
@@ -281,14 +313,16 @@ class TaneConfig:
     """Sampling period in seconds for ``profile=True`` (must be > 0)."""
 
     checkpoint_dir: str | Path | None = None
-    """Directory for level-granular checkpoints.  When set, the loop
-    state is written atomically after every completed level (see
+    """Directory for checkpoints.  When set, the loop state is written
+    atomically after every completed level (see
     :mod:`repro.core.checkpoint`), so a crashed or killed run can be
     resumed with ``resume=True`` and finish with dependencies, keys,
     and counters identical to an uninterrupted run.  With the disk
     store, the spill directory defaults into the checkpoint directory
-    so resume can adopt spill files instead of recomputing
-    partitions."""
+    so resume can adopt spill files instead of recomputing partitions.
+    Node-mode strategies (``dfd``) checkpoint their walk snapshot
+    every few scheduling rounds instead of per level; the two formats
+    share the file but never resume across modes."""
 
     resume: bool = False
     """Continue from the checkpoint in :attr:`checkpoint_dir`.  A
@@ -341,6 +375,40 @@ class TaneConfig:
                 f"top_k={self.top_k} is only meaningful with strategy='topk' "
                 f"(got strategy={self.strategy!r})"
             )
+        if self.topk_rank not in _TOPK_RANK_MODES:
+            raise ConfigurationError(
+                f"unknown topk_rank {self.topk_rank!r}; "
+                f"valid choices: {_choices(_TOPK_RANK_MODES)}"
+            )
+        if self.strategy != "topk" and self.topk_rank != "error":
+            raise ConfigurationError(
+                f"topk_rank={self.topk_rank!r} is only meaningful with "
+                f"strategy='topk' (got strategy={self.strategy!r})"
+            )
+        if self.dfd_seed < 0:
+            raise ConfigurationError(
+                f"dfd_seed must be >= 0, got {self.dfd_seed}"
+            )
+        if self.strategy != "dfd" and self.dfd_seed:
+            raise ConfigurationError(
+                f"dfd_seed={self.dfd_seed} is only meaningful with "
+                f"strategy='dfd' (got strategy={self.strategy!r})"
+            )
+        if self.strategy == "dfd":
+            if self.measure in _NON_MONOTONE_MEASURES:
+                raise ConfigurationError(
+                    f"strategy='dfd' requires a monotone measure; "
+                    f"{self.measure!r} is not (its error can rise as the "
+                    "lhs grows, breaking the walk's subset/superset "
+                    "inference) — valid choices: "
+                    f"{_choices(m for m in _MEASURES if m not in _NON_MONOTONE_MEASURES)}"
+                )
+            if self.partition_strategy != "pairwise":
+                raise ConfigurationError(
+                    "strategy='dfd' requires partition_strategy='pairwise': "
+                    "the from_singletons ablation models the levelwise loop "
+                    "only"
+                )
         if self.engine == "pure":
             if self.executor == "process" or self.workers > 1:
                 raise ConfigurationError(
@@ -559,7 +627,12 @@ class _TaneRun:
             self.profiler = SamplingProfiler(
                 self._span_tracer, interval=config.profile_interval
             )
-        self.strategy = make_strategy(config.strategy, top_k=config.top_k)
+        self.strategy = make_strategy(
+            config.strategy,
+            top_k=config.top_k,
+            topk_rank=config.topk_rank,
+            dfd_seed=config.dfd_seed,
+        )
         self.tracker = CandidateTracker(
             relation.schema.full_mask(),
             epsilon=config.epsilon,

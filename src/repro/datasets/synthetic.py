@@ -14,6 +14,10 @@ Generators:
   producing realistic numbers of approximate dependencies.
 * :func:`planted_fd_relation` — relations with a *known* set of exact
   dependencies planted, used as ground truth in tests and benches.
+* :func:`twin_relation` — independent binary columns paired with
+  relabeled copies: a wide dep-free interior whose only minimal
+  dependencies are the twin equivalences, the adversarial-for-
+  levelwise shape the strategy bench runs on.
 * :func:`constant_relation` — degenerate single-value columns.
 """
 
@@ -33,6 +37,7 @@ __all__ = [
     "zipf_relation",
     "correlated_relation",
     "planted_fd_relation",
+    "twin_relation",
     "constant_relation",
     "DEGENERATE_KINDS",
     "degenerate_relation",
@@ -177,6 +182,43 @@ def planted_fd_relation(
         for j in range(dependent_columns)
     )
     return relation, planted
+
+
+def twin_relation(
+    num_pairs: int,
+    num_rows: int = 300,
+    seed: int = 0,
+) -> Relation:
+    """Independent binary columns, each paired with a relabeled copy.
+
+    Column ``d<i>`` is uniform binary; ``r<i>`` is its complement —
+    the same partition under different labels, so ``d<i> <-> r<i>``
+    are the only minimal dependencies (with enough rows no other
+    subset determines anything: every cell of every other candidate
+    collides).  The interior of the lattice is therefore completely
+    dependency-free, which is the adversarial case for levelwise
+    search — no ``C+`` refinement or key pruning ever fires, so it
+    must enumerate every subset of the ``d`` columns — while a
+    random walk touches only the thin boundary (one minimal
+    dependency and one maximal non-dependency per attribute).
+
+    Keep ``num_rows**2`` well above ``2**num_pairs`` so every cell of
+    the full ``d``-column crossing holds several rows — otherwise some
+    subset becomes an accidental key and sprouts unplanned minimal
+    dependencies near the top of the lattice.
+    """
+    if num_pairs < 1:
+        raise ConfigurationError("need at least one column pair")
+    rng = np.random.default_rng(seed)
+    columns: list[np.ndarray] = []
+    names: list[str] = []
+    for i in range(num_pairs):
+        base = rng.integers(0, 2, size=num_rows, dtype=np.int64)
+        columns.append(base)
+        names.append(f"d{i}")
+        columns.append(1 - base)
+        names.append(f"r{i}")
+    return Relation.from_codes(columns, names)
 
 
 def constant_relation(num_rows: int, num_columns: int) -> Relation:

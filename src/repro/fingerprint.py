@@ -130,6 +130,8 @@ CONFIG_KEY_FIELDS = (
     "partition_strategy",
     "strategy",
     "top_k",
+    "topk_rank",
+    "dfd_seed",
 )
 """The configuration fields that shape *what a discovery returns*.
 
@@ -143,7 +145,13 @@ so a result cache must serve them the same entry.
 sampling budget must never satisfy a request under another.  They are
 part of the key even for measures that ignore them; the cost (a cache
 miss when a request varies the rfi knobs under, say, ``g3``) is
-accepted for the simplicity of one unconditional field list."""
+accepted for the simplicity of one unconditional field list.
+
+``topk_rank`` and ``dfd_seed`` follow the same rule: the rank mode
+changes *which* k dependencies a top-k run returns, and the dfd seed
+shapes the walk (and its counters), so results cached under one value
+must never satisfy a request under another — even for strategies that
+ignore the field."""
 
 
 def canonical_config_key(config: Any) -> str:

@@ -23,6 +23,12 @@ Event vocabulary
     the phase's span attributes (tests, keys found, products, ...).
 ``level_end``
     The level closed: ``seconds``, ``surviving``, ``dependencies``.
+``nodes``
+    A node-mode walk advanced: ``batch`` (scheduling rounds),
+    ``tests`` (validity tests run — the walk's "nodes visited") and
+    ``dependencies`` found so far.  Node traversals have no level
+    structure, so there is no candidate total and no ETA; consumers
+    degrade to counting.
 ``heartbeat``
     A pool worker returned a chunk: pid, ``chunk_kind`` (which phase
     the chunk served), tasks, busy seconds, chunk throughput, and the
@@ -103,6 +109,7 @@ EVENT_KINDS = (
     "phase_start",
     "phase_end",
     "level_end",
+    "nodes",
     "heartbeat",
     "cache",
     "run_end",
@@ -115,6 +122,7 @@ _REQUIRED_PAYLOAD: dict[str, tuple[str, ...]] = {
     "phase_start": ("level", "phase"),
     "phase_end": ("level", "phase", "seconds"),
     "level_end": ("level", "seconds", "surviving", "dependencies"),
+    "nodes": ("batch", "tests", "dependencies"),
     "heartbeat": ("pid", "chunk_kind", "tasks", "seconds"),
     "cache": ("hits", "misses"),
     "run_end": ("seconds", "ok"),

@@ -110,6 +110,19 @@ class ProgressHooks(SearchHooks):
             self._next_work = work
         self._publish_cache(driver)
 
+    def on_node_boundary(self, driver, boundary) -> None:
+        # Node-mode walks have no level structure: no candidate total,
+        # no row-work measurement, no ETA.  The live feed degrades to a
+        # monotone "nodes" tick (tests run, dependencies found) plus
+        # the usual cache totals.
+        self.emitter.emit(
+            "nodes",
+            batch=boundary.batch_number,
+            tests=int(driver.metrics.counter("tane.validity_tests").value),
+            dependencies=len(driver.tracker.dependencies),
+        )
+        self._publish_cache(driver)
+
     # -- event assembly --------------------------------------------------
 
     def _publish_cache(self, driver) -> None:

@@ -1,0 +1,364 @@
+"""DFD: a seeded random walk over the lattice (CIKM 2014).
+
+Where the levelwise walk enumerates every candidate of every level,
+DFD walks the lattice one node at a time, *per right-hand side*:
+classify a node as dependency or non-dependency, then move toward the
+interesting boundary — down from dependencies (seeking minimality), up
+from non-dependencies (seeking maximality).  Classification is shared
+aggressively: any superset of a minimal dependency is a dependency,
+any subset of a maximal non-dependency is a non-dependency (this is
+exactly the monotonicity of the error measure, which is why the
+strategy refuses non-monotone measures).  On high-arity relations
+whose minimal dependencies sit well below the widest levels, the walk
+classifies the huge interior by inference and visits a small fraction
+of the nodes levelwise must touch.
+
+Completeness comes from the hitting-set fixpoint: a node is *unknown*
+iff it is neither above a recorded minimal dependency nor below a
+recorded maximal non-dependency.  Every unknown node contains a
+minimal transversal of the complements of the maximal
+non-dependencies, so once every such transversal (within the lhs-size
+cap) is covered by a minimal dependency, no unknown node remains and
+the walk is complete.  Each round therefore re-seeds from the
+uncovered transversals; each walk from an uncovered seed provably
+either tests an untested node, records a new minimal dependency, or
+records a new maximal non-dependency, so the fixpoint is reached in
+finitely many rounds.
+
+The walk is deterministic: a fixed seed drives one ``random.Random``,
+and every choice it makes ranges over lists built in ascending mask
+order from state that is itself a deterministic function of the
+verdicts seen so far.  That makes runs reproducible across engines
+and partition stores, and makes checkpoints cheap — the snapshot is
+just the verdict cache, and a resume replays the walk from the top
+with warm verdicts (no engine tests, same RNG draws) back to the
+interruption point.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Any
+
+from repro import _bitset
+from repro.exceptions import ConfigurationError
+from repro.model.fd import FunctionalDependency
+from repro.search.strategy import NodeContext, NodeRequest, NodeStrategy
+
+__all__ = ["DfdStrategy", "minimal_hitting_sets"]
+
+
+def minimal_hitting_sets(sets: list[int], cap: int) -> list[int]:
+    """Minimal transversal masks of ``sets``, capped at ``cap`` bits.
+
+    Berge's incremental construction: fold one set in at a time,
+    keeping the transversals that already hit it and extending the
+    rest by each of its elements (dropping extensions that became
+    non-minimal or exceed the cap — transversals only grow as more
+    sets are folded in, so the cap cut loses nothing reachable).
+    An empty set admits no transversal; the empty family admits the
+    empty transversal.
+    """
+    transversals = [0]
+    for current in sets:
+        hit = [t for t in transversals if t & current]
+        kept = list(hit)
+        for t in transversals:
+            if t & current:
+                continue
+            for element in _bitset.iter_bits(current):
+                candidate = t | _bitset.bit(element)
+                if _bitset.popcount(candidate) > cap:
+                    continue
+                if any(other & ~candidate == 0 for other in kept):
+                    continue
+                kept.append(candidate)
+        transversals = kept
+    return transversals
+
+
+class _RhsState:
+    """Classification state of one right-hand side's walk."""
+
+    __slots__ = ("rhs", "attrs_mask", "cap", "min_deps", "max_nondeps")
+
+    def __init__(self, rhs: int, attrs_mask: int, cap: int) -> None:
+        self.rhs = rhs
+        self.attrs_mask = attrs_mask
+        self.cap = cap
+        self.min_deps: dict[int, float] = {}
+        self.max_nondeps: list[int] = []
+
+    def dep_covered(self, mask: int) -> bool:
+        """``mask`` is (a superset of) a recorded minimal dependency."""
+        return any(lhs & ~mask == 0 for lhs in self.min_deps)
+
+    def nondep_covered(self, mask: int) -> bool:
+        """``mask`` is (a subset of) a recorded maximal non-dependency."""
+        return any(mask & ~nondep == 0 for nondep in self.max_nondeps)
+
+    def record_min_dep(self, mask: int, error: float) -> None:
+        if mask not in self.min_deps:
+            self.min_deps[mask] = error
+
+    def record_max_nondep(self, mask: int) -> None:
+        if self.nondep_covered(mask):
+            return
+        self.max_nondeps = [n for n in self.max_nondeps if n & ~mask != 0]
+        self.max_nondeps.append(mask)
+
+
+class DfdStrategy(NodeStrategy):
+    """Seeded deterministic DFD-style random walk, one rhs at a time.
+
+    The strategy emits the complete minimal cover (same result set as
+    :class:`~repro.search.strategy.LevelwiseStrategy`, modulo key
+    emission: the walk classifies dependencies only, so ``keys`` stays
+    empty) while typically testing far fewer nodes on high-arity
+    relations.  Requires a monotone error measure — enforced upstream
+    in configuration validation.
+    """
+
+    name = "dfd"
+
+    #: Resident-partition hint size: the walk moves locally, so the
+    #: partitions of the last few tested nodes are the likely product
+    #: ancestors of the next ones.
+    _LIVE_WINDOW = 64
+
+    def __init__(self, *, seed: int = 0) -> None:
+        if seed < 0:
+            raise ConfigurationError(f"dfd seed must be >= 0, got {seed}")
+        self.seed = seed
+        self._context: NodeContext | None = None
+        self._walk = None
+        self._primed = False
+        self._finished = False
+        self._pending: NodeRequest | None = None
+        self._outcome = None
+        self._verdicts: dict[tuple[int, int], tuple[bool, float]] = {}
+        self._replay: dict[tuple[int, int], tuple[bool, float]] = {}
+        self._recent: deque = deque(maxlen=self._LIVE_WINDOW)
+
+    def fingerprint(self) -> dict[str, Any]:
+        """Checkpoint identity: walks with different seeds test (and
+        count) different nodes, so they must never share a resume."""
+        return {"strategy": self.name, "seed": self.seed}
+
+    # ------------------------------------------------------------------
+    # NodeStrategy protocol
+    # ------------------------------------------------------------------
+
+    def begin(self, context: NodeContext) -> None:
+        self._context = context
+        self._verdicts = {}
+        self._replay = {}
+        self._walk = self._walk_all()
+        self._primed = False
+        self._finished = False
+        self._pending = None
+        self._outcome = None
+        self._recent.clear()
+
+    def restore(self, context: NodeContext, state: dict[str, Any]) -> None:
+        """Resume: replay the walk from the top against saved verdicts.
+
+        The saved verdicts go into a *replay store* consumed only when
+        the walk asks to test a node — never consulted by
+        classification.  This matters: the walk's RNG draws range over
+        "still unclassified" pools, so a verdict visible before the
+        walk (re)discovers it would shrink those pools and diverge the
+        replay from the original run.  Kept separate, the replay's
+        classification state at every step equals the original's, the
+        RNG draws repeat exactly, the saved verdicts are consumed in
+        their original order without touching the engine, and only
+        genuinely new nodes reach the executor — so a resumed run's
+        validity-test total equals an uninterrupted one's.
+        """
+        self.begin(context)
+        for rhs, lhs, valid, error in state.get("verdicts", ()):
+            self._replay[(int(rhs), int(lhs))] = (bool(valid), float(error))
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "verdicts": [
+                [rhs, lhs, valid, error]
+                for (rhs, lhs), (valid, error) in self._verdicts.items()
+            ]
+        }
+
+    def next_requests(self) -> list[NodeRequest]:
+        if self._finished:
+            return []
+        if self._pending is not None:
+            return [self._pending]
+        try:
+            if self._primed:
+                request = self._walk.send(self._outcome)
+            else:
+                request = next(self._walk)
+                self._primed = True
+        except StopIteration:
+            self._finished = True
+            return []
+        self._outcome = None
+        self._pending = request
+        return [request]
+
+    def observe(self, request: NodeRequest, outcome) -> None:
+        if request != self._pending:
+            raise RuntimeError(
+                f"dfd observed {request}, expected {self._pending}"
+            )
+        self._pending = None
+        self._outcome = outcome
+        # Record the verdict now, not when the walk resumes: a snapshot
+        # taken at the batch boundary must cover every *counted* test,
+        # or a resume would re-run the boundary's last test and drift
+        # the validity-test total by one.
+        self._verdicts[(request.rhs, request.lhs_mask)] = (
+            bool(outcome.valid),
+            float(outcome.error),
+        )
+
+    def live_masks(self) -> set[int]:
+        live = set(self._recent)
+        if self._pending is not None:
+            live.add(self._pending.lhs_mask)
+            live.add(self._pending.lhs_mask | _bitset.bit(self._pending.rhs))
+        return live
+
+    # ------------------------------------------------------------------
+    # The walk
+    # ------------------------------------------------------------------
+
+    def _walk_all(self):
+        context = self._context
+        rng = random.Random(self.seed)
+        for rhs in range(context.num_attributes):
+            state = yield from self._walk_rhs(rhs, rng)
+            for lhs in sorted(state.min_deps):
+                context.tracker.add_dependency(
+                    FunctionalDependency(lhs, rhs, state.min_deps[lhs])
+                )
+
+    def _walk_rhs(self, rhs: int, rng: random.Random):
+        context = self._context
+        attrs_mask = context.full_mask & ~_bitset.bit(rhs)
+        width = _bitset.popcount(attrs_mask)
+        cap = (
+            width
+            if context.max_lhs_size is None
+            else min(context.max_lhs_size, width)
+        )
+        state = _RhsState(rhs, attrs_mask, cap)
+        seeds = [0]
+        while seeds:
+            for seed in seeds:
+                if state.dep_covered(seed) or state.nondep_covered(seed):
+                    continue
+                yield from self._walk_from(seed, state, rng)
+            complements = [attrs_mask & ~n for n in state.max_nondeps]
+            transversals = minimal_hitting_sets(complements, cap)
+            seeds = sorted(t for t in transversals if not state.dep_covered(t))
+            rng.shuffle(seeds)
+        return state
+
+    def _walk_from(self, start: int, state: _RhsState, rng: random.Random):
+        """One walk: descend from dependencies, ascend from non-deps.
+
+        Every move provably makes progress — it tests an untested
+        node, descends into a dependency region that must yield a new
+        minimal dependency, ascends through raw non-dependencies
+        toward a new maximal one, or pops the trace — so the walk
+        terminates, and a walk from an uncovered seed always grows the
+        verdict cache or one of the classification frontiers.
+        """
+        trace: list[int] = []
+        node = start
+        while True:
+            valid = self._classify(state, node)
+            if valid is None:
+                valid = yield from self._test(state, node)
+            if valid:
+                children = [
+                    node & ~_bitset.bit(a) for a in _bitset.iter_bits(node)
+                ]
+                moved = False
+                for pool in (
+                    [c for c in children if self._classify(state, c) is None],
+                    [
+                        c
+                        for c in children
+                        if self._classify(state, c) and not state.dep_covered(c)
+                    ],
+                ):
+                    if pool:
+                        trace.append(node)
+                        node = pool[rng.randrange(len(pool))]
+                        moved = True
+                        break
+                if moved:
+                    continue
+                if not any(self._classify(state, c) for c in children):
+                    # Every immediate subset is a non-dependency: minimal.
+                    _, error = self._verdicts[(state.rhs, node)]
+                    state.record_min_dep(node, error)
+            else:
+                if _bitset.popcount(node) >= state.cap:
+                    parents = []
+                else:
+                    parents = [
+                        node | _bitset.bit(a)
+                        for a in _bitset.iter_bits(state.attrs_mask & ~node)
+                    ]
+                moved = False
+                for pool in (
+                    [p for p in parents if self._classify(state, p) is None],
+                    [
+                        p
+                        for p in parents
+                        if self._classify(state, p) is False
+                        and not state.nondep_covered(p)
+                    ],
+                ):
+                    if pool:
+                        trace.append(node)
+                        node = pool[rng.randrange(len(pool))]
+                        moved = True
+                        break
+                if moved:
+                    continue
+                if all(self._classify(state, p) for p in parents):
+                    # Every extension (within the cap) is a dependency:
+                    # maximal non-dependency.
+                    state.record_max_nondep(node)
+            if not trace:
+                return
+            node = trace.pop()
+
+    def _classify(self, state: _RhsState, node: int) -> bool | None:
+        """Dependency verdict for ``node``: inferred, raw, or unknown."""
+        if state.dep_covered(node):
+            return True
+        if state.nondep_covered(node):
+            return False
+        raw = self._verdicts.get((state.rhs, node))
+        if raw is not None:
+            return raw[0]
+        return None
+
+    def _test(self, state: _RhsState, node: int):
+        """Obtain the raw verdict for ``node -> rhs``, testing if needed."""
+        key = (state.rhs, node)
+        cached = self._verdicts.get(key)
+        if cached is None:
+            cached = self._replay.pop(key, None)
+            if cached is None:
+                outcome = yield NodeRequest(lhs_mask=node, rhs=state.rhs)
+                cached = (bool(outcome.valid), float(outcome.error))
+            self._verdicts[key] = cached
+            self._recent.append(node)
+            self._recent.append(node | _bitset.bit(state.rhs))
+        return cached[0]

@@ -1,70 +1,43 @@
-"""The levelwise search driver (Section 5 of the paper).
+"""The search driver: one run over a relation's attribute-set lattice.
 
-:class:`SearchDriver` runs the loop::
+:class:`SearchDriver` owns the run's *state* — relation facts, the
+candidate tracker, partition manager, execution backend, validity
+criteria, metrics instruments, hooks — but none of the control flow:
+the loop lives in a scheduler (:mod:`repro.search.scheduler`) selected
+by the traversal strategy's mode.  Level strategies run under the
+compatibility :class:`~repro.search.scheduler.LevelScheduler` (the
+paper's loop of Section 5, bit-identical to the pre-refactor driver);
+node strategies run under the
+:class:`~repro.search.scheduler.NodeEngine`.
 
-    L1 := singletons; C+(∅) := R
-    while L_ℓ nonempty:
-        COMPUTE-DEPENDENCIES(L_ℓ)
-        PRUNE(L_ℓ)
-        L_{ℓ+1} := GENERATE-NEXT-LEVEL(L_ℓ)
-
-but owns none of the policy: candidate bookkeeping lives in the
-:class:`~repro.search.tracker.CandidateTracker`, partition lifecycle
-in the :class:`~repro.search.partitions.PartitionManager`, traversal
-shape in the :class:`~repro.search.strategy.TraversalStrategy`, task
-execution in the injected backend, and cross-cutting capabilities
-(tracing, checkpointing) in :class:`~repro.search.hooks.SearchHooks`
-plugins.  The driver's own responsibilities are exactly the loop's
-invariants: phase ordering, deterministic counter accounting, the
-reclamation rule (a level's partitions outlive it by one level — the
-next level's superkey checks need them), and the boundary/resume
-protocol hooks observe.
-
-Every phase is wrapped in a span with attribute values computed as
-deltas of the always-on counters, so an attached trace and the final
-statistics agree by construction; with no span-providing hook the
-spans are a shared no-op and the delta bookkeeping is a handful of
-int reads per level.
+The driver's own responsibilities are the run invariants shared by
+every scheduler: deterministic counter accounting (the cached
+instruments below), the failure protocol (``on_failure`` hooks fire
+while the exception unwinds), the restore surface resume-capable hooks
+use, and handing the tracker to
+:meth:`~repro.search.strategy.TraversalStrategy.finalize` for result
+shaping.
 """
 
 from __future__ import annotations
 
-import time
 from collections.abc import Callable
-from dataclasses import dataclass
 
 from repro.model.fd import FunctionalDependency
 from repro.model.relation import Relation
-from repro.search.hooks import LevelBoundary, resolve_span_provider
+from repro.search.hooks import resolve_span_provider
 from repro.search.instruments import SimpleMetrics
 from repro.search.measures import ValidityCriteria
 from repro.search.partitions import PartitionManager
+from repro.search.scheduler import LevelProgress, NodeProgress, make_scheduler
 from repro.search.strategy import TraversalStrategy
 from repro.search.tracker import CandidateTracker
-from repro.testing import faults
 
-__all__ = ["LevelProgress", "SearchDriver"]
-
-
-@dataclass(frozen=True)
-class LevelProgress:
-    """Snapshot handed to the progress callback once per level."""
-
-    level: int
-    """Level number (left-hand sides of size ``level - 1`` are tested)."""
-
-    level_size: int
-    """Attribute sets in this level before pruning."""
-
-    dependencies_found: int
-    """Minimal dependencies emitted so far (all levels)."""
-
-    elapsed_seconds: float
-    """Wall-clock time since the search started."""
+__all__ = ["LevelProgress", "NodeProgress", "SearchDriver"]
 
 
 class SearchDriver:
-    """One levelwise search over a relation's attribute-set lattice."""
+    """One search over a relation's attribute-set lattice."""
 
     def __init__(
         self,
@@ -78,7 +51,7 @@ class SearchDriver:
         workspace,
         metrics=None,
         hooks=(),
-        progress: Callable[[LevelProgress], None] | None = None,
+        progress: Callable | None = None,
         max_lhs_size: int | None = None,
     ) -> None:
         self.relation = relation
@@ -133,144 +106,9 @@ class SearchDriver:
         applied to it.
         """
         try:
-            self._search()
+            make_scheduler(self).run()
         except BaseException:
             for hook in self._hooks:
                 hook.on_failure(self)
             raise
         return self.strategy.finalize(self.tracker)
-
-    def _search(self) -> None:
-        max_level = (
-            self.num_attributes
-            if self.max_lhs_size is None
-            else min(self.num_attributes, self.max_lhs_size + 1)
-        )
-        level = self.partitions.bootstrap()
-        cplus_prev: dict[int, int] = {0: self.full_mask}
-        previous_level_masks: list[int] = [0]
-        level_number = 1
-        for hook in self._hooks:
-            resumed = hook.resume_state(self)
-            if resumed is not None:
-                level = resumed.level
-                cplus_prev = resumed.cplus_prev
-                previous_level_masks = resumed.previous_level_masks
-                level_number = resumed.level_number
-                break
-        search_start = time.perf_counter()
-        while level and level_number <= max_level:
-            faults.check("tane.level.start")
-            self._level_sizes.append(len(level))
-            if self.progress is not None:
-                self.progress(
-                    LevelProgress(
-                        level=level_number,
-                        level_size=len(level),
-                        dependencies_found=len(self.tracker.dependencies),
-                        elapsed_seconds=time.perf_counter() - search_start,
-                    )
-                )
-            with self._span("level", level=level_number) as level_span:
-                level_span.set("s_l", len(level))
-                tests_before = self._c_tests.value
-                errors_before = self._c_errors.value
-                bounds_before = self._c_bounds.value
-                deps_before = len(self.tracker.dependencies)
-                with self._span("compute_dependencies") as phase:
-                    cplus = self._compute_dependencies(level, cplus_prev)
-                    phase.set("tests", self._c_tests.value - tests_before)
-                    phase.set("error_computations", self._c_errors.value - errors_before)
-                    phase.set("bound_rejections", self._c_bounds.value - bounds_before)
-                    phase.set(
-                        "dependencies_found",
-                        len(self.tracker.dependencies) - deps_before,
-                    )
-                keys_before = len(self.tracker.keys)
-                with self._span("prune") as phase:
-                    surviving = self.tracker.prune(
-                        level, cplus, level_number, self.partitions.is_superkey
-                    )
-                    keys_delta = len(self.tracker.keys) - keys_before
-                    if keys_delta:
-                        self._c_keys.inc(keys_delta)
-                    phase.set("keys_found", keys_delta)
-                    phase.set("surviving", len(surviving))
-                self._pruned_level_sizes.append(len(surviving))
-                products_before = self._c_products.value
-                with self._span("generate_next_level") as phase:
-                    if level_number < max_level and not self.strategy.should_stop(
-                        self.tracker, level_number + 1
-                    ):
-                        next_level = self.partitions.materialize(
-                            self.strategy.expand(surviving)
-                        )
-                    else:
-                        next_level = []
-                    phase.set("products", self._c_products.value - products_before)
-                    phase.set("next_size", len(next_level))
-                level_span.set("surviving", len(surviving))
-                level_span.set("dependencies_total", len(self.tracker.dependencies))
-            self.partitions.reclaim(previous_level_masks)
-            previous_level_masks = level
-            cplus_prev = cplus
-            level = next_level
-            level_number += 1
-            self._notify_boundary(
-                level_number, level, previous_level_masks, cplus_prev, complete=False
-            )
-        self._notify_boundary(
-            level_number, [], previous_level_masks, cplus_prev, complete=True
-        )
-
-    def _notify_boundary(
-        self,
-        level_number: int,
-        level: list[int],
-        previous_level_masks: list[int],
-        cplus_prev: dict[int, int],
-        *,
-        complete: bool,
-    ) -> None:
-        if not self._hooks:
-            return
-        boundary = LevelBoundary(
-            level_number=level_number,
-            level=level,
-            previous_level_masks=previous_level_masks,
-            cplus_prev=cplus_prev,
-            complete=complete,
-        )
-        for hook in self._hooks:
-            hook.on_boundary(self, boundary)
-
-    def _compute_dependencies(
-        self, level: list[int], cplus_prev: dict[int, int]
-    ) -> dict[int, int]:
-        """COMPUTE-DEPENDENCIES: rhs+ sets, validity tests, recording.
-
-        The executor may shard the tests freely (the groups are
-        mutually independent — see
-        :meth:`CandidateTracker.testable_groups`); outcomes are applied
-        here in level order, so the dependency stream and every counter
-        are deterministic and identical across backends.
-        """
-        cplus = self.tracker.compute_cplus(level, cplus_prev)
-        groups = self.tracker.testable_groups(level, cplus)
-        outcomes = self.executor.validity_tests(
-            groups, self.partitions.get, self.criteria, self.workspace
-        )
-        position = 0
-        for mask, pairs in groups:
-            for rhs_index, lhs_mask in pairs:
-                # Silent-corruption fault point: repro.verify's own tests
-                # arm it to prove the harness catches a lying engine.
-                outcome = faults.mutate("tane.validity.outcome", outcomes[position])
-                position += 1
-                self._c_tests.inc()
-                if outcome.bound_rejected:
-                    self._c_bounds.inc()
-                if outcome.error_computed:
-                    self._c_errors.inc()
-                self.tracker.apply_outcome(mask, rhs_index, lhs_mask, outcome, cplus)
-        return cplus

@@ -6,18 +6,22 @@ preservation — attach through :class:`SearchHooks` instead.  A hook
 observes the driver at four points:
 
 ``span(name, **attributes)``
-    Wrap a loop phase in a span-like context manager.  The driver
-    calls this for the ``level`` / ``compute_dependencies`` /
-    ``prune`` / ``generate_next_level`` spans; the default returns a
-    shared no-op, so an unobserved run pays a handful of attribute
-    reads per level and nothing else.
-``resume_state(driver)``
-    Offer saved loop state before the first level runs.  The first
-    hook returning a :class:`ResumePoint` wins; returning ``None``
-    declines.
-``on_boundary(driver, boundary)``
-    A level finished (or the search completed, ``boundary.complete``):
-    durable-state plugins persist here.
+    Wrap a loop phase in a span-like context manager.  The level
+    scheduler calls this for the ``level`` / ``compute_dependencies``
+    / ``prune`` / ``generate_next_level`` spans and the node engine
+    for ``rhs`` / ``node_batch`` spans; the default returns a shared
+    no-op, so an unobserved run pays a handful of attribute reads per
+    phase and nothing else.
+``resume_state(driver)`` / ``resume_node_state(driver)``
+    Offer saved loop state before the first level (or node batch)
+    runs.  The first hook returning a :class:`ResumePoint` /
+    :class:`NodeResumePoint` wins; returning ``None`` declines.
+``on_boundary(driver, boundary)`` / ``on_node_boundary(driver, boundary)``
+    A level (or a node-engine batch) finished, or the search completed
+    (``boundary.complete``): durable-state plugins persist here.
+    Level-mode runs only ever see :class:`LevelBoundary`; node-mode
+    runs only :class:`NodeBoundary` — a hook observes whichever side
+    it cares about and ignores the other.
 ``on_failure(driver)``
     The search is unwinding with an exception; last-chance salvage
     (e.g. keeping spill files for a later resume).
@@ -29,13 +33,21 @@ search core, never out of it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.search.driver import SearchDriver
 
-__all__ = ["NullSpan", "NULL_SPAN", "LevelBoundary", "ResumePoint", "SearchHooks"]
+__all__ = [
+    "NullSpan",
+    "NULL_SPAN",
+    "LevelBoundary",
+    "NodeBoundary",
+    "ResumePoint",
+    "NodeResumePoint",
+    "SearchHooks",
+]
 
 
 class NullSpan:
@@ -92,6 +104,34 @@ class ResumePoint:
     cplus_prev: dict
 
 
+@dataclass(frozen=True)
+class NodeBoundary:
+    """Node-engine state at a persistence point, as handed to
+    ``on_node_boundary``.
+
+    Non-monotone walks have no level numbers; the resumable unit is
+    the strategy's own serialized state (visited-set / frontier), an
+    opaque JSON-able document the engine neither reads nor interprets.
+    """
+
+    batch_number: int
+    """Number of completed scheduling rounds (monotone, for spans)."""
+
+    state: dict = field(default_factory=dict)
+    """The strategy's :meth:`NodeStrategy.snapshot` document."""
+
+    complete: bool = False
+    """True on the final boundary: the walk has finished."""
+
+
+@dataclass(frozen=True)
+class NodeResumePoint:
+    """Saved node-walk state offered by ``resume_node_state``."""
+
+    batch_number: int
+    state: dict
+
+
 class SearchHooks:
     """Base hook: every method is a no-op; subclass what you observe."""
 
@@ -103,8 +143,15 @@ class SearchHooks:
         """Offer saved state to resume from, or ``None`` to decline."""
         return None
 
+    def resume_node_state(self, driver: "SearchDriver") -> NodeResumePoint | None:
+        """Offer saved node-walk state to resume from, or ``None``."""
+        return None
+
     def on_boundary(self, driver: "SearchDriver", boundary: LevelBoundary) -> None:
         """A level (or the whole search) completed."""
+
+    def on_node_boundary(self, driver: "SearchDriver", boundary: "NodeBoundary") -> None:
+        """A node-engine batch (or the whole walk) completed."""
 
     def on_failure(self, driver: "SearchDriver") -> None:
         """The search is unwinding with an exception."""

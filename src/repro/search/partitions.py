@@ -1,14 +1,17 @@
-"""Partition lifecycle management for the levelwise search.
+"""Partition lifecycle management for the search core.
 
 The :class:`PartitionManager` owns every interaction between the
 search loop and stripped partitions: bootstrapping π_∅ and the
 singleton partitions, scheduling the partition products of
 GENERATE-NEXT-LEVEL through the execution backend (streaming results
 into the store so products become resident — and may spill — while
-later shards still compute), reclaiming a level's partitions once the
-next level exists, recomputing partitions for checkpoint restore
-(Lemma 3, via the singleton products), and preserving spill files on
-the crash path.
+later shards still compute), on-demand materialization of arbitrary
+attribute-set masks for node-mode walks (product chains planned from
+the best cached/resident ancestor), reclaiming partitions once they
+can no longer be referenced (level boundaries in level mode,
+strategy-declared liveness in node mode), recomputing partitions for
+checkpoint restore (Lemma 3, via the singleton products), and
+preserving spill files on the crash path.
 
 The driver and tracker never touch the store directly — they fetch
 through :meth:`get` / :meth:`is_superkey`, so the storage policy
@@ -104,6 +107,9 @@ class PartitionManager:
             cache_misses_counter if cache_misses_counter is not None else Counter()
         )
         self._singletons: list = []
+        # Masks (popcount > 1) the node engine materialized on demand;
+        # the reclamation unit of node-mode runs (see reclaim_except).
+        self._resident: set[int] = set()
 
     # ------------------------------------------------------------------
     # Bootstrap and access
@@ -122,6 +128,7 @@ class PartitionManager:
         begin_run = getattr(self.executor, "begin_run", None)
         if begin_run is not None:
             begin_run()
+        self._resident = set()
         if include_empty:
             self.store.put(0, self.partition_cls.single_class(self.num_rows))
         self._singletons = []
@@ -239,6 +246,76 @@ class PartitionManager:
             # Cache hits were stored up front; preserve candidate order.
             return [candidate for candidate, _x, _y in triples]
         return next_level
+
+    # ------------------------------------------------------------------
+    # Node-mode on-demand materialization
+    # ------------------------------------------------------------------
+
+    def materialize_mask(self, mask: int) -> None:
+        """Make ``π_mask`` resident for an arbitrary attribute set.
+
+        The node engine has no "previous level" to take product factors
+        from, so the product chain is planned here: start from the best
+        ancestor already at hand — the cross-run cache, or the resident
+        subset with the most attributes — and multiply the missing
+        singletons in ascending index order (Lemma 3 applies to any
+        factor pair whose union is the target).  Every intermediate is
+        stored and registered too: the walk moves between neighboring
+        nodes, so an intermediate is the likely best ancestor of the
+        next few requests.  Products are counted normally — node-mode
+        counters stay deterministic because the walk, the resident set,
+        and the reclamation cadence all are.
+        """
+        if _bitset.popcount(mask) <= 1 or mask in self._resident:
+            return
+        partition = self._cache_get(mask)
+        if partition is not None:
+            self.store.put(mask, partition)
+            self._resident.add(mask)
+            return
+        current = self._best_ancestor(mask)
+        product = self.store.get(current)
+        for index in _bitset.to_indices(mask & ~current):
+            current |= _bitset.bit(index)
+            if current in self._resident:
+                product = self.store.get(current)
+                continue
+            product = product.product(self._singletons[index], self.workspace)
+            self._c_products.inc()
+            self._cache_put(current, product)
+            self.store.put(current, product)
+            self._resident.add(current)
+
+    def _best_ancestor(self, mask: int) -> int:
+        """The resident subset of ``mask`` with the most attributes
+        (ties to the smallest mask, for determinism); falls back to the
+        lowest singleton."""
+        best = 0
+        best_size = 0
+        for resident in self._resident:
+            if resident & ~mask != 0:
+                continue
+            size = _bitset.popcount(resident)
+            if size > best_size or (size == best_size and resident < best):
+                best = resident
+                best_size = size
+        if best == 0:
+            best = _bitset.bit(_bitset.to_indices(mask)[0])
+        return best
+
+    def reclaim_except(self, live_masks: set[int]) -> None:
+        """Drop on-demand partitions outside the strategy's live set.
+
+        Node-mode reclamation: liveness is declared by the strategy
+        (plus whatever :meth:`materialize_mask` registered since the
+        last sweep), not by level boundaries.  π_∅ and the singletons
+        are never registered, so they survive every sweep.
+        """
+        dead = sorted(m for m in self._resident if m not in live_masks)
+        if not dead:
+            return
+        self.reclaim(dead)
+        self._resident.difference_update(dead)
 
     def product_from_singletons(self, candidate: int, *, count: bool = True):
         """Recompute ``π_candidate`` from the single-attribute partitions.

@@ -1,0 +1,346 @@
+"""Schedulers: how the search core orders validity tests.
+
+The search core is a node-at-a-time engine; the paper's
+level-synchronous loop is one *scheduler* for it, selected by the
+traversal strategy's ``mode``:
+
+:class:`LevelScheduler` (``mode == "level"``)
+    The loop of Section 5 — COMPUTE-DEPENDENCIES / PRUNE /
+    GENERATE-NEXT-LEVEL — moved here verbatim from the driver.  Its
+    phase ordering, counter accounting, reclamation rule and
+    boundary/resume protocol are byte-identical to the pre-refactor
+    driver: the golden-parity suites pin results *and* counters.
+
+:class:`NodeEngine` (``mode == "node"``)
+    The strategy proposes candidate tests one batch at a time
+    (:class:`~repro.search.strategy.NodeRequest`), the engine
+    materializes the partitions on demand, runs the tests through the
+    same execution backend and measure stack as the level path, and
+    feeds the verdicts back.  Reclamation follows the strategy's
+    declared liveness; checkpoints carry the strategy's own snapshot
+    (see :class:`~repro.search.hooks.NodeBoundary`).
+
+Both schedulers borrow the driver's cached counter instruments, so a
+validity test costs the same accounting no matter which loop ran it —
+and cross-strategy comparisons (``tane.validity_tests`` as "nodes
+visited") are meaningful.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro import _bitset
+from repro.search.hooks import LevelBoundary, NodeBoundary
+from repro.search.strategy import NodeContext
+from repro.testing import faults
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.search.driver import SearchDriver
+
+__all__ = ["LevelProgress", "NodeProgress", "LevelScheduler", "NodeEngine", "make_scheduler"]
+
+
+@dataclass(frozen=True)
+class LevelProgress:
+    """Snapshot handed to the progress callback once per level."""
+
+    level: int
+    """Level number (left-hand sides of size ``level - 1`` are tested)."""
+
+    level_size: int
+    """Attribute sets in this level before pruning."""
+
+    dependencies_found: int
+    """Minimal dependencies emitted so far (all levels)."""
+
+    elapsed_seconds: float
+    """Wall-clock time since the search started."""
+
+
+@dataclass(frozen=True)
+class NodeProgress:
+    """Snapshot handed to the progress callback once per node batch.
+
+    Node-mode walks have no level number and no total to estimate
+    against; consumers that key on :attr:`LevelProgress.level` should
+    treat a missing attribute as "non-level traversal" and degrade to
+    counting tests.
+    """
+
+    batch: int
+    """Completed scheduling rounds (monotone)."""
+
+    tests: int
+    """Validity tests run so far (the walk's "nodes visited")."""
+
+    dependencies_found: int
+    """Minimal dependencies recorded so far (all right-hand sides)."""
+
+    elapsed_seconds: float
+    """Wall-clock time since the walk started."""
+
+
+def make_scheduler(driver: "SearchDriver"):
+    """The scheduler matching the driver's strategy mode."""
+    if getattr(driver.strategy, "mode", "level") == "node":
+        return NodeEngine(driver)
+    return LevelScheduler(driver)
+
+
+class LevelScheduler:
+    """The paper's level-synchronous loop (Section 5), unchanged."""
+
+    def __init__(self, driver: "SearchDriver") -> None:
+        self.driver = driver
+
+    def run(self) -> None:
+        """Execute the levelwise loop to completion."""
+        driver = self.driver
+        max_level = (
+            driver.num_attributes
+            if driver.max_lhs_size is None
+            else min(driver.num_attributes, driver.max_lhs_size + 1)
+        )
+        level = driver.partitions.bootstrap()
+        cplus_prev: dict[int, int] = {0: driver.full_mask}
+        previous_level_masks: list[int] = [0]
+        level_number = 1
+        for hook in driver._hooks:
+            resumed = hook.resume_state(driver)
+            if resumed is not None:
+                level = resumed.level
+                cplus_prev = resumed.cplus_prev
+                previous_level_masks = resumed.previous_level_masks
+                level_number = resumed.level_number
+                break
+        search_start = time.perf_counter()
+        while level and level_number <= max_level:
+            faults.check("tane.level.start")
+            driver._level_sizes.append(len(level))
+            if driver.progress is not None:
+                driver.progress(
+                    LevelProgress(
+                        level=level_number,
+                        level_size=len(level),
+                        dependencies_found=len(driver.tracker.dependencies),
+                        elapsed_seconds=time.perf_counter() - search_start,
+                    )
+                )
+            with driver._span("level", level=level_number) as level_span:
+                level_span.set("s_l", len(level))
+                tests_before = driver._c_tests.value
+                errors_before = driver._c_errors.value
+                bounds_before = driver._c_bounds.value
+                deps_before = len(driver.tracker.dependencies)
+                with driver._span("compute_dependencies") as phase:
+                    cplus = self._compute_dependencies(level, cplus_prev)
+                    phase.set("tests", driver._c_tests.value - tests_before)
+                    phase.set(
+                        "error_computations", driver._c_errors.value - errors_before
+                    )
+                    phase.set(
+                        "bound_rejections", driver._c_bounds.value - bounds_before
+                    )
+                    phase.set(
+                        "dependencies_found",
+                        len(driver.tracker.dependencies) - deps_before,
+                    )
+                keys_before = len(driver.tracker.keys)
+                with driver._span("prune") as phase:
+                    surviving = driver.tracker.prune(
+                        level, cplus, level_number, driver.partitions.is_superkey
+                    )
+                    keys_delta = len(driver.tracker.keys) - keys_before
+                    if keys_delta:
+                        driver._c_keys.inc(keys_delta)
+                    phase.set("keys_found", keys_delta)
+                    phase.set("surviving", len(surviving))
+                driver._pruned_level_sizes.append(len(surviving))
+                products_before = driver._c_products.value
+                with driver._span("generate_next_level") as phase:
+                    if level_number < max_level and not driver.strategy.should_stop(
+                        driver.tracker, level_number + 1
+                    ):
+                        next_level = driver.partitions.materialize(
+                            driver.strategy.expand(surviving)
+                        )
+                    else:
+                        next_level = []
+                    phase.set("products", driver._c_products.value - products_before)
+                    phase.set("next_size", len(next_level))
+                level_span.set("surviving", len(surviving))
+                level_span.set("dependencies_total", len(driver.tracker.dependencies))
+            driver.partitions.reclaim(previous_level_masks)
+            previous_level_masks = level
+            cplus_prev = cplus
+            level = next_level
+            level_number += 1
+            self._notify_boundary(
+                level_number, level, previous_level_masks, cplus_prev, complete=False
+            )
+        self._notify_boundary(
+            level_number, [], previous_level_masks, cplus_prev, complete=True
+        )
+
+    def _notify_boundary(
+        self,
+        level_number: int,
+        level: list[int],
+        previous_level_masks: list[int],
+        cplus_prev: dict[int, int],
+        *,
+        complete: bool,
+    ) -> None:
+        driver = self.driver
+        if not driver._hooks:
+            return
+        boundary = LevelBoundary(
+            level_number=level_number,
+            level=level,
+            previous_level_masks=previous_level_masks,
+            cplus_prev=cplus_prev,
+            complete=complete,
+        )
+        for hook in driver._hooks:
+            hook.on_boundary(driver, boundary)
+
+    def _compute_dependencies(
+        self, level: list[int], cplus_prev: dict[int, int]
+    ) -> dict[int, int]:
+        """COMPUTE-DEPENDENCIES: rhs+ sets, validity tests, recording.
+
+        The executor may shard the tests freely (the groups are
+        mutually independent — see
+        :meth:`CandidateTracker.testable_groups`); outcomes are applied
+        here in level order, so the dependency stream and every counter
+        are deterministic and identical across backends.
+        """
+        driver = self.driver
+        cplus = driver.tracker.compute_cplus(level, cplus_prev)
+        groups = driver.tracker.testable_groups(level, cplus)
+        outcomes = driver.executor.validity_tests(
+            groups, driver.partitions.get, driver.criteria, driver.workspace
+        )
+        position = 0
+        for mask, pairs in groups:
+            for rhs_index, lhs_mask in pairs:
+                # Silent-corruption fault point: repro.verify's own tests
+                # arm it to prove the harness catches a lying engine.
+                outcome = faults.mutate("tane.validity.outcome", outcomes[position])
+                position += 1
+                driver._c_tests.inc()
+                if outcome.bound_rejected:
+                    driver._c_bounds.inc()
+                if outcome.error_computed:
+                    driver._c_errors.inc()
+                driver.tracker.apply_outcome(mask, rhs_index, lhs_mask, outcome, cplus)
+        return cplus
+
+
+class NodeEngine:
+    """Node-at-a-time scheduling for ``mode == "node"`` strategies."""
+
+    #: Reclamation sweep cadence (batches).  Sweeping every batch would
+    #: thrash the product-chain intermediates materialize_mask keeps
+    #: resident; a small fixed interval bounds residency while letting
+    #: neighboring requests reuse ancestors.  Fixed ⇒ deterministic.
+    RECLAIM_INTERVAL = 32
+
+    #: Strategy-snapshot cadence (batches).  A snapshot serializes the
+    #: strategy's visited set, so per-batch persistence would be
+    #: quadratic; boundaries between snapshots carry no state.
+    SNAPSHOT_INTERVAL = 32
+
+    def __init__(self, driver: "SearchDriver") -> None:
+        self.driver = driver
+
+    def run(self) -> None:
+        """Drive the strategy's walk to completion."""
+        driver = self.driver
+        strategy = driver.strategy
+        partitions = driver.partitions
+        partitions.bootstrap()
+        context = NodeContext(
+            num_attributes=driver.num_attributes,
+            full_mask=driver.full_mask,
+            max_lhs_size=driver.max_lhs_size,
+            tracker=driver.tracker,
+        )
+        batch_number = 0
+        resumed = None
+        for hook in driver._hooks:
+            resumed = hook.resume_node_state(driver)
+            if resumed is not None:
+                break
+        if resumed is not None:
+            strategy.restore(context, resumed.state)
+            batch_number = resumed.batch_number
+        else:
+            strategy.begin(context)
+        walk_start = time.perf_counter()
+        while True:
+            requests = strategy.next_requests()
+            if not requests:
+                break
+            faults.check("search.node.start")
+            with driver._span("node_batch", batch=batch_number) as span:
+                self._run_batch(requests)
+                span.set("tests", len(requests))
+                span.set(
+                    "dependencies_total", len(driver.tracker.dependencies)
+                )
+            batch_number += 1
+            if batch_number % self.RECLAIM_INTERVAL == 0:
+                partitions.reclaim_except(strategy.live_masks())
+            if driver.progress is not None:
+                driver.progress(
+                    NodeProgress(
+                        batch=batch_number,
+                        tests=driver._c_tests.value,
+                        dependencies_found=len(driver.tracker.dependencies),
+                        elapsed_seconds=time.perf_counter() - walk_start,
+                    )
+                )
+            self._notify_boundary(batch_number, strategy, complete=False)
+        self._notify_boundary(batch_number, strategy, complete=True)
+
+    def _run_batch(self, requests) -> None:
+        """Materialize, test, and feed back one batch of requests."""
+        driver = self.driver
+        partitions = driver.partitions
+        groups = []
+        for request in requests:
+            whole_mask = request.lhs_mask | _bitset.bit(request.rhs)
+            partitions.materialize_mask(request.lhs_mask)
+            partitions.materialize_mask(whole_mask)
+            groups.append((whole_mask, [(request.rhs, request.lhs_mask)]))
+        outcomes = driver.executor.validity_tests(
+            groups, partitions.get, driver.criteria, driver.workspace
+        )
+        for request, outcome in zip(requests, outcomes):
+            # Silent-corruption fault point: the verify layer arms it to
+            # prove a corrupted walk classification is caught.
+            outcome = faults.mutate("search.node.outcome", outcome)
+            driver._c_tests.inc()
+            if outcome.bound_rejected:
+                driver._c_bounds.inc()
+            if outcome.error_computed:
+                driver._c_errors.inc()
+            driver.strategy.observe(request, outcome)
+
+    def _notify_boundary(self, batch_number: int, strategy, *, complete: bool) -> None:
+        driver = self.driver
+        if not driver._hooks:
+            return
+        if not complete and batch_number % self.SNAPSHOT_INTERVAL != 0:
+            return
+        boundary = NodeBoundary(
+            batch_number=batch_number,
+            state=strategy.snapshot(),
+            complete=complete,
+        )
+        for hook in driver._hooks:
+            hook.on_node_boundary(driver, boundary)

@@ -1,29 +1,44 @@
 """Traversal strategies: how the search walks the attribute-set lattice.
 
 The classic algorithm walks the containment lattice breadth-first with
-apriori candidate generation (GENERATE-NEXT-LEVEL, Section 5).  The
-:class:`TraversalStrategy` seam makes that walk a component: a
-strategy decides which candidates the next level holds, whether the
-search can stop early, and how the discovered dependencies are shaped
-into the final result.
+apriori candidate generation (GENERATE-NEXT-LEVEL, Section 5).  That
+walk is only one way to traverse the lattice; the search core is a
+*node-at-a-time engine* with two scheduling modes, selected by the
+strategy's :attr:`TraversalStrategy.mode`:
 
-Two strategies ship:
+``"level"``
+    The compatibility scheduler
+    (:class:`repro.search.scheduler.LevelScheduler`): the paper's
+    level-synchronous loop, byte-identical to every release since the
+    search-core refactor.  Level strategies shape that loop through
+    :meth:`~TraversalStrategy.expand` / ``should_stop`` / ``finalize``.
+``"node"``
+    The node engine (:class:`repro.search.scheduler.NodeEngine`): the
+    strategy proposes individual candidate tests
+    (:class:`NodeRequest`), receives dependency / non-dependency
+    verdicts, and classifies/walks the lattice itself through the
+    :class:`NodeStrategy` protocol.
+
+Three strategies ship:
 
 * :class:`LevelwiseStrategy` — the paper's full walk; finds every
   minimal dependency.
 * :class:`TopKStrategy` — the same walk, cut off by a monotone bound
   once the k best dependencies are provably found, returning only
-  those k (ranked by error, then lhs size, then lexicographic mask).
-  The cutoff needs only the trivial bound that an undiscovered
-  dependency has error ≥ 0 and an lhs at least as large as the next
-  level's, so it is measure-agnostic — safe for every registered
-  measure, monotone (``g3``/``g1``/``g2``/``pdep``/``tau``/``fi``)
-  or not (``mu_plus``/``rfi``).
+  those k.  ``rank="error"`` (the default) ranks by error, then lhs
+  size, then lexicographic mask; ``rank="redundancy"`` re-ranks the
+  discovered set with a redundancy penalty so the k results are
+  diverse rather than k near-duplicates (after "Redundancy-Driven
+  Top-k Functional Dependency Discovery").
+* :class:`~repro.search.dfd.DfdStrategy` — a seeded, deterministic
+  DFD-style random walk (CIKM 2014) over the node engine; wins on
+  high-arity relations where the levelwise frontier explodes.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from dataclasses import dataclass
 from typing import Any
 
 from repro import _bitset
@@ -34,11 +49,16 @@ from repro.search.tracker import CandidateTracker
 
 __all__ = [
     "STRATEGIES",
+    "TOPK_RANK_MODES",
+    "NodeRequest",
+    "NodeContext",
     "TraversalStrategy",
+    "NodeStrategy",
     "LevelwiseStrategy",
     "TopKStrategy",
     "make_strategy",
     "rank_key",
+    "redundancy_rank",
 ]
 
 
@@ -52,10 +72,44 @@ def rank_key(fd: FunctionalDependency) -> tuple[float, int, int, int]:
     return (fd.error, _bitset.popcount(fd.lhs), fd.lhs, fd.rhs)
 
 
+@dataclass(frozen=True)
+class NodeRequest:
+    """One candidate validity test proposed by a node strategy.
+
+    The engine evaluates ``lhs_mask -> rhs`` (the whole set is
+    ``lhs_mask | bit(rhs)``) and feeds the outcome back through
+    :meth:`NodeStrategy.observe`.
+    """
+
+    lhs_mask: int
+    """Left-hand-side attribute mask (may be 0 for ``∅ -> A``)."""
+
+    rhs: int
+    """Dependent attribute index (never a member of ``lhs_mask``)."""
+
+
+@dataclass(frozen=True)
+class NodeContext:
+    """What the engine tells a node strategy before the walk starts."""
+
+    num_attributes: int
+    full_mask: int
+    max_lhs_size: int | None
+    tracker: CandidateTracker
+    """The run's candidate tracker; strategies record their minimal
+    dependencies through :meth:`CandidateTracker.add_dependency` so
+    results flow through the same path as the levelwise walk."""
+
+
 class TraversalStrategy(ABC):
     """How one search walks the lattice and shapes its result."""
 
     name: str = "abstract"
+
+    mode: str = "level"
+    """Scheduling mode: ``"level"`` runs under the compatibility
+    scheduler (the paper's level-synchronous loop), ``"node"`` under
+    the node-at-a-time engine."""
 
     def fingerprint(self) -> dict[str, Any]:
         """The strategy's contribution to a checkpoint fingerprint."""
@@ -79,6 +133,62 @@ class TraversalStrategy(ABC):
         return tracker.dependencies
 
 
+class NodeStrategy(TraversalStrategy):
+    """A strategy that schedules individual lattice nodes.
+
+    The node engine drives the protocol::
+
+        strategy.begin(context)            # once (or restore(state) first)
+        while requests := strategy.next_requests():
+            for request in requests:
+                outcome = <evaluate lhs -> rhs on partitions>
+                strategy.observe(request, outcome)
+            <reclaim partitions outside strategy.live_masks()>
+            <checkpoint strategy.snapshot()>
+        result = strategy.finalize(tracker)
+
+    Determinism contract: given the same context and the same sequence
+    of outcomes, ``next_requests`` must propose the same requests in
+    the same order — this is what makes snapshots replayable and
+    results reproducible across engines, stores, and resume cycles.
+    """
+
+    mode = "node"
+
+    def expand(self, surviving: list[int]) -> list[tuple[int, int, int]]:
+        raise NotImplementedError(
+            f"{self.name!r} is a node-mode strategy; the level scheduler "
+            "must never ask it to expand a level"
+        )
+
+    @abstractmethod
+    def begin(self, context: NodeContext) -> None:
+        """Start a fresh walk over ``context``'s lattice."""
+
+    @abstractmethod
+    def next_requests(self) -> list[NodeRequest]:
+        """The next batch of candidate tests (empty = walk complete)."""
+
+    @abstractmethod
+    def observe(self, request: NodeRequest, outcome) -> None:
+        """Feed back the engine's validity outcome for ``request``."""
+
+    def live_masks(self) -> set[int]:
+        """Attribute-set masks whose partitions are worth keeping
+        resident; everything else (beyond π_∅ and the singletons) may
+        be reclaimed after the current batch."""
+        return set()
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-serializable walk state for a mid-walk checkpoint."""
+        return {}
+
+    def restore(self, context: NodeContext, state: dict[str, Any]) -> None:
+        """Resume from a :meth:`snapshot` document (default: start
+        fresh — strategies without resumable state may ignore it)."""
+        self.begin(context)
+
+
 class LevelwiseStrategy(TraversalStrategy):
     """The paper's breadth-first walk with apriori generation."""
 
@@ -89,21 +199,86 @@ class LevelwiseStrategy(TraversalStrategy):
         return generate_next_level(surviving)
 
 
+TOPK_RANK_MODES = ("error", "redundancy")
+"""Ranking modes of :class:`TopKStrategy`, in the order configuration
+errors enumerate them."""
+
+
+def redundancy_overlap(fd: FunctionalDependency, other: FunctionalDependency) -> float:
+    """Redundancy of ``fd`` against one already-ranked dependency.
+
+    Entailment-shaped pairs (same rhs, one lhs containing the other)
+    are maximally redundant: the smaller lhs makes the larger one
+    derivable (Armstrong augmentation), so showing both tells the user
+    nothing new.  Otherwise redundancy is the Jaccard overlap of the
+    attribute sets (lhs ∪ rhs), the measure the redundancy-driven
+    top-k paper uses to spread the k slots across the schema.
+    """
+    if fd.rhs == other.rhs:
+        if fd.lhs & ~other.lhs == 0 or other.lhs & ~fd.lhs == 0:
+            return 1.0
+    mask = fd.lhs | _bitset.bit(fd.rhs)
+    other_mask = other.lhs | _bitset.bit(other.rhs)
+    union = _bitset.popcount(mask | other_mask)
+    if union == 0:
+        return 0.0
+    return _bitset.popcount(mask & other_mask) / union
+
+
+def redundancy_rank(
+    dependencies, k: int, *, weight: float = 1.0
+) -> list[FunctionalDependency]:
+    """Greedy redundancy-penalized selection of ``k`` dependencies.
+
+    The first pick is the best under :func:`rank_key`; every later
+    slot goes to the candidate minimizing ``error + weight * max
+    overlap with the already-selected set`` (ties broken by
+    :func:`rank_key`, so the selection is deterministic).  In exact
+    mode all errors are 0.0 and the penalty alone drives selection —
+    clustered near-duplicate dependencies cannot monopolize the k
+    slots the way the plain error ranking lets them.
+    """
+    pool = sorted(dependencies, key=rank_key)
+    if not pool:
+        return []
+    selected = [pool.pop(0)]
+    while pool and len(selected) < k:
+        best_index = 0
+        best_score: tuple | None = None
+        for index, candidate in enumerate(pool):
+            penalty = max(
+                redundancy_overlap(candidate, chosen) for chosen in selected
+            )
+            score = (candidate.error + weight * penalty, rank_key(candidate))
+            if best_score is None or score < best_score:
+                best_score = score
+                best_index = index
+        selected.append(pool.pop(best_index))
+    return selected
+
+
 class TopKStrategy(TraversalStrategy):
     """Return the k best minimal dependencies at the threshold.
 
     The walk is the standard levelwise search (so every emitted
     dependency is minimal and its error definitionally correct), but
-    it stops as soon as no undiscovered dependency can displace the
-    current k best.  The bound is monotone in the level number: a
-    dependency first tested at level ℓ has ``lhs`` size ℓ-1 and error
-    ≥ 0, so its rank is at least ``(0.0, ℓ-1, ...)``; every
-    already-ranked dependency has a strictly smaller lhs, so once the
-    k-th best error is 0.0 no future candidate can beat it.  In exact
-    mode (``epsilon = 0``) every found dependency has error 0.0 and
-    the search stops at the first level boundary with k results in
-    hand; with ``epsilon > 0`` the cutoff fires only when the k best
-    all hold exactly.
+    with ``rank="error"`` it stops as soon as no undiscovered
+    dependency can displace the current k best.  The bound is monotone
+    in the level number: a dependency first tested at level ℓ has
+    ``lhs`` size ℓ-1 and error ≥ 0, so its rank is at least
+    ``(0.0, ℓ-1, ...)``; every already-ranked dependency has a
+    strictly smaller lhs, so once the k-th best error is 0.0 no future
+    candidate can beat it.  In exact mode (``epsilon = 0``) every
+    found dependency has error 0.0 and the search stops at the first
+    level boundary with k results in hand; with ``epsilon > 0`` the
+    cutoff fires only when the k best all hold exactly.
+
+    ``rank="redundancy"`` replaces the final ranking with the greedy
+    redundancy-penalized selection of :func:`redundancy_rank`.  The
+    early cutoff is disabled there: a dependency found later (larger
+    lhs) can still win a slot by being *less redundant* than an
+    earlier one, so the walk must complete for the selection to be
+    correct.
 
     The truncation happens in :meth:`finalize`; mid-search state (and
     therefore checkpoints) keeps the full discovered set, so a resumed
@@ -112,14 +287,22 @@ class TopKStrategy(TraversalStrategy):
 
     name = "topk"
 
-    def __init__(self, k: int) -> None:
+    def __init__(self, k: int, *, rank: str = "error") -> None:
         if k < 1:
             raise ConfigurationError(f"top-k requires k >= 1, got {k}")
+        if rank not in TOPK_RANK_MODES:
+            raise ConfigurationError(
+                f"unknown topk rank mode {rank!r}; "
+                f"valid choices: {', '.join(repr(m) for m in TOPK_RANK_MODES)}"
+            )
         self.k = k
+        self.rank = rank
 
     def fingerprint(self) -> dict[str, Any]:
-        """Checkpoint identity: the strategy name plus ``k``."""
-        return {"strategy": self.name, "k": self.k}
+        """Checkpoint identity: the strategy name, ``k``, and the rank
+        mode (an ``error``-ranked checkpoint must never resume — or a
+        cached result never satisfy — a ``redundancy``-ranked run)."""
+        return {"strategy": self.name, "k": self.k, "rank": self.rank}
 
     def expand(self, surviving: list[int]) -> list[tuple[int, int, int]]:
         """Apriori candidate generation over the surviving sets."""
@@ -127,6 +310,10 @@ class TopKStrategy(TraversalStrategy):
 
     def should_stop(self, tracker: CandidateTracker, next_level_number: int) -> bool:
         """Stop once no undiscovered dependency can displace the k best."""
+        if self.rank != "error":
+            # Redundancy ranking is not monotone in the error order;
+            # only a completed walk selects correctly.
+            return False
         dependencies = tracker.dependencies
         if len(dependencies) < self.k:
             return False
@@ -140,24 +327,34 @@ class TopKStrategy(TraversalStrategy):
 
     def finalize(self, tracker: CandidateTracker) -> FDSet:
         """Rank the discovered dependencies and keep the k best."""
-        ranked = sorted(tracker.dependencies, key=rank_key)[: self.k]
+        if self.rank == "redundancy":
+            ranked = redundancy_rank(tracker.dependencies, self.k)
+        else:
+            ranked = sorted(tracker.dependencies, key=rank_key)[: self.k]
         result = FDSet()
         for fd in ranked:
             result.add(fd)
         return result
 
 
-STRATEGIES = ("levelwise", "topk")
+STRATEGIES = ("levelwise", "topk", "dfd")
 """The canonical strategy names, in the order configuration errors
 enumerate them."""
 
 
-def make_strategy(name: str, *, top_k: int = 0) -> TraversalStrategy:
+def make_strategy(
+    name: str, *, top_k: int = 0, topk_rank: str = "error", dfd_seed: int = 0
+) -> TraversalStrategy:
     """Resolve a strategy name (plus its parameters) to an instance."""
     if name == "levelwise":
         return LevelwiseStrategy()
     if name == "topk":
-        return TopKStrategy(top_k)
+        return TopKStrategy(top_k, rank=topk_rank)
+    if name == "dfd":
+        from repro.search.dfd import DfdStrategy
+
+        return DfdStrategy(seed=dfd_seed)
     raise ConfigurationError(
-        f"unknown strategy {name!r}; valid choices: {', '.join(STRATEGIES)}"
+        f"unknown strategy {name!r}; valid choices: {', '.join(STRATEGIES)} "
+        "(parameters: top_k/topk_rank for 'topk', dfd_seed for 'dfd')"
     )

@@ -235,12 +235,14 @@ def _make_recheck(scenario: Scenario, cells, target: Mismatch, seed: int, workdi
     # Strategy targets need only the reference run plus the strategy
     # comparison itself; oracles contribute nothing to the recheck.
     topk = _FUZZ_TOPK if target.cell.startswith("strategy:") else None
+    dfd_seed = seed if target.cell.startswith("compare_strategy:") else None
 
     def recheck(relation: Relation) -> bool:
         try:
             report = verify_relation(
                 relation, scenario, needed,
                 workdir=workdir, oracles=oracles, topk=topk,
+                dfd_seed=dfd_seed,
             )
         except Exception:
             return False
@@ -372,9 +374,11 @@ def replay_case(case_dir: str | Path, *, workdir: str | Path) -> list[Mismatch]:
         return run_metamorphic(relation, scenario, seed=seed, workdir=workdir)
     oracles = target.cell.startswith("oracle:")
     topk = _FUZZ_TOPK if target.cell.startswith("strategy:") else None
+    dfd_seed = seed if target.cell.startswith("compare_strategy:") else None
     needed = [cells[0]] + [c for c in cells[1:] if c.name == target.cell]
     report = verify_relation(
-        relation, scenario, needed, workdir=workdir, oracles=oracles, topk=topk
+        relation, scenario, needed, workdir=workdir, oracles=oracles,
+        topk=topk, dfd_seed=dfd_seed,
     )
     return report.mismatches
 
@@ -397,7 +401,8 @@ def fuzz_seed(
     relation, generator = relation_for_seed(seed)
     scenario = scenario_for_seed(seed)
     report = verify_relation(
-        relation, scenario, cells, workdir=workdir, topk=_FUZZ_TOPK
+        relation, scenario, cells, workdir=workdir, topk=_FUZZ_TOPK,
+        dfd_seed=seed,
     )
     mismatches = list(report.mismatches)
     if metamorphic:

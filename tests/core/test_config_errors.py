@@ -43,7 +43,13 @@ class TestKnobMessages:
     def test_strategy_enumerates_choices(self):
         message = _config_error(strategy="depthfirst")
         assert "unknown strategy 'depthfirst'" in message
-        for choice in ("'levelwise'", "'topk'"):
+        for choice in ("'levelwise'", "'topk'", "'dfd'"):
+            assert choice in message
+
+    def test_topk_rank_enumerates_choices(self):
+        message = _config_error(strategy="topk", top_k=3, topk_rank="mmr")
+        assert "unknown topk_rank 'mmr'" in message
+        for choice in ("'error'", "'redundancy'"):
             assert choice in message
 
     def test_partition_strategy_enumerates_choices(self):
@@ -89,3 +95,46 @@ class TestTopKCoupling:
     def test_valid_topk_config_accepted(self):
         config = TaneConfig(strategy="topk", top_k=5)
         assert (config.strategy, config.top_k) == ("topk", 5)
+
+    def test_rank_without_topk_strategy_rejected(self):
+        message = _config_error(topk_rank="redundancy")
+        assert "only meaningful with strategy='topk'" in message
+        assert "'levelwise'" in message
+
+    def test_valid_redundancy_rank_accepted(self):
+        config = TaneConfig(strategy="topk", top_k=5, topk_rank="redundancy")
+        assert config.topk_rank == "redundancy"
+
+
+class TestDfdCoupling:
+    def test_negative_seed_rejected(self):
+        message = _config_error(strategy="dfd", dfd_seed=-1)
+        assert "dfd_seed must be >= 0" in message
+        assert "-1" in message
+
+    def test_seed_without_dfd_strategy_rejected(self):
+        message = _config_error(dfd_seed=7)
+        assert "only meaningful with strategy='dfd'" in message
+        assert "'levelwise'" in message
+
+    def test_non_monotone_measure_names_the_valid_choices(self):
+        message = _config_error(strategy="dfd", epsilon=0.2, measure="mu_plus")
+        assert "requires a monotone measure" in message
+        assert "'mu_plus'" in message
+        # The monotone measures are enumerated; the non-monotone two
+        # must not appear as valid choices.
+        assert "'g3'" in message
+        assert "valid choices" in message
+        valid_part = message.split("valid choices")[1]
+        assert "'mu_plus'" not in valid_part
+        assert "'rfi'" not in valid_part
+
+    def test_from_singletons_ablation_rejected(self):
+        message = _config_error(
+            strategy="dfd", partition_strategy="from_singletons"
+        )
+        assert "requires partition_strategy='pairwise'" in message
+
+    def test_valid_dfd_config_accepted(self):
+        config = TaneConfig(strategy="dfd", dfd_seed=11)
+        assert (config.strategy, config.dfd_seed) == ("dfd", 11)

@@ -8,6 +8,7 @@ from repro.datasets.synthetic import (
     correlated_relation,
     planted_fd_relation,
     random_relation,
+    twin_relation,
     zipf_relation,
 )
 from repro.exceptions import ConfigurationError
@@ -111,3 +112,42 @@ class TestConstantRelation:
         rel = constant_relation(5, 2)
         result = discover_fds(rel)
         assert {(fd.lhs, fd.rhs) for fd in result.dependencies} == {(0, 0), (0, 1)}
+
+
+class TestTwinRelation:
+    def test_shape_and_names(self):
+        rel = twin_relation(3, 60, seed=1)
+        assert rel.num_rows == 60
+        assert rel.num_attributes == 6
+        assert list(rel.schema.attribute_names) == [
+            "d0", "r0", "d1", "r1", "d2", "r2",
+        ]
+
+    def test_twins_determine_each_other(self):
+        rel = twin_relation(3, 60, seed=1)
+        for i in range(3):
+            d, r = 2 * i, 2 * i + 1
+            assert dependency_holds(rel, 1 << d, r)
+            assert dependency_holds(rel, 1 << r, d)
+
+    def test_interior_is_dependency_free(self):
+        # With enough rows no d-column subset determines anything
+        # outside its own twin: the lattice interior stays empty.
+        rel = twin_relation(3, 120, seed=0)
+        d_columns = [0, 2, 4]
+        for lhs_a in d_columns:
+            for lhs_b in d_columns:
+                if lhs_a >= lhs_b:
+                    continue
+                lhs = (1 << lhs_a) | (1 << lhs_b)
+                for rhs in range(rel.num_attributes):
+                    if (1 << rhs) & lhs or rhs in (lhs_a + 1, lhs_b + 1):
+                        continue
+                    assert not dependency_holds(rel, lhs, rhs)
+
+    def test_deterministic(self):
+        assert twin_relation(4, 80, seed=7) == twin_relation(4, 80, seed=7)
+
+    def test_zero_pairs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            twin_relation(0)

@@ -1,0 +1,99 @@
+"""On-disk checkpoint format discrimination.
+
+``checkpoint.json`` carries either the level format (no ``format``
+key, the original on-disk shape) or the node format (``"format":
+"node"``).  These tests pin the round-trip of the node payload, the
+manager's dispatch on the discriminator, and the rejection of
+malformed or unknown documents.
+"""
+
+import json
+
+import pytest
+
+from repro.core.checkpoint import (
+    CheckpointManager,
+    CheckpointState,
+    NodeCheckpointState,
+)
+from repro.exceptions import CheckpointError
+
+_FINGERPRINT = {"strategy": "dfd", "seed": 5, "num_rows": 40}
+
+
+def _node_state(**overrides):
+    fields = dict(
+        fingerprint=dict(_FINGERPRINT),
+        batch_number=32,
+        state={"verdicts": [[1, 2, True]], "cursor": 3},
+        counters={"tane.validity_tests": 44.0},
+        complete=False,
+    )
+    fields.update(overrides)
+    return NodeCheckpointState(**fields)
+
+
+class TestNodePayloadRoundTrip:
+    def test_to_from_payload_is_identity(self):
+        state = _node_state()
+        rebuilt = NodeCheckpointState.from_payload(state.to_payload())
+        assert rebuilt == state
+
+    def test_payload_is_json_serializable_and_discriminated(self):
+        payload = json.loads(json.dumps(_node_state().to_payload()))
+        assert payload["format"] == "node"
+        assert NodeCheckpointState.from_payload(payload) == _node_state()
+
+    def test_complete_flag_round_trips(self):
+        state = _node_state(complete=True)
+        assert NodeCheckpointState.from_payload(state.to_payload()).complete
+
+    def test_wrong_version_rejected(self):
+        payload = _node_state().to_payload()
+        payload["version"] = 999
+        with pytest.raises(CheckpointError, match="version"):
+            NodeCheckpointState.from_payload(payload)
+
+    def test_missing_state_rejected(self):
+        payload = _node_state().to_payload()
+        del payload["state"]
+        with pytest.raises(CheckpointError, match="malformed"):
+            NodeCheckpointState.from_payload(payload)
+
+    def test_non_object_state_rejected(self):
+        payload = _node_state().to_payload()
+        payload["state"] = [1, 2, 3]
+        with pytest.raises(CheckpointError, match="malformed"):
+            NodeCheckpointState.from_payload(payload)
+
+
+class TestManagerDispatch:
+    def test_load_returns_node_state_for_node_payload(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save(_node_state())
+        loaded = manager.load()
+        assert isinstance(loaded, NodeCheckpointState)
+        assert loaded == _node_state()
+
+    def test_level_payload_without_format_key_still_loads(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        level = CheckpointState(
+            fingerprint=dict(_FINGERPRINT),
+            level_number=2,
+            level=[0b011],
+            previous_level_masks=[0b001, 0b010],
+            cplus_prev={0b001: 0b111},
+            dependencies=[(0b001, 1, 0.0)],
+            keys=[],
+        )
+        assert "format" not in level.to_payload()
+        manager.save(level)
+        assert isinstance(manager.load(), CheckpointState)
+
+    def test_unknown_format_rejected(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        payload = _node_state().to_payload()
+        payload["format"] = "graph"
+        manager.path.write_text(json.dumps(payload), encoding="utf-8")
+        with pytest.raises(CheckpointError, match="format"):
+            manager.load()

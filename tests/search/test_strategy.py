@@ -44,7 +44,7 @@ class TestRankKey:
 
 class TestFactoryAndFingerprints:
     def test_registry_names(self):
-        assert STRATEGIES == ("levelwise", "topk")
+        assert STRATEGIES == ("levelwise", "topk", "dfd")
 
     def test_make_levelwise(self):
         strategy = make_strategy("levelwise")
@@ -54,7 +54,11 @@ class TestFactoryAndFingerprints:
     def test_make_topk(self):
         strategy = make_strategy("topk", top_k=4)
         assert isinstance(strategy, TopKStrategy)
-        assert strategy.fingerprint() == {"strategy": "topk", "k": 4}
+        assert strategy.fingerprint() == {
+            "strategy": "topk",
+            "k": 4,
+            "rank": "error",
+        }
 
     def test_unknown_name_rejected(self):
         with pytest.raises(ConfigurationError, match="valid choices"):

@@ -46,6 +46,24 @@ class TestCanonicalConfigKey:
         assert "rfi_samples" in CONFIG_KEY_FIELDS
         assert "rfi_seed" in CONFIG_KEY_FIELDS
 
+    def test_key_fields_include_strategy_params(self):
+        for field in ("strategy", "top_k", "topk_rank", "dfd_seed"):
+            assert field in CONFIG_KEY_FIELDS
+
+    def test_strategy_configs_never_share_a_key(self):
+        # Each of these returns a different dependency set on the same
+        # relation, so each must own its cache/checkpoint identity.
+        configs = [
+            TaneConfig(),
+            TaneConfig(strategy="dfd"),
+            TaneConfig(strategy="dfd", dfd_seed=1),
+            TaneConfig(strategy="topk", top_k=3),
+            TaneConfig(strategy="topk", top_k=4),
+            TaneConfig(strategy="topk", top_k=3, topk_rank="redundancy"),
+        ]
+        keys = [canonical_config_key(config) for config in configs]
+        assert len(set(keys)) == len(keys)
+
 
 class TestSearchFingerprint:
     def test_measure_and_rfi_params_recorded(self):
@@ -55,3 +73,21 @@ class TestSearchFingerprint:
         assert fp["measure"] == "rfi"
         assert fp["rfi_samples"] == 16
         assert "rfi_seed" in fp
+
+    def test_strategy_fields_recorded(self):
+        # The strategy contributes its own fingerprint fields, so
+        # checkpoints never cross strategies, seeds, or rank modes.
+        relation = random_relation(10, 3, 3, seed=0)
+        dfd = search_fingerprint(
+            relation, TaneConfig(strategy="dfd", dfd_seed=7),
+            make_strategy("dfd", dfd_seed=7),
+        )
+        assert dfd["strategy"] == "dfd"
+        assert dfd["seed"] == 7
+        topk = search_fingerprint(
+            relation,
+            TaneConfig(strategy="topk", top_k=3, topk_rank="redundancy"),
+            make_strategy("topk", top_k=3, topk_rank="redundancy"),
+        )
+        assert topk["strategy"] == "topk"
+        assert (topk["k"], topk["rank"]) == (3, "redundancy")

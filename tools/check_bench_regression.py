@@ -25,16 +25,22 @@ the host-portable invariants: any failed request, duplicate discovery
 work under concurrent identical requests (single-flight), or a
 cache-hit ratio below the request mix's floor.
 
-Finally it re-runs the measure-suite benchmark
+It also re-runs the measure-suite benchmark
 (``benchmarks/run_measure_bench.py --smoke --check``), which fails
 when any registered measure stops recovering planted dependencies
 under cell corruption (recall below 1.0) or lets corrupted-in noise
 dominate its top-k (precision@k below the floor).
 
+Finally it re-runs the traversal-strategy benchmark
+(``benchmarks/run_strategy_bench.py --smoke --check``), which fails
+when the dfd random walk stops producing the levelwise cover or
+stops visiting fewer lattice nodes than the level sweep on the
+twin-column workload — the structural claim the strategy exists for.
+
 Usage::
 
     python tools/check_bench_regression.py [--repeats 5] [--target-rows 30000]
-        [--skip-events] [--skip-service] [--skip-measures]
+        [--skip-events] [--skip-service] [--skip-measures] [--skip-strategy]
 """
 
 from __future__ import annotations
@@ -178,6 +184,35 @@ def run_measures_gate() -> bool:
         return completed.returncode == 0
 
 
+def run_strategy_gate() -> bool:
+    """Re-run the strategy bench in check mode; True when clean.
+
+    The driver enforces its own invariants (dfd cover equals the
+    levelwise cover; dfd visits strictly fewer nodes) and exits
+    non-zero past either; the fresh JSON goes to scratch so the
+    committed artifact survives.
+    """
+    with tempfile.TemporaryDirectory() as scratch:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO / "src")
+        completed = subprocess.run(
+            [
+                sys.executable,
+                str(REPO / "benchmarks" / "run_strategy_bench.py"),
+                "--smoke",
+                "--check",
+                "--output",
+                str(Path(scratch) / "BENCH_strategy.json"),
+            ],
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        sys.stdout.write(completed.stdout)
+        sys.stderr.write(completed.stderr)
+        return completed.returncode == 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--repeats", type=int, default=5)
@@ -202,6 +237,11 @@ def main(argv=None) -> int:
         "--skip-measures",
         action="store_true",
         help="skip the measure-suite planted-recovery gate",
+    )
+    parser.add_argument(
+        "--skip-strategy",
+        action="store_true",
+        help="skip the dfd-beats-levelwise strategy gate",
     )
     args = parser.parse_args(argv)
 
@@ -238,6 +278,12 @@ def main(argv=None) -> int:
     if not args.skip_measures and not run_measures_gate():
         print(
             "FAIL: measure suite stopped recovering planted dependencies",
+            file=sys.stderr,
+        )
+        return 1
+    if not args.skip_strategy and not run_strategy_gate():
+        print(
+            "FAIL: dfd strategy lost its node advantage or its cover parity",
             file=sys.stderr,
         )
         return 1

@@ -43,10 +43,42 @@ ALLOWED_PREFIXES = (
 outside this list is also an error, so a new coupling must be added
 here deliberately."""
 
+ENGINE_MODULES = ("repro.search.driver", "repro.search.scheduler")
+"""The engine side of the search core.  Strategy-side modules (listed
+in :data:`STRATEGY_SIDE`) describe *what* to test; the driver and the
+schedulers decide *how* — partition materialization, executor
+dispatch, checkpointing cadence.  A strategy importing the engine
+would invert that: strategies stay engine-agnostic so any scheduler
+can run any strategy."""
+
+STRATEGY_SIDE = ("strategy.py", "dfd.py", "hooks.py", "tracker.py")
+"""Search modules that must never import the engine modules."""
+
+
+def _is_type_checking_guard(node: ast.AST) -> bool:
+    """Is this an ``if TYPE_CHECKING:`` block (typing-only imports)?"""
+    if not isinstance(node, ast.If):
+        return False
+    test = node.test
+    return (isinstance(test, ast.Name) and test.id == "TYPE_CHECKING") or (
+        isinstance(test, ast.Attribute) and test.attr == "TYPE_CHECKING"
+    )
+
 
 def imported_modules(tree: ast.AST):
-    """Yield ``(lineno, module_name)`` for every import in ``tree``."""
-    for node in ast.walk(tree):
+    """Yield ``(lineno, module_name)`` for every runtime import in ``tree``.
+
+    Imports under ``if TYPE_CHECKING:`` are skipped — they exist only
+    for annotations and create no runtime dependency (the driver and
+    its strategies reference each other's *types* across the seam
+    without importing across it).
+    """
+    stack = list(ast.iter_child_nodes(tree))
+    while stack:
+        node = stack.pop()
+        if _is_type_checking_guard(node):
+            stack.extend(node.orelse)
+            continue
         if isinstance(node, ast.Import):
             for alias in node.names:
                 yield node.lineno, alias.name
@@ -54,6 +86,8 @@ def imported_modules(tree: ast.AST):
             # Relative imports (level > 0) stay inside repro.search.
             if node.module is not None:
                 yield node.lineno, node.module
+        else:
+            stack.extend(ast.iter_child_nodes(node))
 
 
 def check_file(path: Path) -> list[str]:
@@ -78,6 +112,15 @@ def check_file(path: Path) -> list[str]:
             problems.append(
                 f"{path}:{lineno}: imports '{module}', which is not on the "
                 f"search core's allowlist ({', '.join(ALLOWED_PREFIXES)})"
+            )
+        elif path.name in STRATEGY_SIDE and any(
+            module == engine or module.startswith(engine + ".")
+            for engine in ENGINE_MODULES
+        ):
+            problems.append(
+                f"{path}:{lineno}: strategy-side module imports engine "
+                f"module '{module}' (strategies stay engine-agnostic; only "
+                f"the driver/schedulers may import strategies)"
             )
     return problems
 
